@@ -1,0 +1,14 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rendered artifact (run pytest with ``-s`` to see them), so
+``pytest benchmarks/ --benchmark-only`` doubles as the full
+reproduction harness.
+"""
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a rendered artifact beneath the benchmark output."""
+    print("\n" + text + "\n")

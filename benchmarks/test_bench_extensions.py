@@ -1,0 +1,47 @@
+"""Benchmarks for the extension studies (beyond the paper's artifacts)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import hardware_selection
+from repro.hardware.specs import BEAGLEBONE_BLACK
+
+
+def test_bench_hardware_selection(benchmark):
+    result = benchmark.pedantic(
+        hardware_selection.run,
+        kwargs={"invocations_per_function": 12},
+        rounds=1,
+        iterations=1,
+    )
+    emit(hardware_selection.render(result))
+    assert len(result.candidates) == 2
+    assert result.best_by_energy().spec_name == BEAGLEBONE_BLACK.name
+
+
+def test_bench_microfaas_efficiency_is_scale_invariant(benchmark):
+    """Sec. III-b: 'this linear relationship holds regardless of scale'
+    — J/function stays flat as the fleet grows (unlike Fig. 4's
+    consolidation curve on the conventional side)."""
+    from repro.cluster import MicroFaaSCluster
+    from repro.core.scheduler import LeastLoadedPolicy
+
+    def sweep():
+        points = []
+        for count in (5, 10, 20, 40, 80):
+            cluster = MicroFaaSCluster(
+                worker_count=count, seed=3, policy=LeastLoadedPolicy()
+            )
+            per_function = max(1, (6 * count) // 17)
+            result = cluster.run_saturated(
+                invocations_per_function=per_function
+            )
+            points.append((count, result.joules_per_function))
+        return points
+
+    points = benchmark(sweep)
+    lines = [f"  {n:3d} boards: {jpf:.2f} J/func" for n, jpf in points]
+    emit("MicroFaaS J/function vs fleet size (flat = proportional):\n"
+         + "\n".join(lines))
+    values = [jpf for _n, jpf in points]
+    assert max(values) / min(values) < 1.15  # flat within 15 %

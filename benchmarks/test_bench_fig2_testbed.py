@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 2 (testbed composition)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig2_testbed
+
+
+def test_bench_fig2_testbed(benchmark):
+    inventory = benchmark(fig2_testbed.run)
+    emit(fig2_testbed.render(inventory))
+    assert inventory.worker_count == 10
+    assert inventory.switch_ports_used == 12

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 3 (Working/Overhead split, both clusters)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig3_runtime
+
+
+def test_bench_fig3_runtime_split(benchmark):
+    result = benchmark.pedantic(
+        fig3_runtime.run,
+        kwargs={"invocations_per_function": 20},
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig3_runtime.render(result))
+    # Sec. V's two aggregate claims.
+    assert len(result.faster_on_microfaas) == 4
+    assert len(result.above_half_speed) == 9
+    # The discussion's specific callouts: crypto wants an accelerator,
+    # COSGet wants a faster NIC.
+    assert result.speed_ratio("CascSHA") > 2.0
+    assert result.speed_ratio("COSGet") > 2.0
+    # Round-trip-dominated services win on bare metal.
+    assert result.speed_ratio("RedisInsert") < 1.0

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Fig. 4 (efficiency/throughput vs VM count)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig4_vmsweep
+
+
+def test_bench_fig4_vm_sweep(benchmark):
+    result = benchmark.pedantic(
+        fig4_vmsweep.run,
+        kwargs={
+            "vm_counts": (1, 2, 4, 6, 8, 12, 16, 20, 24),
+            "invocations_per_function": 8,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig4_vmsweep.render(result))
+    # The throughput-matched operating point burns ~32 J/function.
+    assert result.at(6).joules_per_function == pytest.approx(32.0, rel=0.06)
+    # Efficiency improves toward saturation and peaks near 16.1 J/func.
+    assert result.peak.vm_count >= 16
+    assert result.peak.joules_per_function == pytest.approx(16.1, rel=0.2)
+    # MicroFaaS's energy use is consistently lower (the paper's caption).
+    assert all(
+        result.microfaas_jpf < point.joules_per_function
+        for point in result.points
+    )
+    # Throughput grows monotonically until the host saturates.
+    throughputs = [p.throughput_per_min for p in result.points[:6]]
+    assert throughputs == sorted(throughputs)

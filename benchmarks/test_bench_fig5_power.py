@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 5 (power vs active workers)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig5_power
+
+
+def test_bench_fig5_energy_proportionality(benchmark):
+    result = benchmark.pedantic(
+        fig5_power.run,
+        kwargs={"measured_points": (2, 5, 8), "invocations": 5},
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig5_power.render(result))
+    # The caption's point: the idle-power difference.
+    assert result.vm_series.idle_watts == pytest.approx(60.0)
+    assert result.sbc_series.idle_watts < 2.0
+    # "this linear relationship holds regardless of scale"
+    assert result.sbc_linearity > 0.999
+    # Simulated cross-checks land on the analytic SBC line.
+    for active, watts in result.sbc_measured:
+        assert watts == pytest.approx(
+            result.sbc_series.watts[active], rel=0.15
+        )

@@ -1,0 +1,26 @@
+"""Benchmark: the Sec. V headline (throughput match + 5.6x energy)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import headline
+
+
+def test_bench_headline_comparison(benchmark):
+    result = benchmark.pedantic(
+        headline.run,
+        kwargs={"invocations_per_function": 40},
+        rounds=1,
+        iterations=1,
+    )
+    emit(headline.render(result))
+    assert result.microfaas.throughput_per_min == pytest.approx(200.6, rel=0.04)
+    assert result.conventional.throughput_per_min == pytest.approx(
+        211.7, rel=0.04
+    )
+    assert result.microfaas.joules_per_function == pytest.approx(5.7, rel=0.04)
+    assert result.conventional.joules_per_function == pytest.approx(
+        32.0, rel=0.04
+    )
+    assert result.efficiency_ratio == pytest.approx(5.6, rel=0.06)
+    assert result.throughput_matched

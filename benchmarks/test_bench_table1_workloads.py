@@ -1,0 +1,43 @@
+"""Benchmark: Table I — every workload function executed for real.
+
+Each of the 17 functions is benchmarked individually (real Python
+execution against the in-process services), plus one run of the full
+Table I characterization.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import table1_workloads
+from repro.workloads import ALL_FUNCTION_NAMES, ServiceBundle, get_function
+
+#: Benchmark scale per function: small enough to keep the suite quick,
+#: large enough that the work dominates dispatch overhead.
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def services():
+    bundle = ServiceBundle()
+    bundle.seed_defaults()
+    return bundle
+
+
+@pytest.mark.parametrize("name", ALL_FUNCTION_NAMES)
+def test_bench_function(benchmark, services, name):
+    function = get_function(name)
+    payload = function.generate_input(random.Random(42), scale=SCALE)
+    result = benchmark(function.run, payload, services)
+    assert isinstance(result, dict) and result
+
+
+def test_bench_table1_characterization(benchmark):
+    result = benchmark.pedantic(
+        table1_workloads.run, kwargs={"scale": 0.02}, rounds=1, iterations=1
+    )
+    emit(table1_workloads.render(result))
+    assert len(result.rows) == 17
+    assert len(result.cpu_bound) == 9
+    assert len(result.network_bound) == 8

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table II (5-year TCO) — exact to the dollar."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import table2_tco
+
+PAPER_TOTALS = {
+    ("ideal", "conventional"): 124_701,
+    ("ideal", "microfaas"): 82_087,
+    ("realistic", "conventional"): 116_607,
+    ("realistic", "microfaas"): 78_713,
+}
+
+
+def test_bench_table2_tco(benchmark):
+    result = benchmark(table2_tco.run)
+    emit(table2_tco.render(result))
+    for (scenario, deployment), total in PAPER_TOTALS.items():
+        assert result.cell(scenario, deployment).total_usd == total
+    assert result.ideal_savings == pytest.approx(0.342, abs=0.001)
+    assert result.realistic_savings == pytest.approx(0.325, abs=0.001)

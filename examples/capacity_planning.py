@@ -1,0 +1,90 @@
+"""Capacity planning with queueing theory, validated by simulation.
+
+How many boards does a MicroFaaS operator need for a latency SLO?
+This example sizes fleets analytically (Erlang-C / Pollaczek-Khinchine
+over the calibrated service-time distribution), shows the price of the
+paper's random-sampling assignment policy in extra boards, and then
+validates one sizing decision with a full cluster simulation.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import ClusterQueueModel, size_for_slo
+from repro.cluster import MicroFaaSCluster, replay_trace
+from repro.core.scheduler import LeastLoadedPolicy
+from repro.experiments.report import format_table
+from repro.sim.rng import RandomStreams
+from repro.workloads.traces import poisson_trace
+
+
+def sizing_table() -> None:
+    print("=== Fleet size for a mean-latency SLO ===")
+    rows = []
+    for rate in (1.0, 2.0, 5.0, 10.0):
+        for slo in (4.0, 6.0):
+            least = size_for_slo(rate, slo, policy="least-loaded")
+            rand = size_for_slo(rate, slo, policy="random-sampling")
+            rows.append(
+                (f"{rate:.0f} jobs/s", f"{slo:.0f} s",
+                 least, rand, rand - least)
+            )
+    print(
+        format_table(
+            ["load", "SLO", "boards (JSQ)", "boards (random)", "policy tax"],
+            rows,
+            title="Boards needed (analytic; every job pays the 1.51 s "
+                  "clean boot)",
+        )
+    )
+    print()
+
+
+def latency_curve() -> None:
+    print("=== Latency vs load on the paper's 10-board cluster ===")
+    model = ClusterQueueModel(workers=10)
+    capacity = model.capacity_per_s()
+    rows = []
+    for fraction in (0.3, 0.5, 0.7, 0.85):
+        rate = capacity * fraction
+        rows.append(
+            (
+                f"{fraction * 100:.0f}%",
+                f"{rate:.2f}",
+                f"{model.mean_latency_s(rate, 'least-loaded'):.2f}",
+                f"{model.mean_latency_s(rate, 'random-sampling'):.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["utilization", "jobs/s", "latency JSQ (s)", "latency random (s)"],
+            rows,
+        )
+    )
+    print()
+
+
+def validate_by_simulation() -> None:
+    print("=== Validating one sizing decision in simulation ===")
+    rate, slo = 2.0, 5.0
+    boards = size_for_slo(rate, slo, policy="least-loaded")
+    trace = poisson_trace(rate, 300.0, streams=RandomStreams(42))
+    cluster = MicroFaaSCluster(
+        worker_count=boards, seed=42, policy=LeastLoadedPolicy()
+    )
+    result = replay_trace(cluster, trace)
+    latencies = result.telemetry.end_to_end_latencies_s()
+    mean_latency = sum(latencies) / len(latencies)
+    print(f"  analytic sizing : {boards} boards for {slo:.0f} s at "
+          f"{rate:.0f} jobs/s")
+    print(f"  simulated mean  : {mean_latency:.2f} s over "
+          f"{len(latencies)} invocations "
+          f"({'meets' if mean_latency <= slo else 'misses'} the SLO)")
+    print(f"  SLO attainment  : "
+          f"{result.telemetry.slo_attainment(slo) * 100:.0f}% of jobs "
+          f"within {slo:.0f} s")
+
+
+if __name__ == "__main__":
+    sizing_table()
+    latency_curve()
+    validate_by_simulation()

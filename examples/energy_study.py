@@ -1,0 +1,66 @@
+"""Energy study: proportionality and the cost of virtualization.
+
+Walks the paper's two energy arguments:
+
+1. **Energy proportionality (Fig. 5)** — an SBC cluster's power scales
+   linearly with active workers from a near-zero floor, while a rack
+   server idles at 60 W before it has done any work.
+2. **Efficiency vs. consolidation (Fig. 4)** — packing more VMs onto
+   the host improves its J/function, but even at its saturation peak it
+   stays ~3x worse than MicroFaaS.
+
+Also breaks a MicroFaaS run's joules down by power state, quantifying
+the reboot tax the clean-state guarantee costs.
+
+Run:  python examples/energy_study.py
+"""
+
+from repro.cluster import MicroFaaSCluster
+from repro.core.scheduler import LeastLoadedPolicy
+from repro.energy import sbc_state_breakdown
+from repro.experiments import fig4_vmsweep, fig5_power
+from repro.experiments.report import format_bar_chart
+
+
+def proportionality() -> None:
+    print("=== Energy proportionality (Fig. 5) ===")
+    result = fig5_power.run(measure=True, measured_points=(3, 6), invocations=5)
+    print(fig5_power.render(result))
+    print()
+
+
+def consolidation_sweep() -> None:
+    print("=== Efficiency vs VM count (Fig. 4) ===")
+    result = fig4_vmsweep.run(
+        vm_counts=(1, 4, 6, 10, 16, 22), invocations_per_function=6
+    )
+    print(fig4_vmsweep.render(result))
+    print()
+
+
+def where_do_the_joules_go() -> None:
+    print("=== Where a MicroFaaS joule goes ===")
+    cluster = MicroFaaSCluster(
+        worker_count=10, seed=2, policy=LeastLoadedPolicy()
+    )
+    cluster.run_saturated(invocations_per_function=12)
+    breakdown = sbc_state_breakdown(cluster.sbcs)
+    states = ["boot", "cpu_busy", "io_wait", "idle", "off"]
+    print(
+        format_bar_chart(
+            states,
+            [breakdown.by_state.get(s, 0.0) for s in states],
+            title="Cluster energy by power state (J)",
+            unit=" J",
+        )
+    )
+    print(
+        f"\nThe boot share ({breakdown.fraction('boot') * 100:.0f}%) is the "
+        "price of the per-job clean-state reboot."
+    )
+
+
+if __name__ == "__main__":
+    proportionality()
+    consolidation_sweep()
+    where_do_the_joules_go()

@@ -1,0 +1,78 @@
+"""Fault tolerance: workers die mid-run, the platform carries on.
+
+One argument for hardware-isolated workers (Sec. III) is the blast
+radius: when a $52.50 board dies, its one in-flight function is retried
+elsewhere; when a rack server dies, hundreds of in-flight functions go
+with it.  This example kills boards mid-run — with and without repair —
+and shows every job still completing, then puts numbers on the fleet
+math using the paper's cited MTBF figures.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.cluster import MicroFaaSCluster
+from repro.core.scheduler import RoundRobinPolicy
+from repro.reliability import (
+    FaultInjector,
+    FaultPlan,
+    SBC_MTBF_HOURS,
+    SERVER_MTBF_HOURS,
+    expected_replacements,
+)
+from repro.reliability.faults import FaultEvent
+from repro.reliability.mtbf import sbc_failure_model, server_failure_model
+
+
+def crash_and_recover() -> None:
+    print("=== Killing 2 of 6 boards mid-run ===")
+    cluster = MicroFaaSCluster(worker_count=6, seed=13, policy=RoundRobinPolicy())
+    injector = FaultInjector(cluster, detection_delay_s=1.0)
+    injector.apply(
+        FaultPlan(
+            events=(
+                FaultEvent(time_s=15.0, worker_id=1),
+                FaultEvent(time_s=30.0, worker_id=4, repair_after_s=20.0),
+            )
+        )
+    )
+    result = cluster.run_saturated(invocations_per_function=8)
+    retried = [
+        job for job in cluster.orchestrator.jobs.values() if job.attempts > 0
+    ]
+    print(f"  jobs submitted : {8 * 17}")
+    print(f"  jobs completed : {result.jobs_completed}")
+    print(f"  boards killed  : {len(injector.kills)} "
+          f"(at t={[t for t, _ in injector.kills]})")
+    print(f"  jobs recovered : {injector.recovered_jobs} "
+          f"(max attempts on one job: "
+          f"{max(job.attempts for job in cluster.orchestrator.jobs.values())})")
+    print(f"  boards repaired: {injector.repairs}")
+    assert result.jobs_completed == 8 * 17
+    print("  every invocation completed despite the failures.\n")
+
+
+def fleet_math() -> None:
+    print("=== Fleet reliability math (paper footnote 4) ===")
+    horizon_h = 43_200.0  # the TCO horizon
+    sbc = sbc_failure_model()
+    server = server_failure_model()
+    print(f"  SBC MTBF   : {SBC_MTBF_HOURS:,.0f} h "
+          f"-> availability {sbc.availability() * 100:.4f}%")
+    print(f"  server MTBF: {SERVER_MTBF_HOURS:,.0f} h "
+          f"-> availability {server.availability() * 100:.4f}%")
+    sbc_swaps = expected_replacements(989, sbc, horizon_h)
+    server_swaps = expected_replacements(41, server, horizon_h)
+    print(f"  5-year replacements, 989-SBC rack : {sbc_swaps:.1f} boards "
+          f"({sbc_swaps / 989 * 100:.1f}% of fleet, "
+          f"${sbc_swaps * 52.50:,.0f})")
+    print(f"  5-year replacements, 41-server rack: {server_swaps:.1f} servers "
+          f"({server_swaps / 41 * 100:.1f}% of fleet, "
+          f"${server_swaps * 2011:,.0f})")
+    print("\n  The TCO model's 95% online-rate allowance is comfortable "
+          "for SBCs and tight for servers —\n  and each SBC failure "
+          "strands one function, not a hypervisor full of them.")
+
+
+if __name__ == "__main__":
+    crash_and_recover()
+    fleet_math()

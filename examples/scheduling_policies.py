@@ -1,0 +1,57 @@
+"""Scheduling-policy study under the paper's arrival process.
+
+The paper's OP assigns each invocation to a uniformly random worker
+queue (Sec. IV-D).  This example submits the same bursty arrival stream
+under four assignment policies and compares throughput, queue waits,
+energy per function, and how many boards each policy keeps powered —
+the trade-off space between energy proportionality and latency.
+
+Run:  python examples/scheduling_policies.py
+"""
+
+from repro.cluster import MicroFaaSCluster
+from repro.core.scheduler import make_policy
+from repro.experiments.report import format_table
+
+POLICIES = ("random-sampling", "round-robin", "least-loaded", "packing")
+
+
+def run_policy(name: str):
+    cluster = MicroFaaSCluster(
+        worker_count=10, seed=11, policy=make_policy(name)
+    )
+    result = cluster.run_paper_arrivals(jobs_per_second=2, total_jobs=240)
+    telemetry = result.telemetry
+    total_pulses = sum(
+        cluster.gpio.line(i).pulses for i in range(len(cluster.sbcs))
+    )
+    return {
+        "policy": name,
+        "func/min": f"{result.throughput_per_min:.1f}",
+        "J/func": f"{result.joules_per_function:.2f}",
+        "mean wait s": f"{telemetry.mean_queue_wait_s():.2f}",
+        "p95 wait s": f"{telemetry.percentile_queue_wait_s(95):.2f}",
+        "GPIO pulses": total_pulses,
+    }
+
+
+def main() -> None:
+    rows = [run_policy(name) for name in POLICIES]
+    print(
+        format_table(
+            list(rows[0].keys()),
+            [list(row.values()) for row in rows],
+            title="Assignment policies at 2 jobs/s on 10 SBCs "
+                  "(240 invocations, paper arrival process)",
+        )
+    )
+    print(
+        "\nrandom-sampling is the paper's policy: simple and stateless, "
+        "but it queues jobs behind busy boards while others sleep.\n"
+        "least-loaded spreads work (lowest waits); packing concentrates "
+        "it (fewest power cycles, worst waits)."
+    )
+
+
+if __name__ == "__main__":
+    main()

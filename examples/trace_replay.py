@@ -1,0 +1,69 @@
+"""Trace replay: both clusters under realistic arrival patterns.
+
+The paper measures its clusters at saturation, where the energy gap is
+5.6x.  Real FaaS load is bursty and diurnal — and at partial load the
+gap *widens*, because idle SBCs power off while the rack server keeps
+burning its 60 W floor.  This example replays three synthetic traces
+(steady Poisson, diurnal, bursty) against both clusters and reports
+J/function, the efficiency ratio, and a 10-second latency SLO.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.cluster import ConventionalCluster, MicroFaaSCluster, replay_trace
+from repro.experiments.report import format_table
+from repro.sim.rng import RandomStreams
+from repro.workloads.traces import bursty_trace, diurnal_trace, poisson_trace
+
+DURATION_S = 180.0
+
+TRACES = {
+    "steady (1.5/s)": lambda: poisson_trace(
+        1.5, DURATION_S, streams=RandomStreams(11)
+    ),
+    "diurnal (0.3-3/s)": lambda: diurnal_trace(
+        0.3, 3.0, period_s=90.0, duration_s=DURATION_S,
+        streams=RandomStreams(12),
+    ),
+    "bursty (0.2 / 8/s)": lambda: bursty_trace(
+        0.2, 8.0, mean_burst_s=8.0, mean_idle_s=30.0,
+        duration_s=DURATION_S, streams=RandomStreams(13),
+    ),
+}
+
+
+def main() -> None:
+    rows = []
+    for label, build in TRACES.items():
+        trace = build()
+        mf = replay_trace(MicroFaaSCluster(worker_count=10, seed=21), trace)
+        cv = replay_trace(ConventionalCluster(vm_count=6, seed=21), trace)
+        rows.append(
+            (
+                label,
+                len(trace),
+                f"{mf.joules_per_function:.1f}",
+                f"{cv.joules_per_function:.1f}",
+                f"{cv.joules_per_function / mf.joules_per_function:.1f}x",
+                f"{mf.telemetry.slo_attainment(10.0) * 100:.0f}%",
+                f"{cv.telemetry.slo_attainment(10.0) * 100:.0f}%",
+            )
+        )
+    print(
+        format_table(
+            ["trace", "jobs", "MF J/f", "Conv J/f", "ratio",
+             "MF SLO(10s)", "Conv SLO(10s)"],
+            rows,
+            title=f"Trace replay over {DURATION_S:.0f} s "
+                  "(saturated-headline ratio is 5.6x; partial load widens it)",
+        )
+    )
+    print(
+        "\nIdle conventional watts are charged to every function; idle "
+        "MicroFaaS boards cost 0.128 W. The lower the utilization, the "
+        "bigger MicroFaaS's win."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` path when no
+``[build-system]`` table is present).
+"""
+
+from setuptools import setup
+
+setup()

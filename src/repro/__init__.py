@@ -1,0 +1,36 @@
+"""MicroFaaS reproduction library.
+
+A full-system reproduction of *MicroFaaS: Energy-efficient Serverless on
+Bare-metal Single-board Computers* (Byrne et al., DATE 2022): the
+orchestration platform, the SBC and rack-server hardware models, the worker
+OS boot pipeline, the virtualization substrate, the backend services, the
+17-function workload suite, and the full evaluation (Figs. 1/3/4/5,
+Tables I/II, and the headline throughput/energy numbers).
+
+Public API highlights
+---------------------
+- :mod:`repro.cluster` — build and run the MicroFaaS and conventional
+  clusters in simulation.
+- :mod:`repro.runtime` — run the 17 workload functions *for real* on a
+  thread-based local FaaS platform.
+- :mod:`repro.experiments` — regenerate every table and figure.
+- :mod:`repro.tco` — the Cui et al. total-cost-of-ownership model.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bootos",
+    "cluster",
+    "core",
+    "energy",
+    "experiments",
+    "hardware",
+    "net",
+    "runtime",
+    "services",
+    "sim",
+    "tco",
+    "virt",
+    "workloads",
+]

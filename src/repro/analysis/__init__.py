@@ -1,0 +1,25 @@
+"""Analytic performance models, validated against the simulator.
+
+- :mod:`repro.analysis.queueing` — the MicroFaaS cluster as a queueing
+  system: Pollaczek-Khinchine for the paper's random-sampling policy
+  (c independent M/G/1 queues) and Erlang-C/Allen-Cunneen for
+  least-loaded routing (≈ one M/G/c queue).  Quantifies analytically
+  the queue-imbalance tax the scheduling ablation measures.
+- :mod:`repro.analysis.sizing` — SLO-driven fleet sizing: the smallest
+  worker count whose predicted latency meets a target at a given
+  arrival rate.
+"""
+
+from repro.analysis.queueing import (
+    ClusterQueueModel,
+    erlang_c,
+    service_moments,
+)
+from repro.analysis.sizing import size_for_slo
+
+__all__ = [
+    "ClusterQueueModel",
+    "erlang_c",
+    "service_moments",
+    "size_for_slo",
+]

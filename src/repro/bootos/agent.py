@@ -1,0 +1,117 @@
+"""The worker agent: the software a booted worker runs.
+
+The initramfs ships a tiny ``worker-agent`` (Sec. IV-A) that connects
+to the OP, receives exactly one invocation, executes it under
+MicroPython, returns the result, and asks for a reboot — the
+single-tenant, run-to-completion contract in code.  This module
+implements that agent against the real wire protocol
+(:mod:`repro.core.protocol`) and the real workload registry, so a full
+OP↔agent exchange can be driven byte-for-byte in tests and examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.core.protocol import (
+    ErrorMessage,
+    InvokeMessage,
+    Message,
+    PingMessage,
+    PongMessage,
+    ProtocolError,
+    ResultMessage,
+    decode_stream,
+    encode_message,
+)
+from repro.workloads.base import ServiceBundle, get_function
+
+
+class AgentState(enum.Enum):
+    """Lifecycle of the agent between boot and reboot."""
+
+    AWAITING_INVOKE = "awaiting_invoke"
+    DONE = "done"  # one job served; a reboot is required before the next
+
+
+class WorkerAgent:
+    """A single-tenant, run-to-completion worker agent."""
+
+    def __init__(self, services: Optional[ServiceBundle] = None):
+        self.services = services if services is not None else ServiceBundle()
+        self.state = AgentState.AWAITING_INVOKE
+        self.jobs_served = 0
+        self.reboots = 0
+        self._buffer = b""
+
+    # -- byte-stream interface ---------------------------------------------------
+
+    def handle_bytes(self, data: bytes) -> List[bytes]:
+        """Feed received bytes; returns encoded reply frames.
+
+        Implements socket-reader semantics: partial frames are buffered,
+        multiple frames are all processed.
+        """
+        self._buffer += data
+        replies: List[bytes] = []
+        while True:
+            message, self._buffer = decode_stream(self._buffer)
+            if message is None:
+                return replies
+            reply = self.handle_message(message)
+            if reply is not None:
+                replies.append(encode_message(reply))
+
+    # -- message interface ----------------------------------------------------------
+
+    def handle_message(self, message: Message) -> Optional[Message]:
+        """Process one decoded message, returning the reply (if any)."""
+        if isinstance(message, PingMessage):
+            return PongMessage(nonce=message.nonce)
+        if isinstance(message, InvokeMessage):
+            return self._invoke(message)
+        raise ProtocolError(
+            f"agent cannot handle {type(message).__name__} messages"
+        )
+
+    def _invoke(self, message: InvokeMessage) -> Message:
+        if self.state is AgentState.DONE:
+            # Single tenancy: a second job on an unclean worker is a
+            # contract violation — the OP must reboot us first.
+            return ErrorMessage(
+                job_id=message.job_id,
+                error="worker is tainted; reboot required before next job",
+            )
+        try:
+            function = get_function(message.function)
+            result = function.run(message.payload, self.services)
+        except Exception as exc:  # report, never crash the agent
+            self.state = AgentState.DONE
+            return ErrorMessage(
+                job_id=message.job_id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        self.state = AgentState.DONE
+        self.jobs_served += 1
+        return ResultMessage(job_id=message.job_id, result=result)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def wants_reboot(self) -> bool:
+        """True once the agent has served (or failed) its job."""
+        return self.state is AgentState.DONE
+
+    def reboot(self) -> None:
+        """Simulate the clean-state reboot: fresh buffer, fresh state.
+
+        The services bundle survives — it lives on the backend SBCs, not
+        on the worker.
+        """
+        self.state = AgentState.AWAITING_INVOKE
+        self._buffer = b""
+        self.reboots += 1
+
+
+__all__ = ["AgentState", "WorkerAgent"]

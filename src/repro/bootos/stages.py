@@ -1,0 +1,193 @@
+"""Boot pipeline stages for the worker OS.
+
+A boot is a strictly sequential pipeline of stages.  Each stage has a
+*real* (wall-clock) duration and a *CPU fraction* — the share of that
+wall time during which the CPU is not idle.  Fig. 1 of the paper reports
+both totals ("Real" and "CPU"), so the model carries both.
+
+Two baselines exist:
+
+- ``arm`` — a stock distribution on the BeagleBone Black, dominated by a
+  full U-Boot, a generic kernel, Ethernet autonegotiation, and DHCP.
+- ``x86`` — a stock guest under the QEMU microVM, where the firmware is
+  already light and virtio NICs have no PHY, but the generic kernel and
+  DHCP still dominate.
+
+The durations are calibrated so that applying the paper's full
+optimization history (:mod:`repro.bootos.optimizations`) lands on the
+published 1.51 s (ARM) and 0.96 s (x86) final boot times.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List
+
+
+class StageName(enum.Enum):
+    """The stages of the worker boot pipeline, in execution order."""
+
+    BOOTLOADER = "bootloader"
+    KERNEL_INIT = "kernel_init"
+    DRIVER_INIT = "driver_init"
+    NIC_AUTONEG = "nic_autoneg"
+    PHY_RESET = "phy_reset"
+    ROOTFS_MOUNT = "rootfs_mount"
+    USERSPACE_INIT = "userspace_init"
+    NETWORK_CONFIG = "network_config"
+
+
+#: Canonical execution order of the pipeline.
+STAGE_ORDER: List[StageName] = list(StageName)
+
+
+@dataclass(frozen=True)
+class BootStage:
+    """One stage of the boot pipeline."""
+
+    name: StageName
+    real_s: float
+    cpu_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.real_s < 0:
+            raise ValueError(f"negative stage duration: {self.real_s}")
+        if not 0.0 <= self.cpu_fraction <= 1.0:
+            raise ValueError(
+                f"cpu_fraction must be in [0, 1], got {self.cpu_fraction}"
+            )
+
+    @property
+    def cpu_s(self) -> float:
+        """CPU-busy seconds within this stage."""
+        return self.real_s * self.cpu_fraction
+
+
+class BootSequence:
+    """An ordered boot pipeline for one platform.
+
+    Immutable in spirit: transformations return new sequences.
+    """
+
+    def __init__(self, platform: str, stages: Iterable[BootStage]):
+        if platform not in ("arm", "x86"):
+            raise ValueError(f"unknown platform {platform!r}")
+        stage_list = list(stages)
+        names = [s.name for s in stage_list]
+        if names != [n for n in STAGE_ORDER if n in set(names)]:
+            raise ValueError("stages out of canonical order or duplicated")
+        self.platform = platform
+        self._stages: Dict[StageName, BootStage] = {s.name: s for s in stage_list}
+
+    def __iter__(self) -> Iterator[BootStage]:
+        for name in STAGE_ORDER:
+            if name in self._stages:
+                yield self._stages[name]
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def stage(self, name: StageName) -> BootStage:
+        """Look up a stage by name."""
+        return self._stages[name]
+
+    @property
+    def real_s(self) -> float:
+        """Total wall-clock boot time."""
+        return sum(s.real_s for s in self)
+
+    @property
+    def cpu_s(self) -> float:
+        """Total CPU-busy time during boot (as the kernel would report)."""
+        return sum(s.cpu_s for s in self)
+
+    def with_stage(
+        self,
+        name: StageName,
+        real_s: float = None,
+        cpu_fraction: float = None,
+    ) -> "BootSequence":
+        """Return a copy with one stage's parameters replaced."""
+        current = self._stages[name]
+        updated = replace(
+            current,
+            real_s=current.real_s if real_s is None else real_s,
+            cpu_fraction=(
+                current.cpu_fraction if cpu_fraction is None else cpu_fraction
+            ),
+        )
+        stages = [updated if s.name == name else s for s in self]
+        return BootSequence(self.platform, stages)
+
+    def scaled_stage(self, name: StageName, factor: float) -> "BootSequence":
+        """Return a copy with one stage's real duration scaled."""
+        if factor < 0:
+            raise ValueError(f"negative scale factor: {factor}")
+        return self.with_stage(name, real_s=self._stages[name].real_s * factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BootSequence {self.platform} real={self.real_s:.2f}s "
+            f"cpu={self.cpu_s:.2f}s>"
+        )
+
+
+def baseline_sequence(platform: str) -> BootSequence:
+    """The unoptimized, stock-distribution boot pipeline for a platform."""
+    if platform == "arm":
+        return BootSequence(
+            "arm",
+            [
+                # Full U-Boot with environment probing and boot delay.
+                BootStage(StageName.BOOTLOADER, 2.80, 0.80),
+                # Generic distro kernel: decompress + init every subsystem.
+                BootStage(StageName.KERNEL_INIT, 3.20, 0.90),
+                # Probe all compiled-in drivers.
+                BootStage(StageName.DRIVER_INIT, 1.60, 0.50),
+                # IEEE 802.3 autonegotiation handshake (pure waiting).
+                BootStage(StageName.NIC_AUTONEG, 2.50, 0.02),
+                # Vendor driver resets the PHY on init.
+                BootStage(StageName.PHY_RESET, 0.60, 0.05),
+                # Mount an ext4 root from eMMC.
+                BootStage(StageName.ROOTFS_MOUNT, 1.40, 0.60),
+                # Full init system plus Python runtime start.
+                BootStage(StageName.USERSPACE_INIT, 2.60, 0.85),
+                # DHCP lease acquisition.
+                BootStage(StageName.NETWORK_CONFIG, 1.90, 0.20),
+            ],
+        )
+    if platform == "x86":
+        return BootSequence(
+            "x86",
+            [
+                # SeaBIOS-style firmware under stock QEMU.
+                BootStage(StageName.BOOTLOADER, 1.20, 0.80),
+                BootStage(StageName.KERNEL_INIT, 2.40, 0.90),
+                BootStage(StageName.DRIVER_INIT, 0.90, 0.50),
+                # virtio-net has no copper PHY: no autonegotiation delay.
+                BootStage(StageName.NIC_AUTONEG, 0.00, 0.0),
+                BootStage(StageName.PHY_RESET, 0.00, 0.0),
+                BootStage(StageName.ROOTFS_MOUNT, 1.00, 0.60),
+                BootStage(StageName.USERSPACE_INIT, 2.20, 0.85),
+                BootStage(StageName.NETWORK_CONFIG, 1.20, 0.20),
+            ],
+        )
+    raise ValueError(f"unknown platform {platform!r}")
+
+
+def optimized_sequence(platform: str) -> BootSequence:
+    """The fully optimized worker-OS pipeline (all Fig. 1 changes applied)."""
+    from repro.bootos.optimizations import DEVELOPMENT_HISTORY, apply_all
+
+    return apply_all(baseline_sequence(platform), DEVELOPMENT_HISTORY)
+
+
+__all__ = [
+    "BootSequence",
+    "BootStage",
+    "STAGE_ORDER",
+    "StageName",
+    "baseline_sequence",
+    "optimized_sequence",
+]

@@ -1,0 +1,118 @@
+"""Command-line interface: regenerate paper artifacts from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig1
+    python -m repro table2
+    python -m repro headline --invocations 60
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    fig1_boot,
+    fig3_runtime,
+    fig4_vmsweep,
+    fig5_power,
+    hardware_selection,
+    headline,
+    scale_study,
+    table1_workloads,
+    table2_tco,
+)
+
+#: artifact name -> (description, runner(invocations) -> rendered text)
+ARTIFACTS: Dict[str, tuple] = {
+    "fig1": (
+        "worker-OS boot-time trajectory (1.51 s ARM / 0.96 s x86)",
+        lambda n: fig1_boot.render(fig1_boot.run()),
+    ),
+    "table1": (
+        "the 17-function workload suite, executed live",
+        lambda n: table1_workloads.render(table1_workloads.run(scale=0.05)),
+    ),
+    "fig3": (
+        "per-function Working/Overhead split on both clusters",
+        lambda n: fig3_runtime.render(
+            fig3_runtime.run(invocations_per_function=n)
+        ),
+    ),
+    "fig4": (
+        "energy efficiency & throughput vs VM count",
+        lambda n: fig4_vmsweep.render(
+            fig4_vmsweep.run(invocations_per_function=max(4, n // 3))
+        ),
+    ),
+    "fig5": (
+        "power vs active workers (energy proportionality)",
+        lambda n: fig5_power.render(fig5_power.run(invocations=max(3, n // 4))),
+    ),
+    "table2": (
+        "5-year TCO comparison (exact to the dollar)",
+        lambda n: table2_tco.render(table2_tco.run()),
+    ),
+    "headline": (
+        "throughput match + the 5.6x energy headline",
+        lambda n: headline.render(headline.run(invocations_per_function=n)),
+    ),
+    "hardware": (
+        "candidate worker boards compared (extension)",
+        lambda n: hardware_selection.render(
+            hardware_selection.run(invocations_per_function=n)
+        ),
+    ),
+    "scale": (
+        "the prototype architecture at fleet scale (extension)",
+        lambda n: scale_study.render(
+            scale_study.run(
+                worker_counts=(10, 100, 400, 800),
+                jobs_per_worker=max(2, n // 8),
+            )
+        ),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MicroFaaS (DATE 2022) reproduction harness",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all", "list"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--invocations",
+        type=int,
+        default=30,
+        help="invocations per function for simulation-backed artifacts",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.invocations < 1:
+        print("error: --invocations must be >= 1", file=sys.stderr)
+        return 2
+    if args.artifact == "list":
+        for name in sorted(ARTIFACTS):
+            print(f"{name:9s} {ARTIFACTS[name][0]}")
+        return 0
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        print(ARTIFACTS[name][1](args.invocations))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

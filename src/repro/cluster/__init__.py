@@ -1,0 +1,29 @@
+"""Cluster builders: the two test clusters of Sec. IV/V.
+
+- :class:`MicroFaaSCluster` — N single-board computers behind a managed
+  switch, orchestrated run-to-completion with GPIO power control.
+- :class:`ConventionalCluster` — M QEMU-style microVMs on one rack
+  server, modelling a conventional virtualization-based FaaS platform.
+
+Both expose the same ``run_saturated`` / ``run_paper_arrivals`` entry
+points and produce a :class:`ClusterResult` with throughput, energy, and
+telemetry — the quantities every Sec. V experiment is computed from.
+"""
+
+from repro.cluster.conventional import ConventionalCluster
+from repro.cluster.matching import match_vm_count
+from repro.cluster.microfaas import MicroFaaSCluster
+from repro.cluster.replay import replay_trace
+from repro.cluster.result import ClusterResult
+from repro.cluster.worker import SbcWorker
+from repro.cluster.vmworker import VmWorker
+
+__all__ = [
+    "ClusterResult",
+    "ConventionalCluster",
+    "MicroFaaSCluster",
+    "SbcWorker",
+    "VmWorker",
+    "match_vm_count",
+    "replay_trace",
+]

@@ -1,0 +1,206 @@
+"""The conventional virtualization-based test cluster (Sec. V).
+
+M QEMU-style microVMs (1 vCPU, 512 MB each) on one Thinkmate RAX rack
+server, bridged onto the testbed switch.  The host is metered at the
+wall — so its 60 W idle draw and concave utilization curve, not just
+the guests' activity, determine the cluster's J/function.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.cluster.result import ClusterResult
+from repro.cluster.vmworker import VmWorker
+from repro.core.lifecycle import RunToCompletionPolicy
+from repro.core.orchestrator import Orchestrator
+from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
+from repro.hardware.meter import PowerMeter
+from repro.hardware.rackserver import RackServer
+from repro.hardware.specs import (
+    GIGABIT_ETHERNET,
+    RackServerSpec,
+    SwitchSpec,
+    TESTBED_SWITCH,
+    THINKMATE_RAX,
+)
+from repro.net.link import Endpoint
+from repro.net.switch import Switch
+from repro.net.topology import NetworkTopology
+from repro.net.transfer import TransferModel
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.microvm import MicroVm
+from repro.virt.overhead import VirtualizationOverhead
+from repro.workloads.base import ALL_FUNCTION_NAMES
+
+
+class ConventionalCluster:
+    """M microVMs on one rack server — the paper's baseline platform."""
+
+    def __init__(
+        self,
+        vm_count: int = 6,
+        server_spec: RackServerSpec = THINKMATE_RAX,
+        policy: Optional[AssignmentPolicy] = None,
+        worker_policy: Optional[RunToCompletionPolicy] = None,
+        overhead: VirtualizationOverhead = VirtualizationOverhead(),
+        quantum_s: float = 0.1,
+        seed: int = 0,
+        jitter_sigma: float = 0.06,
+        include_switch_power: bool = False,
+    ):
+        if vm_count < 1:
+            raise ValueError("need at least one VM")
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.include_switch_power = include_switch_power
+
+        self.server = RackServer(lambda: self.env.now, server_spec)
+        self.hypervisor = Hypervisor(
+            self.env, self.server, overhead=overhead, quantum_s=quantum_s
+        )
+        if vm_count > self.hypervisor.max_vms():
+            raise ValueError(
+                f"host RAM holds at most {self.hypervisor.max_vms()} VMs, "
+                f"requested {vm_count}"
+            )
+
+        self.topology = NetworkTopology()
+        self.switch = Switch(lambda: self.env.now, TESTBED_SWITCH, name="switch")
+        self.topology.add_switch(self.switch)
+        # All VMs share the host's one physical NIC: a software bridge
+        # inside the host trunks their virtio NICs onto the switch.
+        bridge_spec = SwitchSpec(
+            name="host software bridge",
+            ports=self.hypervisor.max_vms() + 2,
+            watts=0.0,  # accounted in the host's own power curve
+            unit_cost_usd=0.0,
+            forwarding_latency_s=5e-6,
+        )
+        self.bridge = Switch(
+            lambda: self.env.now, bridge_spec, name="host-bridge"
+        )
+        self.topology.add_switch(self.bridge)
+        self.topology.connect_switches("host-bridge", "switch", 1e9)
+        self.topology.attach_endpoint(
+            Endpoint("op", GIGABIT_ETHERNET, "x86-bare"), "switch"
+        )
+        self.topology.attach_endpoint(
+            Endpoint("backend", GIGABIT_ETHERNET, "x86-bare"), "switch"
+        )
+        self.transfers = TransferModel(self.topology)
+
+        self.orchestrator = Orchestrator(
+            self.env,
+            policy=policy
+            if policy is not None
+            else RandomSamplingPolicy(random.Random(seed)),
+        )
+
+        self.vms: List[MicroVm] = []
+        self.workers: List[VmWorker] = []
+        default_policy = RunToCompletionPolicy(
+            reboot_between_jobs=True, power_off_when_idle=False
+        )
+        for vm_id in range(vm_count):
+            vm = MicroVm(self.env, self.hypervisor, vm_id=vm_id)
+            endpoint_name = f"vm-{vm_id}"
+            self.topology.attach_endpoint(
+                Endpoint(endpoint_name, GIGABIT_ETHERNET, "x86-virtio"),
+                "host-bridge",
+            )
+            queue = self.orchestrator.add_worker()
+            worker = VmWorker(
+                self.env,
+                vm,
+                queue,
+                self.orchestrator,
+                self.transfers,
+                orchestrator_endpoint="op",
+                endpoint=endpoint_name,
+                policy=worker_policy or default_policy,
+                streams=self.streams,
+                jitter_sigma=jitter_sigma,
+            )
+            self.vms.append(vm)
+            self.workers.append(worker)
+
+        self.meter = PowerMeter(self.env, self.cluster_watts)
+
+    # -- measurement ------------------------------------------------------------------
+
+    def cluster_watts(self) -> float:
+        """Wall draw of the host (plus the switch if configured)."""
+        watts = self.server.watts
+        if self.include_switch_power:
+            watts += self.switch.watts
+        return watts
+
+    def energy_joules(self, start: float, end: float) -> float:
+        total = self.server.trace.energy_joules(start, end)
+        if self.include_switch_power:
+            total += self.switch.trace.energy_joules(start, end)
+        return total
+
+    # -- experiment entry points ---------------------------------------------------------
+
+    def run_saturated(
+        self,
+        functions: Sequence[str] = tuple(ALL_FUNCTION_NAMES),
+        invocations_per_function: int = 10,
+    ) -> ClusterResult:
+        """Issue all invocations at t=0 and run until the last completes."""
+        if invocations_per_function < 1:
+            raise ValueError("invocations_per_function must be >= 1")
+        batch = [
+            function
+            for _ in range(invocations_per_function)
+            for function in functions
+        ]
+        self.orchestrator.submit_batch(batch)
+        done = self.orchestrator.wait_all()
+        self.env.run(until=done)
+        duration = self.env.now
+        return ClusterResult(
+            platform="conventional",
+            worker_count=len(self.workers),
+            jobs_completed=self.orchestrator.telemetry.count,
+            duration_s=duration,
+            energy_joules=self.energy_joules(0.0, duration),
+            telemetry=self.orchestrator.telemetry,
+        )
+
+    def run_paper_arrivals(
+        self,
+        functions: Sequence[str] = tuple(ALL_FUNCTION_NAMES),
+        jobs_per_second: int = 2,
+        total_jobs: int = 170,
+    ) -> ClusterResult:
+        """Sec. IV-D arrivals against the conventional cluster."""
+        arrivals = self.env.process(
+            self.orchestrator.paper_arrival_process(
+                list(functions), jobs_per_second, total_jobs
+            ),
+            name="arrivals",
+        )
+
+        def runner():
+            yield arrivals
+            yield self.orchestrator.wait_all()
+
+        self.env.run(until=self.env.process(runner(), name="drain"))
+        duration = self.env.now
+        return ClusterResult(
+            platform="conventional",
+            worker_count=len(self.workers),
+            jobs_completed=self.orchestrator.telemetry.count,
+            duration_s=duration,
+            energy_joules=self.energy_joules(0.0, duration),
+            telemetry=self.orchestrator.telemetry,
+        )
+
+
+__all__ = ["ConventionalCluster"]

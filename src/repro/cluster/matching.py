@@ -1,0 +1,95 @@
+"""Throughput matching between the two clusters.
+
+The paper sizes its conventional cluster so both clusters execute
+"roughly the same number of functions per minute": the 10-SBC MicroFaaS
+cluster sustains 200.6 func/min, and six VMs (211.7 func/min) are the
+smallest count that meets it.  :func:`match_vm_count` reproduces that
+sizing decision analytically from the calibrated profiles.
+"""
+
+from __future__ import annotations
+
+from repro.bootos.stages import optimized_sequence
+from repro.net.transfer import SESSION_OVERHEAD_S
+from repro.workloads.base import ALL_FUNCTION_NAMES
+from repro.workloads.profiles import PROFILES
+
+#: Effective payload bandwidths of the two worker classes.
+_ARM_GOODPUT_BPS = 90e6
+_X86_GOODPUT_BPS = 940e6
+_ARM_RTT_S = 2 * (120e-6 + 60e-6 + 20e-6)
+_X86_RTT_S = 2 * (280e-6 + 60e-6 + 20e-6)
+
+
+def mean_cycle_s(platform: str) -> float:
+    """Mean worker-occupancy per invocation over the 17-function mix."""
+    if platform == "arm":
+        boot = optimized_sequence("arm").real_s
+        session, goodput, rtt = (
+            SESSION_OVERHEAD_S["arm-bare"], _ARM_GOODPUT_BPS, _ARM_RTT_S,
+        )
+    elif platform == "x86":
+        boot = optimized_sequence("x86").real_s
+        session, goodput, rtt = (
+            SESSION_OVERHEAD_S["x86-virtio"], _X86_GOODPUT_BPS, _X86_RTT_S,
+        )
+    else:
+        raise ValueError(f"unknown platform {platform!r}")
+    cycles = []
+    for name in ALL_FUNCTION_NAMES:
+        profile = PROFILES[name]
+        payload = profile.input_bytes + profile.output_bytes
+        overhead = session + payload * 8 / goodput + rtt
+        cycles.append(boot + profile.work_s(platform) + overhead)
+    return sum(cycles) / len(cycles)
+
+
+def microfaas_throughput_per_min(worker_count: int) -> float:
+    """Capacity of an N-SBC MicroFaaS cluster, functions per minute."""
+    if worker_count < 1:
+        raise ValueError("worker_count must be >= 1")
+    return worker_count * 60.0 / mean_cycle_s("arm")
+
+
+def vm_throughput_per_min(vm_count: int, cores: int = 12) -> float:
+    """Capacity of an M-VM conventional cluster, functions per minute.
+
+    Below CPU saturation each 1-vCPU VM completes one cycle at a time;
+    past saturation the host's cores bound aggregate CPU throughput.
+    """
+    if vm_count < 1:
+        raise ValueError("vm_count must be >= 1")
+    unconstrained = vm_count * 60.0 / mean_cycle_s("x86")
+    boot_cpu = optimized_sequence("x86").cpu_s
+    mean_cpu = boot_cpu + sum(
+        PROFILES[name].work_x86_s * PROFILES[name].cpu_fraction_x86
+        for name in ALL_FUNCTION_NAMES
+    ) / len(ALL_FUNCTION_NAMES)
+    cpu_bound = cores * 60.0 / mean_cpu
+    return min(unconstrained, cpu_bound)
+
+
+def match_vm_count(
+    sbc_count: int = 10,
+    cores: int = 12,
+    max_vms: int = 25,
+) -> int:
+    """Smallest VM count whose throughput meets the MicroFaaS cluster's.
+
+    For the paper's configuration (10 SBCs) this returns 6.
+    """
+    target = microfaas_throughput_per_min(sbc_count)
+    for vm_count in range(1, max_vms + 1):
+        if vm_throughput_per_min(vm_count, cores) >= target:
+            return vm_count
+    raise ValueError(
+        f"no VM count up to {max_vms} matches {target:.1f} func/min"
+    )
+
+
+__all__ = [
+    "match_vm_count",
+    "mean_cycle_s",
+    "microfaas_throughput_per_min",
+    "vm_throughput_per_min",
+]

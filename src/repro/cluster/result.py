@@ -1,0 +1,63 @@
+"""Cluster run results.
+
+A :class:`ClusterResult` is what one experiment run produces: the
+telemetry collector (per-invocation records), the energy measured over
+the run window, and derived aggregates (throughput, J/function, average
+power) — i.e. the numbers Sec. V reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.telemetry import TelemetryCollector
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of one cluster workload run."""
+
+    platform: str  # "microfaas" or "conventional"
+    worker_count: int
+    jobs_completed: int
+    duration_s: float
+    energy_joules: float
+    telemetry: TelemetryCollector
+
+    def __post_init__(self) -> None:
+        if self.jobs_completed < 0:
+            raise ValueError("negative completion count")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.energy_joules < 0:
+            raise ValueError("negative energy")
+
+    @property
+    def throughput_per_min(self) -> float:
+        """Completed functions per minute over the run."""
+        return self.jobs_completed * 60.0 / self.duration_s
+
+    @property
+    def joules_per_function(self) -> float:
+        """The paper's headline efficiency metric."""
+        if self.jobs_completed == 0:
+            raise ValueError("no completed jobs")
+        return self.energy_joules / self.jobs_completed
+
+    @property
+    def average_watts(self) -> float:
+        """Mean cluster power over the run."""
+        return self.energy_joules / self.duration_s
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.platform}: {self.worker_count} workers, "
+            f"{self.jobs_completed} jobs in {self.duration_s:.1f} s "
+            f"({self.throughput_per_min:.1f} func/min, "
+            f"{self.joules_per_function:.2f} J/func, "
+            f"{self.average_watts:.1f} W avg)"
+        )
+
+
+__all__ = ["ClusterResult"]

@@ -1,0 +1,220 @@
+"""SBC worker process: the MicroFaaS run-to-completion loop.
+
+One :class:`SbcWorker` drives one BeagleBone through the Sec. IV-D
+lifecycle: sleep powered-off → GPIO wake on job assignment → boot the
+worker OS (1.51 s) → receive input → execute (CPU phase + backend I/O
+phase) → return result → reboot for the next job or power back off.
+
+Execution timing comes from the calibrated function profiles with
+per-invocation lognormal jitter (mean-preserving, so the cluster-level
+calibration holds); the input/result overhead comes from the network
+transfer model, so payload sizes and NIC speed determine Fig. 3's
+overhead bars.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bootos.stages import optimized_sequence
+from repro.core.job import Job, JobStatus
+from repro.core.lifecycle import RunToCompletionPolicy
+from repro.core.orchestrator import Orchestrator
+from repro.core.queue import WorkerQueue
+from repro.core.telemetry import InvocationRecord
+from repro.hardware.sbc import SingleBoardComputer
+from repro.net.transfer import TransferModel
+from repro.services.latency import ServiceLatencyModel
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.rng import RandomStreams
+from repro.workloads.profiles import PROFILES, profile_for
+
+
+class SbcWorker:
+    """One SBC worker node bound to its queue and the OP."""
+
+    def __init__(
+        self,
+        env: Environment,
+        sbc: SingleBoardComputer,
+        queue: WorkerQueue,
+        orchestrator: Orchestrator,
+        transfers: TransferModel,
+        orchestrator_endpoint: str,
+        endpoint: str,
+        policy: RunToCompletionPolicy = RunToCompletionPolicy.paper_default(),
+        streams: Optional[RandomStreams] = None,
+        jitter_sigma: float = 0.06,
+        service_latency: ServiceLatencyModel = ServiceLatencyModel(),
+        profiles=None,
+        control_plane=None,
+        backend=None,
+    ):
+        self.env = env
+        self.sbc = sbc
+        self.control_plane = control_plane
+        self.backend = backend
+        self.queue = queue
+        self.orchestrator = orchestrator
+        self.transfers = transfers
+        self.orchestrator_endpoint = orchestrator_endpoint
+        self.endpoint = endpoint
+        self.policy = policy
+        self.streams = (
+            streams if streams is not None else RandomStreams(0)
+        ).spawn(f"sbc-{sbc.node_id}")
+        self.jitter_sigma = jitter_sigma
+        self.service_latency = service_latency
+        self.profiles = PROFILES if profiles is None else profiles
+        self.boot_real_s = (
+            optimized_sequence("arm").real_s * sbc.spec.boot_time_scale
+        )
+        # Profiles are calibrated for the BeagleBone Black; other boards
+        # scale by relative CPU speed.
+        from repro.hardware.specs import BEAGLEBONE_BLACK
+
+        self._speed_factor = (
+            BEAGLEBONE_BLACK.relative_speed / sbc.spec.relative_speed
+        )
+        #: When True (set by a warm-pool controller) the worker pre-boots
+        #: after each job and idles powered-on instead of powering off,
+        #: so the next tenant starts with zero boot latency.
+        self.keep_warm = False
+        #: Job currently executing (fault recovery reads this).
+        self.current_job: Optional[Job] = None
+        self._pending_pop = None
+        self.process = env.process(self._run(), name=f"sbc-worker-{sbc.node_id}")
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _jitter(self) -> float:
+        """Mean-1 multiplicative jitter (lognormal, bias-corrected)."""
+        if self.jitter_sigma == 0:
+            return 1.0
+        import math
+
+        raw = self.streams.lognormal_factor("jitter", self.jitter_sigma)
+        return raw * math.exp(-self.jitter_sigma**2 / 2)
+
+    def _boot(self):
+        """Run the boot timeline; the SBC must already be in BOOT state."""
+        yield self.env.timeout(self.boot_real_s)
+        self.sbc.boot_complete()
+
+    # -- the worker loop --------------------------------------------------------------
+
+    def _run(self):
+        try:
+            yield from self._serve()
+        except Interrupt:
+            # The board lost power mid-operation (fault injection).  A
+            # pending queue claim must be withdrawn so no job is handed
+            # to a dead worker.
+            if self._pending_pop is not None:
+                self.queue.cancel_pop(self._pending_pop)
+            return
+
+    def _serve(self):
+        while True:
+            pop_event = self.queue.pop()
+            self._pending_pop = pop_event
+            job: Job = yield pop_event
+            self._pending_pop = None
+            self.current_job = job
+            # Service (including the boot this job pays) starts now; the
+            # queue wait ends at the pop.
+            job.transition(JobStatus.RUNNING, self.env.now)
+            boot_s = 0.0
+            # The OP's GPIO hook powers us on at enqueue; if this worker
+            # was built without a wired line, wake up now.
+            if not self.sbc.is_powered:
+                self.sbc.power_on()
+            if self.sbc.state.value == "boot":
+                start = self.env.now
+                yield from self._boot()
+                boot_s = self.env.now - start
+            elif self.policy.reboot_between_jobs and not self.sbc.clean:
+                # Clean-state reboot before touching the next tenant's
+                # job.  A pre-booted (warm, still-clean) board skips
+                # this — that's the warm pool's cold-start win.
+                self.sbc.begin_reboot()
+                start = self.env.now
+                yield from self._boot()
+                boot_s = self.env.now - start
+            record = yield from self._execute(job, boot_s)
+            self.orchestrator.complete(job, record)
+            self.current_job = None
+            if self.queue.depth == 0 and self.keep_warm:
+                if self.policy.reboot_between_jobs:
+                    # Pre-boot now so the next tenant sees a clean,
+                    # already-booted board (cold-start masking).
+                    self.sbc.begin_reboot()
+                    yield from self._boot()
+            elif self.queue.depth == 0 and self.policy.power_off_when_idle:
+                if self.policy.idle_grace_s > 0:
+                    yield self.env.timeout(self.policy.idle_grace_s)
+                if self.queue.depth == 0 and not self.keep_warm:
+                    self.sbc.power_off()
+
+    def _execute(self, job: Job, boot_s: float):
+        profile = self.profiles[job.function]
+        inbound_start = self.env.now
+        # Receive the invocation input (overhead, I/O bound).  With a
+        # control-plane model, the OP must first find CPU to dispatch us.
+        self.sbc.start_io_wait()
+        if self.control_plane is not None:
+            yield from self.control_plane.dispatch()
+        inbound = self.transfers.transfer(
+            self.orchestrator_endpoint, self.endpoint, job.input_bytes
+        )
+        yield self.env.timeout(inbound.total_s)
+        # Session overhead: TCP setup + payload codec on the slow core.
+        from repro.net.transfer import SESSION_OVERHEAD_S
+
+        session_s = SESSION_OVERHEAD_S["arm-bare"]
+        yield self.env.timeout(session_s)
+        inbound_overhead_s = self.env.now - inbound_start
+        # Execute the function body: CPU phase, then backend I/O phase.
+        # A faster board shrinks only the CPU phase — backend waits are
+        # the services' problem, not the worker's.
+        nominal_s = profile.work_arm_s * self._jitter()
+        cpu_s = nominal_s * profile.cpu_fraction_arm * self._speed_factor
+        io_s = nominal_s * (1 - profile.cpu_fraction_arm)
+        working_start = self.env.now
+        if cpu_s > 0:
+            self.sbc.start_compute()
+            yield self.env.timeout(cpu_s)
+        if io_s > 0:
+            self.sbc.start_io_wait()
+            if self.backend is not None and profile.service_op is not None:
+                # Contended backends queue the service share of the wait.
+                yield from self.backend.serve(profile.service_op, io_s)
+            else:
+                yield self.env.timeout(io_s)
+        working_s = self.env.now - working_start
+        # Return the result (overhead); the OP must ingest it.
+        outbound_start = self.env.now
+        self.sbc.start_io_wait()
+        outbound = self.transfers.transfer(
+            self.endpoint, self.orchestrator_endpoint, job.output_bytes
+        )
+        yield self.env.timeout(outbound.total_s)
+        if self.control_plane is not None:
+            yield from self.control_plane.collect()
+        self.sbc.finish_job()
+        overhead_s = inbound_overhead_s + (self.env.now - outbound_start)
+        return InvocationRecord(
+            job_id=job.job_id,
+            function=job.function,
+            worker_id=self.sbc.node_id,
+            platform="arm",
+            t_queued=job.t_queued,
+            t_started=job.t_started,
+            t_completed=self.env.now,
+            boot_s=boot_s,
+            working_s=working_s,
+            overhead_s=overhead_s,
+        )
+
+
+__all__ = ["SbcWorker"]

@@ -1,0 +1,112 @@
+"""Jobs and their lifecycle.
+
+A :class:`Job` is one function invocation travelling through the
+platform: submitted to the OP, assigned to a worker queue, executed
+run-to-completion, and completed with its result timestamps.  The
+timestamps mirror what the paper's OP and workers record (Sec. V uses
+them to split runtime into *Working* and *Overhead*).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle states of a job."""
+
+    SUBMITTED = "submitted"
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+    def can_transition_to(self, new: "JobStatus") -> bool:
+        allowed = {
+            JobStatus.SUBMITTED: {JobStatus.QUEUED},
+            JobStatus.QUEUED: {JobStatus.RUNNING},
+            JobStatus.RUNNING: {JobStatus.COMPLETED, JobStatus.FAILED},
+            JobStatus.COMPLETED: set(),
+            JobStatus.FAILED: set(),
+        }
+        return new in allowed[self]
+
+
+@dataclass
+class Job:
+    """One function invocation."""
+
+    job_id: int
+    function: str
+    input_bytes: int
+    output_bytes: int
+    payload: Optional[Dict[str, Any]] = None
+    status: JobStatus = JobStatus.SUBMITTED
+    #: Timestamps (simulated seconds); None until the event happens.
+    t_submit: Optional[float] = None
+    t_queued: Optional[float] = None
+    t_started: Optional[float] = None
+    t_completed: Optional[float] = None
+    worker_id: Optional[int] = None
+    failure: Optional[str] = None
+    #: How many times the job has been (re)assigned after worker faults.
+    attempts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_bytes < 0 or self.output_bytes < 0:
+            raise ValueError("payload sizes must be non-negative")
+        if not self.function:
+            raise ValueError("job needs a function name")
+
+    def transition(self, new: JobStatus, now: float) -> None:
+        """Advance the lifecycle, stamping the matching timestamp."""
+        if not self.status.can_transition_to(new):
+            raise ValueError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.status.value} -> {new.value}"
+            )
+        self.status = new
+        if new is JobStatus.QUEUED:
+            self.t_queued = now
+        elif new is JobStatus.RUNNING:
+            self.t_started = now
+        elif new in (JobStatus.COMPLETED, JobStatus.FAILED):
+            self.t_completed = now
+
+    def reset_for_retry(self) -> None:
+        """Return a lost job (dead worker) to the submittable state.
+
+        Only queued or running jobs can be retried; completed/failed
+        jobs are terminal.
+        """
+        if self.status not in (JobStatus.QUEUED, JobStatus.RUNNING):
+            raise ValueError(
+                f"job {self.job_id}: cannot retry from {self.status.value}"
+            )
+        self.status = JobStatus.SUBMITTED
+        self.attempts += 1
+        self.t_started = None
+        self.worker_id = None
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status in (JobStatus.COMPLETED, JobStatus.FAILED)
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent waiting in a worker queue."""
+        if self.t_queued is None or self.t_started is None:
+            raise ValueError(f"job {self.job_id} has not started")
+        return self.t_started - self.t_queued
+
+    @property
+    def end_to_end_s(self) -> float:
+        """Submission to completion."""
+        if self.t_submit is None or self.t_completed is None:
+            raise ValueError(f"job {self.job_id} has not completed")
+        return self.t_completed - self.t_submit
+
+
+__all__ = ["Job", "JobStatus"]

@@ -1,0 +1,230 @@
+"""The orchestration platform (OP).
+
+Owns the per-worker queues, the assignment policy, the GPIO bank, and
+the telemetry collector.  Workers (built by :mod:`repro.cluster`) pull
+jobs from their queues and report completions back here.
+
+Job flow (Sec. IV-D): ``submit`` stamps the job, the policy picks a
+queue, the push triggers a GPIO power-on if that worker is sleeping, the
+worker boots/executes/reports, and ``wait_all`` lets experiments run the
+simulation until every submitted job has completed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.gpio import GpioBank
+from repro.core.job import Job, JobStatus
+from repro.core.queue import WorkerQueue
+from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
+from repro.core.telemetry import InvocationRecord, TelemetryCollector
+from repro.sim.kernel import Environment, Event
+from repro.workloads.profiles import profile_for
+
+
+class Orchestrator:
+    """The MicroFaaS control plane."""
+
+    def __init__(
+        self,
+        env: Environment,
+        policy: Optional[AssignmentPolicy] = None,
+        gpio: Optional[GpioBank] = None,
+    ):
+        self.env = env
+        self.policy = policy if policy is not None else RandomSamplingPolicy()
+        self.gpio = gpio if gpio is not None else GpioBank()
+        self.telemetry = TelemetryCollector()
+        self.queues: List[WorkerQueue] = []
+        self.jobs: Dict[int, Job] = {}
+        self.dead_workers: set = set()
+        self.resubmissions = 0
+        self._next_job_id = 0
+        self._submitted = 0
+        self._completed = 0
+        self._drain_events: List[Event] = []
+
+    # -- workers ---------------------------------------------------------------
+
+    def add_worker(self) -> WorkerQueue:
+        """Create the queue for a new worker, returning it."""
+        queue = WorkerQueue(self.env, worker_id=len(self.queues))
+        queue.on_enqueue(lambda _job, wid=queue.worker_id: self._wake(wid))
+        self.queues.append(queue)
+        return queue
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.queues)
+
+    def _wake(self, worker_id: int) -> None:
+        """Power on a sleeping worker when a job lands in its queue."""
+        try:
+            self.gpio.line(worker_id)
+        except KeyError:
+            return  # worker manages its own power (e.g. microVM host)
+        self.gpio.assert_power_on(worker_id)
+
+    def _is_powered(self, worker_id: int) -> bool:
+        try:
+            return self.gpio.line(worker_id).is_powered()
+        except KeyError:
+            return True
+
+    # -- worker health -------------------------------------------------------------
+
+    def mark_worker_dead(self, worker_id: int) -> None:
+        """Stop assigning jobs to a failed worker."""
+        if not 0 <= worker_id < len(self.queues):
+            raise KeyError(f"no worker {worker_id}")
+        self.dead_workers.add(worker_id)
+        if len(self.dead_workers) == len(self.queues):
+            raise RuntimeError("every worker is dead; cluster is lost")
+
+    def mark_worker_alive(self, worker_id: int) -> None:
+        """A replaced/repaired worker rejoins the assignment pool."""
+        self.dead_workers.discard(worker_id)
+
+    def _alive_queues(self) -> List[WorkerQueue]:
+        return [
+            queue for queue in self.queues
+            if queue.worker_id not in self.dead_workers
+        ]
+
+    # -- job submission -----------------------------------------------------------
+
+    def make_job(self, function: str) -> Job:
+        """Build a job for ``function`` using its calibrated payload sizes."""
+        profile = profile_for(function)
+        job = Job(
+            job_id=self._next_job_id,
+            function=function,
+            input_bytes=profile.input_bytes,
+            output_bytes=profile.output_bytes,
+        )
+        self._next_job_id += 1
+        return job
+
+    def _assign(self, job: Job) -> None:
+        """Pick an alive queue via the policy and push the job."""
+        candidates = self._alive_queues()
+        if not candidates:
+            raise RuntimeError("no alive workers available")
+        index = self.policy.select(job, candidates, self._is_powered)
+        if not 0 <= index < len(candidates):
+            raise RuntimeError(
+                f"policy {self.policy.name!r} chose invalid queue {index}"
+            )
+        candidates[index].push(job)
+
+    def submit(self, job: Job) -> Job:
+        """Accept a job and assign it to a worker queue."""
+        if not self.queues:
+            raise RuntimeError("no workers registered")
+        if job.job_id in self.jobs:
+            raise ValueError(f"job {job.job_id} already submitted")
+        job.t_submit = self.env.now
+        self.jobs[job.job_id] = job
+        self._submitted += 1
+        self._assign(job)
+        return job
+
+    def resubmit(self, job: Job) -> Job:
+        """Reassign a job lost to a worker fault (no double-counting)."""
+        if job.job_id not in self.jobs:
+            raise KeyError(f"unknown job {job.job_id}")
+        if job.is_finished:
+            raise ValueError(f"job {job.job_id} already finished")
+        if job.worker_id is not None:
+            self.queues[job.worker_id].job_finished()
+        job.reset_for_retry()
+        self.resubmissions += 1
+        self._assign(job)
+        return job
+
+    def submit_function(self, function: str) -> Job:
+        """Shorthand: build and submit one invocation of ``function``."""
+        return self.submit(self.make_job(function))
+
+    def submit_batch(self, functions: Iterable[str]) -> List[Job]:
+        """Submit one job per function name, in order."""
+        return [self.submit_function(name) for name in functions]
+
+    # -- arrivals -------------------------------------------------------------------
+
+    def paper_arrival_process(
+        self,
+        functions: Sequence[str],
+        jobs_per_interval: int,
+        total_jobs: int,
+        interval_s: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ):
+        """Sec. IV-D arrivals: every second, add jobs to random queues.
+
+        Run as a process: ``env.process(op.paper_arrival_process(...))``.
+        Functions are drawn round-robin from ``functions`` so every
+        function gets an equal share (the Sec. V experiments issue 1,000
+        invocations of each).
+        """
+        if jobs_per_interval < 1:
+            raise ValueError("jobs_per_interval must be >= 1")
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        rng = rng if rng is not None else random.Random(1)
+        issued = 0
+        while issued < total_jobs:
+            batch = min(jobs_per_interval, total_jobs - issued)
+            for _ in range(batch):
+                function = functions[issued % len(functions)]
+                self.submit_function(function)
+                issued += 1
+            yield self.env.timeout(interval_s)
+
+    # -- completion ---------------------------------------------------------------
+
+    def complete(self, job: Job, record: InvocationRecord) -> None:
+        """Worker callback: a job finished; record its telemetry."""
+        if job.job_id not in self.jobs:
+            raise KeyError(f"unknown job {job.job_id}")
+        job.transition(JobStatus.COMPLETED, self.env.now)
+        if job.worker_id is not None:
+            self.queues[job.worker_id].job_finished()
+        self.telemetry.record(record)
+        self._completed += 1
+        if self._completed == self._submitted:
+            for event in self._drain_events:
+                if not event.triggered:
+                    event.succeed(self._completed)
+            self._drain_events.clear()
+
+    def fail(self, job: Job, reason: str) -> None:
+        """Worker callback: a job failed."""
+        job.failure = reason
+        job.transition(JobStatus.FAILED, self.env.now)
+        if job.worker_id is not None:
+            self.queues[job.worker_id].job_finished()
+        self._completed += 1
+        if self._completed == self._submitted:
+            for event in self._drain_events:
+                if not event.triggered:
+                    event.succeed(self._completed)
+            self._drain_events.clear()
+
+    @property
+    def pending(self) -> int:
+        return self._submitted - self._completed
+
+    def wait_all(self) -> Event:
+        """Event that fires when every submitted job has finished."""
+        event = Event(self.env)
+        if self._submitted == self._completed and self._submitted > 0:
+            event.succeed(self._completed)
+        else:
+            self._drain_events.append(event)
+        return event
+
+
+__all__ = ["Orchestrator"]

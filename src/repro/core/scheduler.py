@@ -1,0 +1,128 @@
+"""Job assignment policies.
+
+The paper's OP adds each job "to a random sampling of those queues"
+(Sec. IV-D) — i.e. every invocation goes to a uniformly random worker
+queue.  Alternative policies are provided for the scheduling ablation:
+round-robin, least-loaded, and a packing policy that prefers workers
+that are already powered on (trading energy proportionality for fewer
+cold boots).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.job import Job
+from repro.core.queue import WorkerQueue
+
+
+class AssignmentPolicy(abc.ABC):
+    """Chooses a worker queue for each incoming job."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        job: Job,
+        queues: Sequence[WorkerQueue],
+        is_powered: Callable[[int], bool],
+    ) -> int:
+        """Return the index of the queue to assign ``job`` to."""
+
+
+class RandomSamplingPolicy(AssignmentPolicy):
+    """The paper's policy: a uniformly random queue per job."""
+
+    name = "random-sampling"
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def select(self, job, queues, is_powered) -> int:
+        if not queues:
+            raise ValueError("no worker queues")
+        return self.rng.randrange(len(queues))
+
+
+class RoundRobinPolicy(AssignmentPolicy):
+    """Cycle through workers in order."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def select(self, job, queues, is_powered) -> int:
+        if not queues:
+            raise ValueError("no worker queues")
+        index = self._next % len(queues)
+        self._next += 1
+        return index
+
+
+class LeastLoadedPolicy(AssignmentPolicy):
+    """Join-shortest-queue: fewest outstanding jobs (ties: lowest id).
+
+    Outstanding counts queued *plus in-flight* work — depth alone would
+    route jobs behind a busy worker whose queue happens to be empty.
+    """
+
+    name = "least-loaded"
+
+    def select(self, job, queues, is_powered) -> int:
+        if not queues:
+            raise ValueError("no worker queues")
+        return min(
+            range(len(queues)), key=lambda i: (queues[i].outstanding, i)
+        )
+
+
+class PackingPolicy(AssignmentPolicy):
+    """Prefer already-powered workers; wake the fewest boards possible.
+
+    Among powered workers, pick the least loaded; if everyone is off,
+    wake the lowest-numbered board.  Concentrates load (good for boot
+    amortization, bad for queueing delay) — the opposite corner of the
+    design space from random sampling.
+    """
+
+    name = "packing"
+
+    def select(self, job, queues, is_powered) -> int:
+        if not queues:
+            raise ValueError("no worker queues")
+        powered = [
+            i for i in range(len(queues)) if is_powered(queues[i].worker_id)
+        ]
+        candidates = powered if powered else list(range(len(queues)))
+        return min(candidates, key=lambda i: (queues[i].depth, i))
+
+
+_POLICIES = {
+    RandomSamplingPolicy.name: RandomSamplingPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    PackingPolicy.name: PackingPolicy,
+}
+
+
+def make_policy(name: str, rng: Optional[random.Random] = None) -> AssignmentPolicy:
+    """Build a policy by name (rng only applies to random-sampling)."""
+    if name not in _POLICIES:
+        raise KeyError(f"unknown policy {name!r}; known: {sorted(_POLICIES)}")
+    if name == RandomSamplingPolicy.name:
+        return RandomSamplingPolicy(rng)
+    return _POLICIES[name]()
+
+
+__all__ = [
+    "AssignmentPolicy",
+    "LeastLoadedPolicy",
+    "PackingPolicy",
+    "RandomSamplingPolicy",
+    "RoundRobinPolicy",
+    "make_policy",
+]

@@ -1,0 +1,182 @@
+"""Telemetry: per-invocation records and aggregate metrics.
+
+Workers report one :class:`InvocationRecord` per completed job, carrying
+the phase breakdown the paper plots: boot time, *Working* time (function
+body incl. backend waits), and *Overhead* (input/result transfer plus
+session).  The collector computes the aggregates Sec. V reports —
+throughput in func/min, per-function means, and the working/overhead
+split of Fig. 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """Phase breakdown of one completed invocation."""
+
+    job_id: int
+    function: str
+    worker_id: int
+    platform: str  # "arm" or "x86"
+    t_queued: float
+    t_started: float
+    t_completed: float
+    boot_s: float
+    working_s: float
+    overhead_s: float
+
+    def __post_init__(self) -> None:
+        if self.t_completed < self.t_started:
+            raise ValueError("completion before start")
+        for name in ("boot_s", "working_s", "overhead_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative {name}")
+
+    @property
+    def runtime_s(self) -> float:
+        """Fig. 3 runtime: working plus overhead (boot excluded)."""
+        return self.working_s + self.overhead_s
+
+    @property
+    def cycle_s(self) -> float:
+        """Full worker occupancy: boot + working + overhead."""
+        return self.boot_s + self.working_s + self.overhead_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.t_started - self.t_queued
+
+
+def _mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("no values")
+    return sum(values) / len(values)
+
+
+def _percentile(values: Sequence[float], p: float) -> float:
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class FunctionStats:
+    """Aggregates for one function (one group of Fig. 3 bars)."""
+
+    function: str
+    count: int
+    mean_working_s: float
+    mean_overhead_s: float
+    mean_runtime_s: float
+    p95_runtime_s: float
+
+
+class TelemetryCollector:
+    """Accumulates invocation records and computes Sec. V aggregates."""
+
+    def __init__(self):
+        self.records: List[InvocationRecord] = []
+
+    def record(self, record: InvocationRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    def first_start(self) -> float:
+        if not self.records:
+            raise ValueError("no records")
+        return min(r.t_started for r in self.records)
+
+    def last_completion(self) -> float:
+        if not self.records:
+            raise ValueError("no records")
+        return max(r.t_completed for r in self.records)
+
+    def throughput_per_min(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> float:
+        """Completed functions per minute over the measured window."""
+        if not self.records:
+            raise ValueError("no records")
+        start = self.first_start() if start is None else start
+        end = self.last_completion() if end is None else end
+        window = end - start
+        if window <= 0:
+            raise ValueError("empty measurement window")
+        completed = sum(
+            1 for r in self.records if start <= r.t_completed <= end
+        )
+        return completed * 60.0 / window
+
+    def function_stats(self, function: str) -> FunctionStats:
+        """Per-function aggregate (one Fig. 3 bar group)."""
+        matching = [r for r in self.records if r.function == function]
+        if not matching:
+            raise KeyError(f"no records for function {function!r}")
+        runtimes = [r.runtime_s for r in matching]
+        return FunctionStats(
+            function=function,
+            count=len(matching),
+            mean_working_s=_mean([r.working_s for r in matching]),
+            mean_overhead_s=_mean([r.overhead_s for r in matching]),
+            mean_runtime_s=_mean(runtimes),
+            p95_runtime_s=_percentile(runtimes, 95),
+        )
+
+    def all_function_stats(self) -> Dict[str, FunctionStats]:
+        """Stats for every function seen."""
+        return {
+            name: self.function_stats(name)
+            for name in sorted({r.function for r in self.records})
+        }
+
+    def mean_cycle_s(self) -> float:
+        """Mean full worker occupancy per job."""
+        if not self.records:
+            raise ValueError("no records")
+        return _mean([r.cycle_s for r in self.records])
+
+    def mean_queue_wait_s(self) -> float:
+        if not self.records:
+            raise ValueError("no records")
+        return _mean([r.queue_wait_s for r in self.records])
+
+    def percentile_queue_wait_s(self, p: float) -> float:
+        return _percentile([r.queue_wait_s for r in self.records], p)
+
+    def end_to_end_latencies_s(self) -> List[float]:
+        """Per-job submission-to-completion latencies."""
+        return [r.t_completed - r.t_queued for r in self.records]
+
+    def slo_attainment(self, threshold_s: float) -> float:
+        """Fraction of jobs completing within ``threshold_s`` of
+        submission (the latency-SLO view of a trace replay)."""
+        if threshold_s <= 0:
+            raise ValueError("threshold must be positive")
+        latencies = self.end_to_end_latencies_s()
+        if not latencies:
+            raise ValueError("no records")
+        return sum(1 for l in latencies if l <= threshold_s) / len(latencies)
+
+
+__all__ = ["FunctionStats", "InvocationRecord", "TelemetryCollector"]

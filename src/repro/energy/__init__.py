@@ -1,0 +1,43 @@
+"""Energy accounting and analysis.
+
+- :mod:`repro.energy.accounting` — per-state energy breakdowns from
+  power traces, unit helpers.
+- :mod:`repro.energy.efficiency` — J/function metrics, efficiency
+  ratios, and the peak-efficiency search behind Fig. 4.
+- :mod:`repro.energy.proportionality` — energy-proportionality metrics
+  and the power-vs-active-workers series of Fig. 5.
+"""
+
+from repro.energy.accounting import (
+    EnergyBreakdown,
+    joules_to_kwh,
+    kwh_to_joules,
+    sbc_state_breakdown,
+)
+from repro.energy.efficiency import (
+    efficiency_ratio,
+    joules_per_function,
+    peak_efficiency,
+)
+from repro.energy.proportionality import (
+    ProportionalitySeries,
+    linearity_r_squared,
+    proportionality_index,
+    sbc_cluster_power_series,
+    vm_host_power_series,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "ProportionalitySeries",
+    "efficiency_ratio",
+    "joules_per_function",
+    "joules_to_kwh",
+    "kwh_to_joules",
+    "linearity_r_squared",
+    "peak_efficiency",
+    "proportionality_index",
+    "sbc_cluster_power_series",
+    "sbc_state_breakdown",
+    "vm_host_power_series",
+]

@@ -1,0 +1,45 @@
+"""Experiment harness: regenerate every table and figure.
+
+One module per paper artifact:
+
+- :mod:`repro.experiments.fig1_boot` — worker-OS boot-time trajectory.
+- :mod:`repro.experiments.table1_workloads` — the 17-function suite,
+  executed live.
+- :mod:`repro.experiments.fig3_runtime` — per-function Working/Overhead
+  on both clusters.
+- :mod:`repro.experiments.fig4_vmsweep` — energy efficiency and
+  throughput vs. VM count.
+- :mod:`repro.experiments.fig5_power` — power vs. active workers.
+- :mod:`repro.experiments.table2_tco` — the 5-year cost comparison.
+- :mod:`repro.experiments.headline` — the throughput match and the
+  5.6x energy headline.
+
+Every module exposes ``run(...)`` returning structured results and
+``render(...)`` producing the text the benchmark harness prints.
+"""
+
+from repro.experiments import (
+    fig1_boot,
+    fig2_testbed,
+    fig3_runtime,
+    fig4_vmsweep,
+    fig5_power,
+    hardware_selection,
+    headline,
+    scale_study,
+    table1_workloads,
+    table2_tco,
+)
+
+__all__ = [
+    "fig1_boot",
+    "fig2_testbed",
+    "fig3_runtime",
+    "fig4_vmsweep",
+    "fig5_power",
+    "hardware_selection",
+    "headline",
+    "scale_study",
+    "table1_workloads",
+    "table2_tco",
+]

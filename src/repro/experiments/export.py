@@ -1,0 +1,160 @@
+"""CSV export of every paper artifact's data.
+
+Each exporter regenerates an experiment and writes the series a plotting
+tool needs — so downstream users can draw the actual figures without
+rerunning simulations.  ``export_all(directory)`` writes the full set.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    fig1_boot,
+    fig3_runtime,
+    fig4_vmsweep,
+    fig5_power,
+    headline,
+    table2_tco,
+)
+from repro.workloads import ALL_FUNCTION_NAMES
+
+
+def _write(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig1(directory: str) -> str:
+    """Boot-time trajectory: one row per development change."""
+    result = fig1_boot.run()
+    rows = []
+    for arm, x86 in zip(result.trajectories["arm"], result.trajectories["x86"]):
+        rows.append(
+            (arm.label, arm.name, arm.real_s, arm.cpu_s, x86.real_s, x86.cpu_s)
+        )
+    return _write(
+        os.path.join(directory, "fig1_boot.csv"),
+        ["change", "name", "arm_real_s", "arm_cpu_s", "x86_real_s", "x86_cpu_s"],
+        rows,
+    )
+
+
+def export_fig3(directory: str, invocations_per_function: int = 20) -> str:
+    """Working/overhead split per function per cluster."""
+    result = fig3_runtime.run(invocations_per_function=invocations_per_function)
+    rows = []
+    for name in ALL_FUNCTION_NAMES:
+        mf = result.microfaas[name]
+        cv = result.conventional[name]
+        rows.append(
+            (name, mf.working_s, mf.overhead_s, cv.working_s, cv.overhead_s,
+             result.speed_ratio(name))
+        )
+    return _write(
+        os.path.join(directory, "fig3_runtime.csv"),
+        ["function", "mf_working_s", "mf_overhead_s",
+         "conv_working_s", "conv_overhead_s", "mf_over_conv"],
+        rows,
+    )
+
+
+def export_fig4(directory: str, invocations_per_function: int = 6) -> str:
+    """Efficiency/throughput sweep over VM counts."""
+    result = fig4_vmsweep.run(
+        invocations_per_function=invocations_per_function
+    )
+    rows = [
+        (p.vm_count, p.throughput_per_min, p.joules_per_function,
+         p.average_watts, result.microfaas_jpf)
+        for p in result.points
+    ]
+    return _write(
+        os.path.join(directory, "fig4_vmsweep.csv"),
+        ["vms", "func_per_min", "joules_per_function", "average_watts",
+         "microfaas_reference_jpf"],
+        rows,
+    )
+
+
+def export_fig5(directory: str) -> str:
+    """Power vs active workers, both series."""
+    result = fig5_power.run(measure=False)
+    sbc = dict(zip(result.sbc_series.worker_counts, result.sbc_series.watts))
+    vm = dict(zip(result.vm_series.worker_counts, result.vm_series.watts))
+    counts = sorted(set(sbc) | set(vm))
+    rows = [(n, sbc.get(n, ""), vm.get(n, "")) for n in counts]
+    return _write(
+        os.path.join(directory, "fig5_power.csv"),
+        ["active_workers", "sbc_cluster_watts", "vm_host_watts"],
+        rows,
+    )
+
+
+def export_table2(directory: str) -> str:
+    """The TCO table, one row per (scenario, deployment)."""
+    result = table2_tco.run()
+    rows = [
+        (c.scenario, c.deployment, c.compute_usd, c.network_usd,
+         c.energy_usd, c.total_usd)
+        for c in result.cells
+    ]
+    return _write(
+        os.path.join(directory, "table2_tco.csv"),
+        ["scenario", "deployment", "compute_usd", "network_usd",
+         "energy_usd", "total_usd"],
+        rows,
+    )
+
+
+def export_headline(directory: str, invocations_per_function: int = 30) -> str:
+    """The headline metrics of both clusters."""
+    result = headline.run(invocations_per_function=invocations_per_function)
+    rows = [
+        ("microfaas", result.microfaas.worker_count,
+         result.microfaas.throughput_per_min,
+         result.microfaas.joules_per_function,
+         result.microfaas.average_watts),
+        ("conventional", result.conventional.worker_count,
+         result.conventional.throughput_per_min,
+         result.conventional.joules_per_function,
+         result.conventional.average_watts),
+    ]
+    return _write(
+        os.path.join(directory, "headline.csv"),
+        ["platform", "workers", "func_per_min", "joules_per_function",
+         "average_watts"],
+        rows,
+    )
+
+
+def export_all(
+    directory: str,
+    invocations_per_function: int = 12,
+) -> List[str]:
+    """Write every artifact's CSV into ``directory`` (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    return [
+        export_fig1(directory),
+        export_fig3(directory, invocations_per_function),
+        export_fig4(directory, max(4, invocations_per_function // 2)),
+        export_fig5(directory),
+        export_table2(directory),
+        export_headline(directory, invocations_per_function),
+    ]
+
+
+__all__ = [
+    "export_all",
+    "export_fig1",
+    "export_fig3",
+    "export_fig4",
+    "export_fig5",
+    "export_headline",
+    "export_table2",
+]

@@ -1,0 +1,142 @@
+"""Fig. 4: conventional-cluster efficiency and throughput vs. VM count.
+
+Sweeps the number of microVMs on the rack server, running the full
+17-function mix at each point, and reports throughput (func/min) and
+energy efficiency (J/function).  The paper's observations to reproduce:
+
+- at the throughput-matched 6 VMs the cluster burns ~32.0 J/function;
+- efficiency improves with VM count until the host saturates, peaking
+  around 16.1 J/function;
+- the MicroFaaS reference line (5.7 J/function) stays below the
+  conventional curve everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cluster import ConventionalCluster, MicroFaaSCluster
+from repro.core.scheduler import LeastLoadedPolicy
+from repro.energy.efficiency import peak_efficiency
+from repro.experiments.report import format_table
+
+#: Published reference values.
+PAPER_SIX_VM_JPF = 32.0
+PAPER_PEAK_JPF = 16.1
+PAPER_MICROFAAS_JPF = 5.7
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One VM count's measurement."""
+
+    vm_count: int
+    throughput_per_min: float
+    joules_per_function: float
+    average_watts: float
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    points: List[SweepPoint]
+    microfaas_jpf: float
+
+    @property
+    def peak(self) -> SweepPoint:
+        """The efficiency peak of the sweep."""
+        best_count, _ = peak_efficiency(
+            [(p.vm_count, p.joules_per_function) for p in self.points]
+        )
+        return next(p for p in self.points if p.vm_count == best_count)
+
+    def at(self, vm_count: int) -> SweepPoint:
+        for point in self.points:
+            if point.vm_count == vm_count:
+                return point
+        raise KeyError(f"no sweep point at {vm_count} VMs")
+
+
+def run(
+    vm_counts: Sequence[int] = (1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24),
+    invocations_per_function: int = 8,
+    seed: int = 1,
+    measure_microfaas: bool = True,
+) -> Fig4Result:
+    """Regenerate Fig. 4's sweep."""
+    points = []
+    for vm_count in vm_counts:
+        cluster = ConventionalCluster(
+            vm_count=vm_count,
+            seed=seed,
+            policy=LeastLoadedPolicy(),
+            quantum_s=0.15,
+        )
+        result = cluster.run_saturated(
+            invocations_per_function=invocations_per_function
+        )
+        points.append(
+            SweepPoint(
+                vm_count=vm_count,
+                throughput_per_min=result.throughput_per_min,
+                joules_per_function=result.joules_per_function,
+                average_watts=result.average_watts,
+            )
+        )
+    if measure_microfaas:
+        microfaas = MicroFaaSCluster(
+            worker_count=10, seed=seed, policy=LeastLoadedPolicy()
+        )
+        mf_result = microfaas.run_saturated(
+            invocations_per_function=invocations_per_function
+        )
+        microfaas_jpf = mf_result.joules_per_function
+    else:
+        microfaas_jpf = PAPER_MICROFAAS_JPF
+    return Fig4Result(points=points, microfaas_jpf=microfaas_jpf)
+
+
+def render(result: Fig4Result) -> str:
+    from repro.experiments.report import format_xy_chart
+
+    rows = [
+        (
+            point.vm_count,
+            f"{point.throughput_per_min:.1f}",
+            f"{point.joules_per_function:.1f}",
+            f"{point.average_watts:.1f}",
+        )
+        for point in result.points
+    ]
+    table = format_table(
+        ["VMs", "func/min", "J/func", "avg W"],
+        rows,
+        title="Fig. 4 - Conventional cluster vs VM count "
+              "(paper: 32.0 J/func at 6 VMs, peak 16.1 J/func)",
+    )
+    peak = result.peak
+    xs = [p.vm_count for p in result.points]
+    chart = format_xy_chart(
+        {
+            "conventional J/func": (xs, [p.joules_per_function for p in result.points]),
+            "microfaas reference": (
+                xs, [result.microfaas_jpf] * len(result.points),
+            ),
+        },
+        title="",
+        x_label="VMs",
+        y_label="J/function",
+    )
+    return table + "\n" + chart + (
+        f"\npeak efficiency: {peak.joules_per_function:.1f} J/func at "
+        f"{peak.vm_count} VMs; MicroFaaS reference: "
+        f"{result.microfaas_jpf:.1f} J/func (always lower)"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

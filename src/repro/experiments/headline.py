@@ -1,0 +1,113 @@
+"""The Sec. V headline experiment.
+
+Runs both throughput-matched clusters over the full 17-function mix and
+reports the four numbers the abstract leads with:
+
+- 10-SBC MicroFaaS throughput (paper: 200.6 func/min);
+- 6-VM conventional throughput (paper: 211.7 func/min);
+- energy per function on each (paper: 5.7 J vs 32.0 J);
+- the resulting efficiency ratio (paper: 5.6x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import ClusterResult, ConventionalCluster, MicroFaaSCluster
+from repro.core.scheduler import LeastLoadedPolicy
+from repro.experiments.report import format_table
+
+PAPER = {
+    "microfaas_fpm": 200.6,
+    "conventional_fpm": 211.7,
+    "microfaas_jpf": 5.7,
+    "conventional_jpf": 32.0,
+    "ratio": 5.6,
+}
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    microfaas: ClusterResult
+    conventional: ClusterResult
+
+    @property
+    def efficiency_ratio(self) -> float:
+        return (
+            self.conventional.joules_per_function
+            / self.microfaas.joules_per_function
+        )
+
+    @property
+    def throughput_matched(self) -> bool:
+        """Within 10 % of each other, as the paper's sizing intends."""
+        mf = self.microfaas.throughput_per_min
+        cv = self.conventional.throughput_per_min
+        return abs(mf - cv) / cv < 0.10
+
+
+def run(invocations_per_function: int = 30, seed: int = 1) -> HeadlineResult:
+    """Run the headline comparison.
+
+    Uses the least-loaded assignment policy so the measured window is a
+    true capacity measurement (random sampling converges to the same
+    numbers at the paper's 1,000 invocations per function, but leaves
+    straggler tails at smaller counts).
+    """
+    microfaas = MicroFaaSCluster(
+        worker_count=10, seed=seed, policy=LeastLoadedPolicy()
+    )
+    mf_result = microfaas.run_saturated(
+        invocations_per_function=invocations_per_function
+    )
+    conventional = ConventionalCluster(
+        vm_count=6, seed=seed, policy=LeastLoadedPolicy()
+    )
+    cv_result = conventional.run_saturated(
+        invocations_per_function=invocations_per_function
+    )
+    return HeadlineResult(microfaas=mf_result, conventional=cv_result)
+
+
+def render(result: HeadlineResult) -> str:
+    rows = [
+        (
+            "throughput (func/min)",
+            f"{result.microfaas.throughput_per_min:.1f}",
+            f"{PAPER['microfaas_fpm']}",
+            f"{result.conventional.throughput_per_min:.1f}",
+            f"{PAPER['conventional_fpm']}",
+        ),
+        (
+            "energy (J/function)",
+            f"{result.microfaas.joules_per_function:.2f}",
+            f"{PAPER['microfaas_jpf']}",
+            f"{result.conventional.joules_per_function:.2f}",
+            f"{PAPER['conventional_jpf']}",
+        ),
+        (
+            "average power (W)",
+            f"{result.microfaas.average_watts:.1f}",
+            "-",
+            f"{result.conventional.average_watts:.1f}",
+            "-",
+        ),
+    ]
+    table = format_table(
+        ["metric", "MicroFaaS", "(paper)", "Conventional", "(paper)"],
+        rows,
+        title="Headline comparison - throughput-matched clusters",
+    )
+    return table + (
+        f"\nenergy-efficiency ratio: {result.efficiency_ratio:.1f}x "
+        f"(paper: {PAPER['ratio']}x); throughput matched: "
+        f"{result.throughput_matched}"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,131 @@
+"""Replication statistics for simulation experiments.
+
+Single simulation runs carry seed-dependent noise (jitter, random
+assignment).  This module runs an experiment across seeds and reports
+mean ± confidence interval, so claims like "200.6 func/min" come with
+error bars.  Uses Student's t (via scipy when available, with a small
+built-in table as fallback) — appropriate for the handful of
+replications a simulation study uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+#: Two-sided 95 % t critical values by degrees of freedom (fallback).
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+    30: 2.042, 60: 2.000,
+}
+
+
+def _t_critical(dof: int, confidence: float) -> float:
+    if dof < 1:
+        raise ValueError("need at least two samples")
+    try:
+        from scipy import stats as scipy_stats
+
+        return float(scipy_stats.t.ppf(0.5 + confidence / 2, dof))
+    except ImportError:  # pragma: no cover - scipy is installed here
+        if confidence != 0.95:
+            raise ValueError("fallback table only covers 95 %") from None
+        for table_dof in sorted(_T95):
+            if dof <= table_dof:
+                return _T95[table_dof]
+        return 1.96
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Is ``value`` inside the interval?"""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"{self.mean:.3g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def estimate(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Estimate:
+    """Mean ± t-based confidence half-width of ``samples``."""
+    if len(samples) < 2:
+        raise ValueError("need at least two samples for an interval")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    std_error = math.sqrt(variance / n)
+    return Estimate(
+        mean=mean,
+        half_width=_t_critical(n - 1, confidence) * std_error,
+        n=n,
+        confidence=confidence,
+    )
+
+
+def replicate(
+    run: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Dict[str, Estimate]:
+    """Run ``run(seed)`` per seed and aggregate each metric.
+
+    ``run`` returns a flat metric dict; every replication must produce
+    the same keys.
+    """
+    if len(seeds) < 2:
+        raise ValueError("need at least two seeds")
+    results: List[Dict[str, float]] = [run(seed) for seed in seeds]
+    keys = set(results[0])
+    for result in results[1:]:
+        if set(result) != keys:
+            raise ValueError("replications produced differing metrics")
+    return {
+        key: estimate([r[key] for r in results], confidence)
+        for key in sorted(keys)
+    }
+
+
+def headline_replication(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    invocations_per_function: int = 20,
+) -> Dict[str, Estimate]:
+    """The headline comparison across seeds (with error bars)."""
+    from repro.experiments import headline
+
+    def run(seed: int) -> Dict[str, float]:
+        result = headline.run(
+            invocations_per_function=invocations_per_function, seed=seed
+        )
+        return {
+            "microfaas_fpm": result.microfaas.throughput_per_min,
+            "conventional_fpm": result.conventional.throughput_per_min,
+            "microfaas_jpf": result.microfaas.joules_per_function,
+            "conventional_jpf": result.conventional.joules_per_function,
+            "ratio": result.efficiency_ratio,
+        }
+
+    return replicate(run, seeds)
+
+
+__all__ = ["Estimate", "estimate", "headline_replication", "replicate"]

@@ -1,0 +1,105 @@
+"""Application-specific accelerators for SBC workers (Sec. VI).
+
+The paper's future work proposes closing MicroFaaS's performance gap
+with "application-specific hardware accelerators" — e.g. a
+cryptographic engine for CascSHA, or the Gigabit NIC upgrade the
+Sec. V discussion mentions for COSGet.  This module models an
+accelerator as a per-function speedup with a power and unit-cost tax,
+and rewrites the calibrated workload profiles accordingly so the
+cluster simulation and the TCO model can evaluate the trade.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.workloads.profiles import PROFILES, FunctionProfile
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """An add-on accelerator for the worker SBC."""
+
+    name: str
+    #: Function name -> speedup factor on the ARM work time (>1 = faster).
+    speedups: Mapping[str, float]
+    #: Extra draw while the accelerated function computes, watts.
+    active_watts: float
+    #: Added unit cost per board, USD.
+    unit_cost_usd: float
+
+    def __post_init__(self) -> None:
+        if not self.speedups:
+            raise ValueError("accelerator accelerates nothing")
+        bad = {f: s for f, s in self.speedups.items() if s < 1.0}
+        if bad:
+            raise ValueError(f"speedups below 1.0: {bad}")
+        if self.active_watts < 0 or self.unit_cost_usd < 0:
+            raise ValueError("power and cost must be non-negative")
+
+    def accelerates(self, function: str) -> bool:
+        return function in self.speedups
+
+
+#: A crypto engine in the style of the AM335x-class SHA/AES blocks.
+CRYPTO_ACCELERATOR = AcceleratorSpec(
+    name="crypto-engine",
+    speedups={"CascSHA": 8.0, "CascMD5": 5.0, "AES128": 10.0},
+    active_watts=0.35,
+    unit_cost_usd=8.0,
+)
+
+#: A regex/stream co-processor (DPI-style), for the text workloads.
+REGEX_ACCELERATOR = AcceleratorSpec(
+    name="regex-engine",
+    speedups={"RegExSearch": 6.0, "RegExMatch": 4.0},
+    active_watts=0.25,
+    unit_cost_usd=6.0,
+)
+
+
+def accelerated_profiles(
+    accelerator: AcceleratorSpec,
+    base: Mapping[str, FunctionProfile] = None,
+) -> Dict[str, FunctionProfile]:
+    """Rewrite profiles with the accelerator applied on the ARM side.
+
+    The accelerated portion of the work is the CPU phase (the engine
+    offloads computation, not I/O waits); the x86 baseline is untouched.
+    """
+    base = PROFILES if base is None else base
+    out: Dict[str, FunctionProfile] = {}
+    for name, profile in base.items():
+        if not accelerator.accelerates(name):
+            out[name] = profile
+            continue
+        speedup = accelerator.speedups[name]
+        cpu_s = profile.work_arm_s * profile.cpu_fraction_arm / speedup
+        io_s = profile.work_arm_s * (1 - profile.cpu_fraction_arm)
+        new_work = cpu_s + io_s
+        out[name] = dataclasses.replace(
+            profile,
+            work_arm_s=new_work,
+            cpu_fraction_arm=cpu_s / new_work if new_work > 0 else 0.0,
+        )
+    return out
+
+
+def accelerated_unit_cost(
+    base_cost_usd: float, accelerator: AcceleratorSpec
+) -> float:
+    """Board cost with the accelerator fitted (for the TCO model)."""
+    if base_cost_usd < 0:
+        raise ValueError("base cost cannot be negative")
+    return base_cost_usd + accelerator.unit_cost_usd
+
+
+__all__ = [
+    "AcceleratorSpec",
+    "CRYPTO_ACCELERATOR",
+    "REGEX_ACCELERATOR",
+    "accelerated_profiles",
+    "accelerated_unit_cost",
+]

@@ -1,0 +1,238 @@
+"""Power-state machines, power traces, and server power curves.
+
+Everything energy-related in the reproduction flows through
+:class:`PowerTrace`: a piecewise-constant record of instantaneous power.
+State machines append to a trace whenever a device changes state; the
+energy accounting layer (:mod:`repro.energy`) integrates traces, and the
+:class:`~repro.hardware.meter.PowerMeter` samples them the way a wall-plug
+meter would.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import math
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+class PowerState(enum.Enum):
+    """Operating states of a worker device."""
+
+    OFF = "off"
+    BOOT = "boot"
+    IDLE = "idle"
+    CPU_BUSY = "cpu_busy"
+    IO_WAIT = "io_wait"
+
+
+class PowerTrace:
+    """A piecewise-constant power signal ``P(t)``.
+
+    The trace is a sorted sequence of ``(time, watts)`` change points; the
+    power between change points is the wattage of the most recent point.
+    Appending at a time equal to the last change point overwrites it (the
+    device changed state twice in the same instant).
+    """
+
+    def __init__(self, initial_time: float = 0.0, initial_watts: float = 0.0):
+        if initial_watts < 0:
+            raise ValueError(f"negative power: {initial_watts}")
+        self._times: list[float] = [float(initial_time)]
+        self._watts: list[float] = [float(initial_watts)]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def change_points(self) -> list[tuple[float, float]]:
+        """The raw ``(time, watts)`` change points."""
+        return list(zip(self._times, self._watts))
+
+    @property
+    def start_time(self) -> float:
+        return self._times[0]
+
+    @property
+    def last_time(self) -> float:
+        return self._times[-1]
+
+    def record(self, time: float, watts: float) -> None:
+        """Record that power changed to ``watts`` at ``time``."""
+        if watts < 0:
+            raise ValueError(f"negative power: {watts}")
+        last = self._times[-1]
+        if time < last:
+            raise ValueError(f"non-monotonic trace: {time} < {last}")
+        if time == last:
+            self._watts[-1] = watts
+            return
+        if watts == self._watts[-1]:
+            return  # no change; keep the trace compact
+        self._times.append(float(time))
+        self._watts.append(float(watts))
+
+    def power_at(self, time: float) -> float:
+        """Instantaneous power at ``time`` (0 before the trace starts)."""
+        if time < self._times[0]:
+            return 0.0
+        index = bisect.bisect_right(self._times, time) - 1
+        return self._watts[index]
+
+    def energy_joules(self, start: float, end: float) -> float:
+        """Exact energy over ``[start, end]`` by piecewise integration."""
+        if end < start:
+            raise ValueError(f"end {end} before start {start}")
+        if end == start:
+            return 0.0
+        total = 0.0
+        lo = max(start, self._times[0])
+        if lo >= end:
+            return 0.0
+        index = bisect.bisect_right(self._times, lo) - 1
+        t = lo
+        while t < end:
+            seg_end = (
+                self._times[index + 1] if index + 1 < len(self._times) else end
+            )
+            seg_end = min(seg_end, end)
+            total += self._watts[index] * (seg_end - t)
+            t = seg_end
+            index += 1
+        return total
+
+    def average_watts(self, start: float, end: float) -> float:
+        """Mean power over ``[start, end]``."""
+        if end <= start:
+            raise ValueError(f"need end > start, got [{start}, {end}]")
+        return self.energy_joules(start, end) / (end - start)
+
+
+def combine_traces(
+    traces: Iterable[PowerTrace],
+) -> PowerTrace:
+    """Sum several power traces into one aggregate trace.
+
+    The aggregate has a change point wherever any constituent changes.
+    Useful for modelling a whole cluster plugged into one meter.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("need at least one trace")
+    times = sorted({t for trace in traces for t, _ in trace.change_points})
+    start = times[0]
+    combined = PowerTrace(
+        initial_time=start,
+        initial_watts=sum(trace.power_at(start) for trace in traces),
+    )
+    for t in times[1:]:
+        combined.record(t, sum(trace.power_at(t) for trace in traces))
+    return combined
+
+
+class PowerStateMachine:
+    """Maps device states to wattages and records the resulting trace.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning current (simulated) time.
+    state_watts:
+        Mapping from :class:`PowerState` to watts.
+    initial_state:
+        State at construction time.
+    """
+
+    def __init__(
+        self,
+        clock,
+        state_watts: Mapping[PowerState, float],
+        initial_state: PowerState = PowerState.OFF,
+    ):
+        missing = [s for s in PowerState if s not in state_watts]
+        if missing:
+            raise ValueError(f"missing wattages for states: {missing}")
+        self._clock = clock
+        self._state_watts = dict(state_watts)
+        self._state = initial_state
+        self.trace = PowerTrace(
+            initial_time=clock(), initial_watts=self._state_watts[initial_state]
+        )
+        self._state_entered_at = clock()
+        self._time_in_state: dict[PowerState, float] = {s: 0.0 for s in PowerState}
+
+    @property
+    def state(self) -> PowerState:
+        return self._state
+
+    @property
+    def watts(self) -> float:
+        """Current instantaneous draw."""
+        return self._state_watts[self._state]
+
+    def set_state(self, state: PowerState) -> None:
+        """Transition to ``state``, recording the change on the trace."""
+        now = self._clock()
+        self._time_in_state[self._state] += now - self._state_entered_at
+        self._state_entered_at = now
+        self._state = state
+        self.trace.record(now, self._state_watts[state])
+
+    def time_in_state(self, state: PowerState) -> float:
+        """Cumulative seconds spent in ``state`` so far."""
+        total = self._time_in_state[state]
+        if state is self._state:
+            total += self._clock() - self._state_entered_at
+        return total
+
+
+class UtilizationPowerModel:
+    """Concave utilization→power curve for a rack server.
+
+    ``P(u) = idle + (loaded - idle) * u**exponent`` with ``u`` clamped to
+    ``[0, 1]``.  ``exponent < 1`` reproduces the well-documented
+    non-energy-proportional behaviour of conventional servers: most of the
+    dynamic power range is spent by the time utilization reaches ~40 %.
+    """
+
+    def __init__(self, idle_watts: float, loaded_watts: float, exponent: float):
+        if idle_watts < 0 or loaded_watts < idle_watts:
+            raise ValueError("need 0 <= idle_watts <= loaded_watts")
+        if not 0 < exponent <= 1:
+            raise ValueError(f"exponent must be in (0, 1], got {exponent}")
+        self.idle_watts = idle_watts
+        self.loaded_watts = loaded_watts
+        self.exponent = exponent
+
+    def watts(self, utilization: float) -> float:
+        """Instantaneous power at CPU ``utilization`` in [0, 1]."""
+        u = min(1.0, max(0.0, utilization))
+        if u == 0.0:
+            return self.idle_watts
+        return self.idle_watts + (self.loaded_watts - self.idle_watts) * math.pow(
+            u, self.exponent
+        )
+
+    def utilization_for_watts(self, watts: float) -> float:
+        """Inverse of :meth:`watts` (clamped)."""
+        if watts <= self.idle_watts:
+            return 0.0
+        if watts >= self.loaded_watts:
+            return 1.0
+        frac = (watts - self.idle_watts) / (self.loaded_watts - self.idle_watts)
+        return math.pow(frac, 1.0 / self.exponent)
+
+    def dynamic_range(self) -> float:
+        """Barroso-Hölzle dynamic range: (loaded - idle) / loaded."""
+        if self.loaded_watts == 0:
+            return 0.0
+        return (self.loaded_watts - self.idle_watts) / self.loaded_watts
+
+
+__all__ = [
+    "PowerState",
+    "PowerStateMachine",
+    "PowerTrace",
+    "UtilizationPowerModel",
+    "combine_traces",
+]

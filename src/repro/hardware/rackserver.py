@@ -1,0 +1,96 @@
+"""Rack-server (virtualization host) model.
+
+The rack server hosts the conventional cluster's microVMs.  Its power
+draw follows the concave utilization curve of
+:class:`~repro.hardware.power.UtilizationPowerModel`; the hypervisor
+(:mod:`repro.virt`) reports how many physical cores are busy, and the
+server records the resulting wattage on its power trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hardware.power import PowerTrace, UtilizationPowerModel
+from repro.hardware.specs import RackServerSpec, THINKMATE_RAX
+
+
+class RackServer:
+    """A conventional x86 rack server acting as a virtualization host."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        spec: RackServerSpec = THINKMATE_RAX,
+        powered_on: bool = True,
+    ):
+        self.spec = spec
+        self._clock = clock
+        self._powered = powered_on
+        self.power_model = UtilizationPowerModel(
+            idle_watts=spec.idle_watts,
+            loaded_watts=spec.loaded_watts,
+            exponent=spec.power_exponent,
+        )
+        self._busy_cores = 0.0
+        initial = spec.idle_watts if powered_on else 0.0
+        self.trace = PowerTrace(initial_time=clock(), initial_watts=initial)
+
+    @property
+    def is_powered(self) -> bool:
+        return self._powered
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cpu.cores
+
+    @property
+    def busy_cores(self) -> float:
+        return self._busy_cores
+
+    @property
+    def utilization(self) -> float:
+        """CPU utilization in [0, 1]."""
+        return min(1.0, self._busy_cores / self.cores)
+
+    @property
+    def watts(self) -> float:
+        """Instantaneous power draw."""
+        if not self._powered:
+            return 0.0
+        return self.power_model.watts(self.utilization)
+
+    def set_busy_cores(self, busy: float) -> None:
+        """Report that ``busy`` physical cores are executing vCPUs."""
+        if busy < 0:
+            raise ValueError(f"negative busy core count: {busy}")
+        if busy > self.cores + 1e-9:
+            raise ValueError(
+                f"busy={busy} exceeds physical core count {self.cores}"
+            )
+        self._busy_cores = busy
+        self.trace.record(self._clock(), self.watts)
+
+    def power_off(self) -> None:
+        """Cut power to the whole host (rare in conventional clouds)."""
+        self._powered = False
+        self._busy_cores = 0.0
+        self.trace.record(self._clock(), 0.0)
+
+    def power_on(self) -> None:
+        """Restore power; the host returns to idle draw."""
+        self._powered = True
+        self.trace.record(self._clock(), self.watts)
+
+    def max_vm_count(self, vm_ram_bytes: int) -> int:
+        """RAM-limited VM capacity (hosts saturate on memory, Sec. V)."""
+        return self.spec.max_vm_count(vm_ram_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RackServer {self.spec.name} busy={self._busy_cores:.2f}/"
+            f"{self.cores} {self.watts:.1f} W>"
+        )
+
+
+__all__ = ["RackServer"]

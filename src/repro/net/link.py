@@ -1,0 +1,131 @@
+"""Network endpoints and links.
+
+An :class:`Endpoint` is a NIC attached to a host, characterized by its
+spec (bandwidth, efficiency) and its *stack latency* — the one-way time
+the host's software spends per message (interrupt handling, TCP/IP
+processing, and for microVMs the virtio + bridge detour).  A
+:class:`Link` joins an endpoint to a switch port.
+
+Stack latencies are calibrated to the three host classes in the paper's
+testbed:
+
+- ``arm-bare``   — MicroPython worker on the SBC (slow CPU, bare metal).
+- ``x86-virtio`` — microVM guest behind virtio-net and a host bridge.
+- ``x86-bare``   — bare-metal x86 host (orchestrator, hypervisor host).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.specs import NicSpec
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+
+#: One-way per-message protocol-stack latency by host class, seconds.
+STACK_LATENCY_S = {
+    "arm-bare": 120e-6,
+    "x86-virtio": 280e-6,
+    "x86-bare": 60e-6,
+}
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A NIC attached to a named host."""
+
+    name: str
+    nic: NicSpec
+    host_class: str
+
+    def __post_init__(self) -> None:
+        if self.host_class not in STACK_LATENCY_S:
+            raise ValueError(
+                f"unknown host class {self.host_class!r}; "
+                f"expected one of {sorted(STACK_LATENCY_S)}"
+            )
+
+    @property
+    def stack_latency_s(self) -> float:
+        """One-way per-message software latency at this endpoint."""
+        return STACK_LATENCY_S[self.host_class]
+
+    @property
+    def goodput_bps(self) -> float:
+        """Achievable application-level throughput of the NIC."""
+        return self.nic.goodput_bps
+
+
+class Link:
+    """A full-duplex link between an endpoint and a switch port.
+
+    When given an :class:`~repro.sim.kernel.Environment`, the link owns a
+    capacity-1 :class:`~repro.sim.resources.Resource` per direction so
+    simulated transfers can contend for it.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        port_bandwidth_bps: float,
+        env: Optional[Environment] = None,
+    ):
+        if port_bandwidth_bps <= 0:
+            raise ValueError("port bandwidth must be positive")
+        self.endpoint = endpoint
+        self.port_bandwidth_bps = port_bandwidth_bps
+        self.env = env
+        self.tx = Resource(env, capacity=1) if env is not None else None
+        self.rx = Resource(env, capacity=1) if env is not None else None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        """The link runs at the slower of NIC goodput and port rate."""
+        return min(self.endpoint.goodput_bps, self.port_bandwidth_bps)
+
+    def serialization_s(self, nbytes: int) -> float:
+        """Time to push ``nbytes`` onto the wire at the effective rate."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        return nbytes * 8.0 / self.effective_bandwidth_bps
+
+    def transmit(self, nbytes: int):
+        """Simulated transmission claiming the TX side (a process helper).
+
+        Usage from a process::
+
+            yield from link.transmit(65536)
+        """
+        if self.tx is None:
+            raise RuntimeError("link was built without a simulation env")
+        request = self.tx.request()
+        yield request
+        try:
+            self.bytes_sent += nbytes
+            yield self.env.timeout(self.serialization_s(nbytes))
+        finally:
+            self.tx.release(request)
+
+    def receive(self, nbytes: int):
+        """Simulated reception claiming the RX side (a process helper)."""
+        if self.rx is None:
+            raise RuntimeError("link was built without a simulation env")
+        request = self.rx.request()
+        yield request
+        try:
+            self.bytes_received += nbytes
+            yield self.env.timeout(self.serialization_s(nbytes))
+        finally:
+            self.rx.release(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.endpoint.name} "
+            f"{self.effective_bandwidth_bps / 1e6:.0f} Mbps>"
+        )
+
+
+__all__ = ["Endpoint", "Link", "STACK_LATENCY_S"]

@@ -1,0 +1,117 @@
+"""Store-and-forward Ethernet switch model.
+
+The testbed uses a 24-port managed Gigabit switch; the TCO analysis uses
+48-port Catalyst units.  A switch contributes a fixed forwarding latency
+per hop, bounds how many devices can attach, and draws constant power
+(recorded on a trace so cluster-level meters can include it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.hardware.power import PowerTrace
+from repro.hardware.specs import SwitchSpec, TESTBED_SWITCH
+from repro.net.link import Endpoint, Link
+from repro.sim.kernel import Environment
+
+
+class PortExhaustedError(RuntimeError):
+    """Raised when attaching to a switch with no free ports."""
+
+
+class Switch:
+    """A top-of-rack switch with a fixed number of ports."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        spec: SwitchSpec = TESTBED_SWITCH,
+        env: Optional[Environment] = None,
+        name: str = "switch",
+    ):
+        self.spec = spec
+        self.name = name
+        self.env = env
+        self._clock = clock
+        self.links: Dict[str, Link] = {}
+        self.trunks: set = set()
+        self.trace = PowerTrace(initial_time=clock(), initial_watts=spec.watts)
+
+    @property
+    def ports_total(self) -> int:
+        return self.spec.ports
+
+    @property
+    def ports_used(self) -> int:
+        return len(self.links) + len(self.trunks)
+
+    @property
+    def ports_free(self) -> int:
+        return self.spec.ports - self.ports_used
+
+    @property
+    def forwarding_latency_s(self) -> float:
+        return self.spec.forwarding_latency_s
+
+    @property
+    def watts(self) -> float:
+        """Switches in this model draw constant power."""
+        return self.spec.watts
+
+    def attach(self, endpoint: Endpoint) -> Link:
+        """Attach ``endpoint`` to a free port, returning its link."""
+        if endpoint.name in self.links:
+            raise ValueError(f"endpoint {endpoint.name!r} already attached")
+        if self.ports_free <= 0:
+            raise PortExhaustedError(
+                f"{self.name}: all {self.spec.ports} ports in use"
+            )
+        link = Link(
+            endpoint,
+            port_bandwidth_bps=self.spec.port_bandwidth_bps,
+            env=self.env,
+        )
+        self.links[endpoint.name] = link
+        return link
+
+    def reserve_trunk(self, peer_name: str) -> None:
+        """Consume one port for an inter-switch trunk link."""
+        if peer_name in self.trunks:
+            raise ValueError(f"trunk to {peer_name!r} already reserved")
+        if self.ports_free <= 0:
+            raise PortExhaustedError(
+                f"{self.name}: no port free for trunk to {peer_name!r}"
+            )
+        self.trunks.add(peer_name)
+
+    def detach(self, endpoint_name: str) -> None:
+        """Free the port held by ``endpoint_name``."""
+        if endpoint_name not in self.links:
+            raise KeyError(endpoint_name)
+        del self.links[endpoint_name]
+
+    def link_for(self, endpoint_name: str) -> Link:
+        """The link of an attached endpoint."""
+        return self.links[endpoint_name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Switch {self.name} {self.ports_used}/{self.ports_total} ports>"
+        )
+
+
+def switches_needed(node_count: int, spec: SwitchSpec = TESTBED_SWITCH) -> int:
+    """ToR switches needed to attach ``node_count`` devices.
+
+    This is the appendix's ``N_rack = ceil(N_server-IT / ports)`` term —
+    e.g. 989 SBCs on 48-port Catalysts need 21 switches.
+    """
+    if node_count < 0:
+        raise ValueError(f"negative node count: {node_count}")
+    if node_count == 0:
+        return 0
+    return -(-node_count // spec.ports)  # ceiling division
+
+
+__all__ = ["PortExhaustedError", "Switch", "switches_needed"]

@@ -1,0 +1,99 @@
+"""Cluster network topology graph.
+
+A thin networkx wrapper tying endpoints and switches into one graph so
+the transfer model can resolve paths (endpoint → switch → ... → endpoint)
+and find the bottleneck bandwidth and accumulated forwarding latency
+along them.  The testbed topology is a single switch, but the TCO
+analysis reasons about multi-switch fabrics (989 SBCs across 21 ToR
+switches), so paths through multiple switches are supported via
+inter-switch trunk edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.net.link import Endpoint, Link
+from repro.net.switch import Switch
+
+
+class NetworkTopology:
+    """Endpoints and switches joined into one resolvable graph."""
+
+    def __init__(self):
+        self.graph = nx.Graph()
+        self.endpoints: Dict[str, Endpoint] = {}
+        self.switches: Dict[str, Switch] = {}
+        self.links: Dict[str, Link] = {}
+
+    def add_switch(self, switch: Switch) -> None:
+        if switch.name in self.switches:
+            raise ValueError(f"duplicate switch name {switch.name!r}")
+        self.switches[switch.name] = switch
+        self.graph.add_node(switch.name, kind="switch")
+
+    def attach_endpoint(self, endpoint: Endpoint, switch_name: str) -> Link:
+        """Attach ``endpoint`` to the named switch."""
+        if endpoint.name in self.endpoints:
+            raise ValueError(f"duplicate endpoint name {endpoint.name!r}")
+        switch = self.switches[switch_name]
+        link = switch.attach(endpoint)
+        self.endpoints[endpoint.name] = endpoint
+        self.links[endpoint.name] = link
+        self.graph.add_node(endpoint.name, kind="endpoint")
+        self.graph.add_edge(
+            endpoint.name,
+            switch_name,
+            bandwidth_bps=link.effective_bandwidth_bps,
+        )
+        return link
+
+    def connect_switches(
+        self,
+        a: str,
+        b: str,
+        trunk_bandwidth_bps: float = 1e9,
+    ) -> None:
+        """Join two switches with a trunk link."""
+        if a not in self.switches or b not in self.switches:
+            raise KeyError(f"both {a!r} and {b!r} must be switches")
+        self.switches[a].reserve_trunk(b)
+        self.switches[b].reserve_trunk(a)
+        self.graph.add_edge(a, b, bandwidth_bps=trunk_bandwidth_bps)
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """Shortest node path from ``src`` to ``dst``."""
+        return nx.shortest_path(self.graph, src, dst)
+
+    def path_properties(self, src: str, dst: str) -> Tuple[float, float, int]:
+        """Resolve (bottleneck_bps, switch_latency_s, hop_count) for a path.
+
+        ``switch_latency_s`` is the summed store-and-forward latency of
+        every switch traversed.
+        """
+        nodes = self.path(src, dst)
+        bottleneck = float("inf")
+        switch_latency = 0.0
+        for u, v in zip(nodes, nodes[1:]):
+            bottleneck = min(bottleneck, self.graph.edges[u, v]["bandwidth_bps"])
+        for node in nodes[1:-1]:
+            if self.graph.nodes[node]["kind"] == "switch":
+                switch_latency += self.switches[node].forwarding_latency_s
+        return bottleneck, switch_latency, len(nodes) - 1
+
+    def endpoint(self, name: str) -> Endpoint:
+        return self.endpoints[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NetworkTopology endpoints={len(self.endpoints)} "
+            f"switches={len(self.switches)}>"
+        )
+
+
+__all__ = ["NetworkTopology"]

@@ -1,0 +1,118 @@
+"""Transfer-time and round-trip calculators.
+
+The cluster simulation and the workload profiles need two quantities:
+
+- ``rtt(src, dst)`` — request/response round-trip time for a small
+  message (dominates the network-bound workloads' per-operation cost);
+- ``transfer_s(src, dst, nbytes)`` — time to move a payload end to end
+  (dominates function input/result *overhead* and the object-store
+  workloads).
+
+Both derive from the topology: per-endpoint protocol-stack latency,
+per-switch forwarding latency, and the bottleneck bandwidth along the
+path.  A per-invocation *session overhead* models what a freshly booted
+MicroPython worker pays to open its TCP connection to the orchestrator
+and parse/serialize the JSON payloads — measurably larger on the slow
+ARM core than on x86.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.topology import NetworkTopology
+
+#: Per-invocation session overhead (TCP handshake + JSON codec), seconds.
+SESSION_OVERHEAD_S = {
+    "arm-bare": 28e-3,
+    "x86-virtio": 16e-3,
+    "x86-bare": 8e-3,
+}
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Breakdown of one end-to-end transfer."""
+
+    serialization_s: float
+    latency_s: float
+    session_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.serialization_s + self.latency_s + self.session_s
+
+
+class TransferModel:
+    """Timing calculator bound to a :class:`NetworkTopology`."""
+
+    def __init__(self, topology: NetworkTopology):
+        self.topology = topology
+
+    def one_way_latency_s(self, src: str, dst: str) -> float:
+        """Small-message one-way latency: stacks plus switch hops."""
+        _bw, switch_latency, _hops = self.topology.path_properties(src, dst)
+        src_stack = self.topology.endpoint(src).stack_latency_s
+        dst_stack = self.topology.endpoint(dst).stack_latency_s
+        return src_stack + dst_stack + switch_latency
+
+    def rtt_s(self, src: str, dst: str) -> float:
+        """Request/response round trip for a small message."""
+        return 2.0 * self.one_way_latency_s(src, dst)
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        include_session: bool = False,
+    ) -> TransferEstimate:
+        """Estimate moving ``nbytes`` from ``src`` to ``dst``.
+
+        ``include_session`` adds the source's per-invocation session
+        overhead (connection setup and payload codec) — used once per
+        function invocation, not per service operation.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        bottleneck, _switch_latency, _hops = self.topology.path_properties(
+            src, dst
+        )
+        serialization = nbytes * 8.0 / bottleneck
+        latency = self.one_way_latency_s(src, dst)
+        session = (
+            SESSION_OVERHEAD_S[self.topology.endpoint(src).host_class]
+            if include_session
+            else 0.0
+        )
+        return TransferEstimate(
+            serialization_s=serialization,
+            latency_s=latency,
+            session_s=session,
+        )
+
+    def transfer_s(self, src: str, dst: str, nbytes: int) -> float:
+        """Shorthand for ``transfer(...).total_s`` without session cost."""
+        return self.transfer(src, dst, nbytes).total_s
+
+    def invocation_overhead_s(
+        self,
+        orchestrator: str,
+        worker: str,
+        input_bytes: int,
+        output_bytes: int,
+    ) -> float:
+        """Fig. 3 'Overhead': receive input + return result + session.
+
+        This is the time a worker spends on invocation plumbing rather
+        than executing the function body.
+        """
+        inbound = self.transfer(orchestrator, worker, input_bytes)
+        outbound = self.transfer(worker, orchestrator, output_bytes)
+        session = SESSION_OVERHEAD_S[
+            self.topology.endpoint(worker).host_class
+        ]
+        return inbound.total_s + outbound.total_s + session
+
+
+__all__ = ["SESSION_OVERHEAD_S", "TransferEstimate", "TransferModel"]

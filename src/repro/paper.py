@@ -1,0 +1,88 @@
+"""Every number the paper publishes, in one place.
+
+Tests, benchmarks, and experiments compare against these constants so
+the provenance of each expectation is explicit.  Section references are
+to Byrne et al., "MicroFaaS: Energy-efficient Serverless on Bare-metal
+Single-board Computers," DATE 2022.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+# -- Sec. IV-A: worker OS ----------------------------------------------------
+
+#: Final boot times of the optimized worker OS, seconds.
+BOOT_ARM_S = 1.51
+BOOT_X86_S = 0.96
+#: Sec. III-a: rack servers take 55+ s to reboot; SBCs < 2 s.
+RACK_SERVER_REBOOT_S = 55.0
+SBC_REBOOT_LIMIT_S = 2.0
+
+# -- Sec. IV-B / V: clusters ---------------------------------------------------
+
+MICROFAAS_WORKERS = 10
+CONVENTIONAL_VMS = 6
+HOST_CORES = 12
+HOST_RAM_BYTES = 16 * 1024**3
+VM_RAM_BYTES = 512 * 1024**2
+
+#: Measured cluster capacities, functions per minute.
+MICROFAAS_FUNC_PER_MIN = 200.6
+CONVENTIONAL_FUNC_PER_MIN = 211.7
+
+#: Measured energy per function, joules; and the headline ratio.
+MICROFAAS_J_PER_FUNC = 5.7
+CONVENTIONAL_J_PER_FUNC = 32.0
+ENERGY_EFFICIENCY_RATIO = 5.6
+#: Fig. 4: the conventional cluster's peak efficiency at saturation.
+CONVENTIONAL_PEAK_J_PER_FUNC = 16.1
+
+#: Sec. V: of the 17 functions, MicroFaaS runs this many faster, and
+#: this many more at better than half the conventional speed.
+FIG3_FASTER_ON_MICROFAAS = 4
+FIG3_ABOVE_HALF_SPEED = 9
+
+# -- Appendix: cost model ---------------------------------------------------------
+
+SERVER_COST_USD = 2011.0
+SBC_COST_USD = 52.50
+SWITCH_COST_USD = 500.0
+SWITCH_PORTS = 48
+SWITCH_WATTS = 40.87
+CABLE_USD_PER_NODE = 1.80
+PUE = 1.3
+SPUE = 1.2
+ELECTRICITY_USD_PER_KWH = 0.10
+SERVER_LOADED_WATTS = 150.0
+SERVER_IDLE_WATTS = 60.0
+SBC_LOADED_WATTS = 1.96
+SBC_IDLE_WATTS = 0.128
+RACK_SERVERS = 41
+RACK_SBCS = 989
+RACK_SBC_SWITCHES = 21
+#: The energy horizon consistent with all four Table II energy cells:
+#: 5 years of 8,640-hour (360-day) years.
+TCO_LIFETIME_HOURS = 43_200.0
+
+#: Table II, to the dollar: (scenario, deployment) ->
+#: (compute, network, energy, total).
+TABLE2_USD = MappingProxyType(
+    {
+        ("ideal", "conventional"): (82_451, 574, 41_676, 124_701),
+        ("ideal", "microfaas"): (51_923, 12_280, 17_884, 82_087),
+        ("realistic", "conventional"): (86_791, 574, 29_242, 116_607),
+        ("realistic", "microfaas"): (54_655, 12_280, 11_778, 78_713),
+    }
+)
+
+#: Sec. V: the TCO savings range.
+TCO_SAVINGS_IDEAL = 0.342
+TCO_SAVINGS_REALISTIC = 0.325
+
+# -- Footnote 4: reliability -------------------------------------------------------
+
+SBC_MTBF_HOURS = 2_320_456.0
+SERVER_BOARD_MTBF_HOURS = 234_708.0
+
+__all__ = [name for name in dir() if name.isupper()]

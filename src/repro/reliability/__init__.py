@@ -1,0 +1,34 @@
+"""Reliability substrate: failures, replacement, and fleet availability.
+
+Sec. III-c argues SBC fleets fail less often than rack servers (no
+moving parts, less heat; cites a 2.3M-hour SBC MTBF vs a 235k-hour
+server-board MTBF) and the TCO model's "realistic" scenario assumes a
+95 % online rate.  This package makes those claims executable:
+
+- :mod:`repro.reliability.mtbf` — exponential failure models from the
+  cited MTBF figures, fleet availability math, expected replacements.
+- :mod:`repro.reliability.faults` — fault injection into the cluster
+  simulation: workers die mid-job, the orchestrator detects the loss
+  and resubmits, hot spares power on.
+"""
+
+from repro.reliability.faults import FaultInjector, FaultPlan
+from repro.reliability.mtbf import (
+    SBC_MTBF_HOURS,
+    SERVER_MTBF_HOURS,
+    FailureModel,
+    expected_replacements,
+    fleet_availability,
+    online_rate_after,
+)
+
+__all__ = [
+    "FailureModel",
+    "FaultInjector",
+    "FaultPlan",
+    "SBC_MTBF_HOURS",
+    "SERVER_MTBF_HOURS",
+    "expected_replacements",
+    "fleet_availability",
+    "online_rate_after",
+]

@@ -1,0 +1,20 @@
+"""Live local FaaS platform.
+
+Runs the 17 workload functions *for real* — actual SHA-256 cascades,
+actual AES-128, actual SQL queries against the in-process services — on
+a pool of worker threads with MicroFaaS-style run-to-completion
+semantics (each worker handles one invocation at a time and resets its
+scratch state between jobs).  This is the layer the examples and the
+Table I characterization use; the cluster simulation handles timing and
+energy questions.
+"""
+
+from repro.runtime.localworker import LocalWorker, WorkItem
+from repro.runtime.platform import InvocationOutcome, LocalFaaSPlatform
+
+__all__ = [
+    "InvocationOutcome",
+    "LocalFaaSPlatform",
+    "LocalWorker",
+    "WorkItem",
+]

@@ -1,0 +1,41 @@
+"""Backend services the network-bound workloads exercise.
+
+The paper's testbed dedicates extra SBCs to hosting Redis, PostgreSQL,
+MinIO, and Kafka for the network-bound workload functions (Table I).
+None of those servers are available here, so this package provides
+from-scratch, in-process equivalents with real request/response
+semantics:
+
+- :mod:`repro.services.kvstore` — a Redis-style key-value store with
+  TTLs, counters, and a command-list protocol.
+- :mod:`repro.services.sqldb` — a small SQL engine (CREATE/INSERT/
+  SELECT/UPDATE/DELETE with WHERE, ORDER BY, LIMIT).
+- :mod:`repro.services.objectstore` — a MinIO-style bucket/object store
+  with ETags and prefix listing.
+- :mod:`repro.services.mq` — a Kafka-style partitioned log with consumer
+  groups and offset commits.
+- :mod:`repro.services.latency` — calibrated per-operation service times
+  used by the simulation layer.
+"""
+
+from repro.services.backend import BackendCapacityModel, BackendFleet
+from repro.services.kvstore import KeyValueStore, KvError
+from repro.services.latency import SERVICE_LATENCY, ServiceLatencyModel
+from repro.services.mq import MessageQueue, MqError
+from repro.services.objectstore import ObjectStore, ObjectStoreError
+from repro.services.sqldb import SqlDatabase, SqlError
+
+__all__ = [
+    "BackendCapacityModel",
+    "BackendFleet",
+    "KeyValueStore",
+    "KvError",
+    "MessageQueue",
+    "MqError",
+    "ObjectStore",
+    "ObjectStoreError",
+    "SERVICE_LATENCY",
+    "ServiceLatencyModel",
+    "SqlDatabase",
+    "SqlError",
+]

@@ -1,0 +1,201 @@
+"""A Kafka-style partitioned message queue (MQProduce/MQConsume backend).
+
+Topics are split into partitions, each an append-only log.  Producing
+with a key routes deterministically to a partition (hash of the key);
+keyless records round-robin.  Consumer groups track committed offsets
+per partition, so multiple consumers in a group share a topic while
+separate groups each see every record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class MqError(Exception):
+    """Base error for the message queue."""
+
+
+class NoSuchTopic(MqError):
+    pass
+
+
+class TopicAlreadyExists(MqError):
+    pass
+
+
+@dataclass(frozen=True)
+class Record:
+    """One message in a partition log."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: Optional[str]
+    value: str
+    timestamp: float
+
+
+@dataclass
+class _Partition:
+    log: List[Record] = field(default_factory=list)
+
+    @property
+    def end_offset(self) -> int:
+        return len(self.log)
+
+
+class MessageQueue:
+    """Topics, partitions, producers, and consumer groups."""
+
+    def __init__(self, clock: Callable[[], float] = _time.monotonic):
+        self._clock = clock
+        self._topics: Dict[str, List[_Partition]] = {}
+        #: (group, topic, partition) -> committed offset
+        self._offsets: Dict[Tuple[str, str, int], int] = {}
+        self._round_robin: Dict[str, int] = {}
+        self.records_produced = 0
+        self.records_consumed = 0
+
+    # -- topics -----------------------------------------------------------------
+
+    def create_topic(self, topic: str, partitions: int = 1) -> None:
+        if partitions < 1:
+            raise MqError(f"partitions must be >= 1, got {partitions}")
+        if topic in self._topics:
+            raise TopicAlreadyExists(topic)
+        self._topics[topic] = [_Partition() for _ in range(partitions)]
+        self._round_robin[topic] = 0
+
+    def delete_topic(self, topic: str) -> None:
+        self._partitions(topic)
+        del self._topics[topic]
+        del self._round_robin[topic]
+        self._offsets = {
+            key: offset
+            for key, offset in self._offsets.items()
+            if key[1] != topic
+        }
+
+    def list_topics(self) -> List[str]:
+        return sorted(self._topics)
+
+    def partition_count(self, topic: str) -> int:
+        return len(self._partitions(topic))
+
+    def _partitions(self, topic: str) -> List[_Partition]:
+        if topic not in self._topics:
+            raise NoSuchTopic(topic)
+        return self._topics[topic]
+
+    # -- producing ----------------------------------------------------------------
+
+    def partition_for_key(self, topic: str, key: Optional[str]) -> int:
+        """Deterministic partition routing (stable across processes)."""
+        partitions = self._partitions(topic)
+        if key is None:
+            index = self._round_robin[topic]
+            self._round_robin[topic] = (index + 1) % len(partitions)
+            return index
+        digest = hashlib.sha256(key.encode()).digest()
+        return int.from_bytes(digest[:4], "big") % len(partitions)
+
+    def produce(
+        self, topic: str, value: str, key: Optional[str] = None
+    ) -> Record:
+        """Append a record, returning it with its assigned offset."""
+        partition_index = self.partition_for_key(topic, key)
+        partition = self._partitions(topic)[partition_index]
+        record = Record(
+            topic=topic,
+            partition=partition_index,
+            offset=partition.end_offset,
+            key=key,
+            value=value,
+            timestamp=self._clock(),
+        )
+        partition.log.append(record)
+        self.records_produced += 1
+        return record
+
+    # -- consuming ----------------------------------------------------------------
+
+    def committed_offset(self, group: str, topic: str, partition: int) -> int:
+        self._check_partition(topic, partition)
+        return self._offsets.get((group, topic, partition), 0)
+
+    def poll(
+        self,
+        group: str,
+        topic: str,
+        max_records: int = 1,
+        partition: Optional[int] = None,
+    ) -> List[Record]:
+        """Fetch up to ``max_records`` uncommitted records for ``group``.
+
+        Polling does not advance offsets; call :meth:`commit` after
+        processing (at-least-once semantics, like Kafka's default).
+        """
+        if max_records < 1:
+            raise MqError(f"max_records must be >= 1, got {max_records}")
+        partitions = self._partitions(topic)
+        indices = (
+            range(len(partitions)) if partition is None else [partition]
+        )
+        fetched: List[Record] = []
+        for index in indices:
+            self._check_partition(topic, index)
+            offset = self._offsets.get((group, topic, index), 0)
+            for record in partitions[index].log[offset:]:
+                if len(fetched) >= max_records:
+                    return fetched
+                fetched.append(record)
+        return fetched
+
+    def commit(self, group: str, record: Record) -> None:
+        """Mark everything up to and including ``record`` as consumed."""
+        self._check_partition(record.topic, record.partition)
+        key = (group, record.topic, record.partition)
+        current = self._offsets.get(key, 0)
+        if record.offset + 1 > current:
+            self.records_consumed += record.offset + 1 - current
+            self._offsets[key] = record.offset + 1
+
+    def consume_one(
+        self, group: str, topic: str, partition: Optional[int] = None
+    ) -> Optional[Record]:
+        """Poll-and-commit a single record (what MQConsume does)."""
+        records = self.poll(group, topic, max_records=1, partition=partition)
+        if not records:
+            return None
+        self.commit(group, records[0])
+        return records[0]
+
+    def lag(self, group: str, topic: str) -> int:
+        """Total uncommitted records across the topic for ``group``."""
+        partitions = self._partitions(topic)
+        return sum(
+            partition.end_offset
+            - self._offsets.get((group, topic, index), 0)
+            for index, partition in enumerate(partitions)
+        )
+
+    def _check_partition(self, topic: str, partition: int) -> None:
+        partitions = self._partitions(topic)
+        if not 0 <= partition < len(partitions):
+            raise MqError(
+                f"topic {topic!r} has no partition {partition} "
+                f"(has {len(partitions)})"
+            )
+
+
+__all__ = [
+    "MessageQueue",
+    "MqError",
+    "NoSuchTopic",
+    "Record",
+    "TopicAlreadyExists",
+]

@@ -1,0 +1,824 @@
+"""A small relational SQL engine (the PostgreSQL stand-in).
+
+Implements the SQL subset the SQLSelect/SQLUpdate workloads (and the
+examples) need, parsed with a hand-written tokenizer and recursive-
+descent parser:
+
+- ``CREATE TABLE name (col TYPE [PRIMARY KEY], ...)`` / ``DROP TABLE``
+- ``INSERT INTO name [(cols)] VALUES (...), (...)``
+- ``SELECT cols|*|COUNT(*) FROM name [WHERE expr] [ORDER BY col [DESC]]
+  [LIMIT n]``
+- ``UPDATE name SET col = expr, ... [WHERE expr]``
+- ``DELETE FROM name [WHERE expr]``
+
+Expressions support arithmetic (``+ - * /``), comparisons
+(``= != <> < <= > >=``), ``AND/OR/NOT``, parentheses, ``LIKE`` with
+``%``/``_`` wildcards, and ``IS [NOT] NULL``.  Types are ``INTEGER``,
+``REAL``, and ``TEXT`` with insert-time checking; ``PRIMARY KEY``
+enforces uniqueness.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Row = Dict[str, Any]
+
+
+class SqlError(Exception):
+    """Raised for syntax errors, type errors, and constraint violations."""
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>\d+\.\d+|\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|\*|\+|-|/|;|\.)
+    )
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "INSERT", "INTO",
+    "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "DROP",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "NULL", "LIKE", "IS",
+    "PRIMARY", "KEY", "INTEGER", "REAL", "TEXT", "COUNT",
+    "JOIN", "ON", "GROUP", "SUM", "AVG", "MIN", "MAX",
+}
+
+#: Aggregate keywords usable in a select list.
+AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op"
+    text: str
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split a statement into tokens; raises :class:`SqlError` on junk."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            remainder = sql[position:].strip()
+            if not remainder:
+                break
+            raise SqlError(f"cannot tokenize near {remainder[:20]!r}")
+        position = match.end()
+        if match.lastgroup == "number":
+            tokens.append(Token("number", match.group("number")))
+        elif match.lastgroup == "string":
+            raw = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(Token("string", raw))
+        elif match.lastgroup == "ident":
+            text = match.group("ident")
+            if text.upper() in KEYWORDS:
+                tokens.append(Token("keyword", text.upper()))
+            else:
+                tokens.append(Token("ident", text))
+        else:
+            op = match.group("op")
+            if op == ";":
+                break  # statement terminator
+            tokens.append(Token("op", op))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Expression AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+    def evaluate(self, row: Row) -> Any:
+        if self.name not in row:
+            raise SqlError(f"unknown column {self.name!r}")
+        return row[self.name]
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # "NOT" | "-"
+    operand: Any
+
+    def evaluate(self, row: Row) -> Any:
+        value = self.operand.evaluate(row)
+        if self.op == "NOT":
+            return not bool(value)
+        if self.op == "-":
+            if value is None:
+                return None
+            return -value
+        raise SqlError(f"unknown unary operator {self.op!r}")
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    regex = re.escape(pattern).replace(r"%", ".*").replace(r"_", ".")
+    return re.compile(f"^{regex}$", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str
+    left: Any
+    right: Any
+
+    def evaluate(self, row: Row) -> Any:
+        if self.op == "AND":
+            return bool(self.left.evaluate(row)) and bool(self.right.evaluate(row))
+        if self.op == "OR":
+            return bool(self.left.evaluate(row)) or bool(self.right.evaluate(row))
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if self.op == "IS":
+            return lhs is None if rhs is None else lhs == rhs
+        if self.op == "IS NOT":
+            return lhs is not None if rhs is None else lhs != rhs
+        if lhs is None or rhs is None:
+            return None  # SQL three-valued logic collapses to NULL
+        if self.op == "LIKE":
+            if not isinstance(lhs, str) or not isinstance(rhs, str):
+                raise SqlError("LIKE requires text operands")
+            return bool(_like_to_regex(rhs).match(lhs))
+        comparisons: Dict[str, Callable[[Any, Any], Any]] = {
+            "=": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            "<>": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b,
+        }
+        if self.op not in comparisons:
+            raise SqlError(f"unknown operator {self.op!r}")
+        try:
+            return comparisons[self.op](lhs, rhs)
+        except TypeError:
+            raise SqlError(
+                f"type error: {lhs!r} {self.op} {rhs!r}"
+            ) from None
+        except ZeroDivisionError:
+            raise SqlError("division by zero") from None
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self) -> Optional[Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of statement")
+        self.position += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        return self.advance()
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            wanted = text or kind
+            raise SqlError(
+                f"expected {wanted}, got "
+                f"{actual.text if actual else 'end of statement'!r}"
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    def parse_expression(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        node = self._parse_and()
+        while self.accept("keyword", "OR"):
+            node = BinaryOp("OR", node, self._parse_and())
+        return node
+
+    def _parse_and(self):
+        node = self._parse_not()
+        while self.accept("keyword", "AND"):
+            node = BinaryOp("AND", node, self._parse_not())
+        return node
+
+    def _parse_not(self):
+        if self.accept("keyword", "NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        node = self._parse_additive()
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.text in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            op = self.advance().text
+            return BinaryOp(op, node, self._parse_additive())
+        if token is not None and token.kind == "keyword" and token.text == "LIKE":
+            self.advance()
+            return BinaryOp("LIKE", node, self._parse_additive())
+        if token is not None and token.kind == "keyword" and token.text == "IS":
+            self.advance()
+            negate = self.accept("keyword", "NOT") is not None
+            self.expect("keyword", "NULL")
+            return BinaryOp("IS NOT" if negate else "IS", node, Literal(None))
+        return node
+
+    def _parse_additive(self):
+        node = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token is not None and token.kind == "op" and token.text in ("+", "-"):
+                op = self.advance().text
+                node = BinaryOp(op, node, self._parse_multiplicative())
+            else:
+                return node
+
+    def _parse_multiplicative(self):
+        node = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token is not None and token.kind == "op" and token.text in ("*", "/"):
+                op = self.advance().text
+                node = BinaryOp(op, node, self._parse_primary())
+            else:
+                return node
+
+    def parse_column_name(self) -> str:
+        """An optionally qualified column name: ``col`` or ``table.col``."""
+        name = self.expect("ident").text
+        if self.accept("op", "."):
+            name = f"{name}.{self.expect('ident').text}"
+        return name
+
+    def _parse_primary(self):
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of expression")
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text)
+        if token.kind == "keyword" and token.text == "NULL":
+            self.advance()
+            return Literal(None)
+        if token.kind == "ident":
+            self.advance()
+            name = token.text
+            if self.accept("op", "."):
+                name = f"{name}.{self.expect('ident').text}"
+            return ColumnRef(name)
+        if token.kind == "op" and token.text == "-":
+            self.advance()
+            return UnaryOp("-", self._parse_primary())
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            node = self.parse_expression()
+            self.expect("op", ")")
+            return node
+        raise SqlError(f"unexpected token {token.text!r} in expression")
+
+
+# ---------------------------------------------------------------------------
+# Schema and storage
+# ---------------------------------------------------------------------------
+
+_PYTHON_TYPES = {
+    "INTEGER": (int,),
+    "REAL": (int, float),  # integers coerce to REAL
+    "TEXT": (str,),
+}
+
+
+@dataclass
+class Column:
+    name: str
+    sql_type: str
+    primary_key: bool = False
+
+    def check(self, value: Any) -> Any:
+        if value is None:
+            if self.primary_key:
+                raise SqlError(f"primary key {self.name!r} cannot be NULL")
+            return None
+        if not isinstance(value, _PYTHON_TYPES[self.sql_type]):
+            raise SqlError(
+                f"column {self.name!r} expects {self.sql_type}, "
+                f"got {type(value).__name__}"
+            )
+        if self.sql_type == "REAL":
+            return float(value)
+        return value
+
+
+@dataclass
+class Table:
+    name: str
+    columns: List[Column]
+    rows: List[Row] = field(default_factory=list)
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def primary_key(self) -> Optional[Column]:
+        for column in self.columns:
+            if column.primary_key:
+                return column
+        return None
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """Result of a statement: selected rows and/or an affected-row count."""
+
+    rows: Tuple[Row, ...] = ()
+    rowcount: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row (for COUNT(*) etc.)."""
+        if not self.rows:
+            raise SqlError("result set is empty")
+        first = self.rows[0]
+        return next(iter(first.values()))
+
+
+class SqlDatabase:
+    """The engine: tables plus an ``execute(sql)`` entry point."""
+
+    def __init__(self):
+        self.tables: Dict[str, Table] = {}
+        self.statements_executed = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and run one SQL statement."""
+        self.statements_executed += 1
+        tokens = tokenize(sql)
+        if not tokens:
+            raise SqlError("empty statement")
+        parser = _Parser(tokens)
+        keyword = parser.expect("keyword").text
+        handlers = {
+            "CREATE": self._create,
+            "DROP": self._drop,
+            "INSERT": self._insert,
+            "SELECT": self._select,
+            "UPDATE": self._update,
+            "DELETE": self._delete,
+        }
+        if keyword not in handlers:
+            raise SqlError(f"unsupported statement {keyword!r}")
+        result = handlers[keyword](parser)
+        if not parser.at_end():
+            raise SqlError(f"trailing tokens after statement: {parser.peek().text!r}")
+        return result
+
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise SqlError(f"no such table {name!r}")
+        return self.tables[name]
+
+    # -- statements ---------------------------------------------------------------
+
+    def _create(self, parser: _Parser) -> ResultSet:
+        parser.expect("keyword", "TABLE")
+        name = parser.expect("ident").text
+        if name in self.tables:
+            raise SqlError(f"table {name!r} already exists")
+        parser.expect("op", "(")
+        columns: List[Column] = []
+        while True:
+            column_name = parser.expect("ident").text
+            type_token = parser.expect("keyword")
+            if type_token.text not in _PYTHON_TYPES:
+                raise SqlError(f"unknown type {type_token.text!r}")
+            primary = False
+            if parser.accept("keyword", "PRIMARY"):
+                parser.expect("keyword", "KEY")
+                primary = True
+            columns.append(Column(column_name, type_token.text, primary))
+            if parser.accept("op", ")"):
+                break
+            parser.expect("op", ",")
+        if len({c.name for c in columns}) != len(columns):
+            raise SqlError("duplicate column names")
+        if sum(1 for c in columns if c.primary_key) > 1:
+            raise SqlError("at most one PRIMARY KEY column")
+        self.tables[name] = Table(name, columns)
+        return ResultSet()
+
+    def _drop(self, parser: _Parser) -> ResultSet:
+        parser.expect("keyword", "TABLE")
+        name = parser.expect("ident").text
+        if name not in self.tables:
+            raise SqlError(f"no such table {name!r}")
+        del self.tables[name]
+        return ResultSet()
+
+    def _insert(self, parser: _Parser) -> ResultSet:
+        parser.expect("keyword", "INTO")
+        table = self.table(parser.expect("ident").text)
+        if parser.accept("op", "("):
+            column_names = [parser.expect("ident").text]
+            while parser.accept("op", ","):
+                column_names.append(parser.expect("ident").text)
+            parser.expect("op", ")")
+        else:
+            column_names = table.column_names
+        unknown = set(column_names) - set(table.column_names)
+        if unknown:
+            raise SqlError(f"unknown columns {sorted(unknown)}")
+        parser.expect("keyword", "VALUES")
+        inserted = 0
+        while True:
+            parser.expect("op", "(")
+            values = [parser.parse_expression().evaluate({})]
+            while parser.accept("op", ","):
+                values.append(parser.parse_expression().evaluate({}))
+            parser.expect("op", ")")
+            if len(values) != len(column_names):
+                raise SqlError(
+                    f"expected {len(column_names)} values, got {len(values)}"
+                )
+            row: Row = {c.name: None for c in table.columns}
+            for column_name, value in zip(column_names, values):
+                column = next(c for c in table.columns if c.name == column_name)
+                row[column_name] = column.check(value)
+            self._check_primary_key(table, row)
+            table.rows.append(row)
+            inserted += 1
+            if not parser.accept("op", ","):
+                break
+        return ResultSet(rowcount=inserted)
+
+    @staticmethod
+    def _check_primary_key(table: Table, row: Row, ignore: Optional[Row] = None) -> None:
+        pk = table.primary_key
+        if pk is None:
+            return
+        value = row[pk.name]
+        if value is None:
+            raise SqlError(f"primary key {pk.name!r} cannot be NULL")
+        for existing in table.rows:
+            if existing is ignore:
+                continue
+            if existing[pk.name] == value:
+                raise SqlError(
+                    f"duplicate primary key {value!r} in table {table.name!r}"
+                )
+
+    # -- SELECT ---------------------------------------------------------------------
+
+    @staticmethod
+    def _parse_select_list(parser: _Parser) -> List[Tuple[str, ...]]:
+        """Parse the projection: ``*``, columns, and/or aggregates.
+
+        Items are ``("star",)``, ``("col", name)``, or
+        ``("agg", fn, column_or_star, output_name)``.
+        """
+        if parser.accept("op", "*"):
+            return [("star",)]
+        items: List[Tuple[str, ...]] = []
+        while True:
+            token = parser.peek()
+            if (
+                token is not None
+                and token.kind == "keyword"
+                and token.text in AGGREGATES
+            ):
+                fn = parser.advance().text
+                parser.expect("op", "(")
+                if fn == "COUNT" and parser.accept("op", "*"):
+                    argument = "*"
+                    output = "count"
+                else:
+                    argument = parser.parse_column_name()
+                    output = f"{fn.lower()}_{argument.replace('.', '_')}"
+                parser.expect("op", ")")
+                items.append(("agg", fn, argument, output))
+            else:
+                items.append(("col", parser.parse_column_name()))
+            if not parser.accept("op", ","):
+                return items
+
+    def _join_rows(
+        self, left: Table, right: Table, on_left: str, on_right: str
+    ) -> Tuple[List[Row], List[str]]:
+        """Inner equi-join; returns combined rows and output columns.
+
+        Combined rows carry qualified keys (``table.col``) for every
+        column plus unqualified aliases for names unique to one side.
+        """
+        def resolve(name: str) -> Tuple[Table, str]:
+            if "." in name:
+                table_name, column = name.split(".", 1)
+                table = {left.name: left, right.name: right}.get(table_name)
+                if table is None:
+                    raise SqlError(f"unknown table qualifier {table_name!r}")
+            else:
+                column = name
+                owners = [
+                    t for t in (left, right) if column in t.column_names
+                ]
+                if len(owners) != 1:
+                    raise SqlError(f"ambiguous join column {name!r}")
+                table = owners[0]
+            if column not in table.column_names:
+                raise SqlError(f"unknown column {name!r}")
+            return table, column
+
+        left_table, left_col = resolve(on_left)
+        right_table, right_col = resolve(on_right)
+        if left_table is right_table:
+            raise SqlError("join condition must reference both tables")
+        if left_table is right:
+            left_col, right_col = right_col, left_col
+        shared = set(left.column_names) & set(right.column_names)
+        # Hash join on the right side.
+        index: Dict[Any, List[Row]] = {}
+        for row in right.rows:
+            index.setdefault(row[right_col], []).append(row)
+        combined: List[Row] = []
+        for row in left.rows:
+            key = row[left_col]
+            if key is None:
+                continue  # NULLs never join
+            for match in index.get(key, ()):
+                merged: Row = {}
+                for column, value in row.items():
+                    merged[f"{left.name}.{column}"] = value
+                    if column not in shared:
+                        merged[column] = value
+                for column, value in match.items():
+                    merged[f"{right.name}.{column}"] = value
+                    if column not in shared:
+                        merged[column] = value
+                combined.append(merged)
+        output_columns = [f"{left.name}.{c}" for c in left.column_names] + [
+            f"{right.name}.{c}" for c in right.column_names
+        ]
+        return combined, output_columns
+
+    @staticmethod
+    def _aggregate(fn: str, values: List[Any]) -> Any:
+        """SQL aggregate semantics: NULLs are ignored; empty => NULL
+        (except COUNT, which yields 0)."""
+        present = [v for v in values if v is not None]
+        if fn == "COUNT":
+            return len(present)
+        if not present:
+            return None
+        if fn == "SUM":
+            return sum(present)
+        if fn == "AVG":
+            return sum(present) / len(present)
+        if fn == "MIN":
+            return min(present)
+        if fn == "MAX":
+            return max(present)
+        raise SqlError(f"unknown aggregate {fn!r}")
+
+    def _select(self, parser: _Parser) -> ResultSet:
+        items = self._parse_select_list(parser)
+        parser.expect("keyword", "FROM")
+        table = self.table(parser.expect("ident").text)
+        if parser.accept("keyword", "JOIN"):
+            other = self.table(parser.expect("ident").text)
+            parser.expect("keyword", "ON")
+            on_left = parser.parse_column_name()
+            parser.expect("op", "=")
+            on_right = parser.parse_column_name()
+            rows, all_columns = self._join_rows(table, other, on_left, on_right)
+            schema_keys = set(all_columns) | {
+                key for row in rows[:1] for key in row
+            }
+            if not rows:
+                # No sample row: derive unqualified aliases from schemas.
+                shared = set(table.column_names) & set(other.column_names)
+                schema_keys |= {
+                    c
+                    for t in (table, other)
+                    for c in t.column_names
+                    if c not in shared
+                }
+        else:
+            rows = table.rows
+            all_columns = list(table.column_names)
+            schema_keys = set(all_columns)
+        # Expand '*' and validate projections.
+        columns: List[str] = []
+        aggregates: List[Tuple[str, str, str]] = []  # (fn, arg, output)
+        for item in items:
+            if item[0] == "star":
+                columns.extend(all_columns)
+            elif item[0] == "col":
+                if item[1] not in schema_keys:
+                    raise SqlError(f"unknown column {item[1]!r}")
+                columns.append(item[1])
+            else:
+                _tag, fn, argument, output = item
+                if argument != "*" and argument not in schema_keys:
+                    raise SqlError(f"unknown column {argument!r}")
+                aggregates.append((fn, argument, output))
+        predicate = None
+        if parser.accept("keyword", "WHERE"):
+            predicate = parser.parse_expression()
+        selected = [
+            row for row in rows
+            if predicate is None or bool(predicate.evaluate(row))
+        ]
+        group_column: Optional[str] = None
+        if parser.accept("keyword", "GROUP"):
+            parser.expect("keyword", "BY")
+            group_column = parser.parse_column_name()
+            if group_column not in schema_keys:
+                raise SqlError(f"unknown GROUP BY column {group_column!r}")
+        if aggregates or group_column is not None:
+            output = self._grouped_result(
+                selected, columns, aggregates, group_column
+            )
+        else:
+            output = None
+        # ORDER BY applies to source rows for plain queries and to the
+        # produced rows for grouped/aggregated ones.
+        if parser.accept("keyword", "ORDER"):
+            parser.expect("keyword", "BY")
+            order_column = parser.parse_column_name()
+            descending = False
+            if parser.accept("keyword", "DESC"):
+                descending = True
+            else:
+                parser.accept("keyword", "ASC")
+            target = output if output is not None else selected
+            if output is not None:
+                if output and order_column not in output[0]:
+                    raise SqlError(
+                        f"unknown ORDER BY column {order_column!r}"
+                    )
+            elif order_column not in schema_keys:
+                raise SqlError(f"unknown ORDER BY column {order_column!r}")
+            target.sort(
+                key=lambda r: (r[order_column] is None, r[order_column]),
+                reverse=descending,
+            )
+        if parser.accept("keyword", "LIMIT"):
+            limit_token = parser.expect("number")
+            limit = int(limit_token.text)
+            if limit < 0:
+                raise SqlError("LIMIT must be non-negative")
+            if output is not None:
+                output = output[:limit]
+            else:
+                selected = selected[:limit]
+        if output is not None:
+            return ResultSet(rows=tuple(output), rowcount=len(output))
+        projected = tuple(
+            {name: row[name] for name in columns} for row in selected
+        )
+        return ResultSet(rows=projected, rowcount=len(projected))
+
+    def _grouped_result(
+        self,
+        selected: List[Row],
+        columns: List[str],
+        aggregates: List[Tuple[str, str, str]],
+        group_column: Optional[str],
+    ) -> List[Row]:
+        """Evaluate aggregates, optionally per group."""
+        stray = [c for c in columns if c != group_column]
+        if stray:
+            raise SqlError(
+                f"non-aggregate columns {stray} require GROUP BY on them"
+            )
+        if group_column is None:
+            row: Row = {}
+            for fn, argument, output in aggregates:
+                values = (
+                    [1] * len(selected) if argument == "*"
+                    else [r[argument] for r in selected]
+                )
+                row[output] = self._aggregate(fn, values)
+            return [row]
+        groups: Dict[Any, List[Row]] = {}
+        for row in selected:
+            groups.setdefault(row[group_column], []).append(row)
+        result: List[Row] = []
+        for key in sorted(groups, key=lambda k: (k is None, k)):
+            members = groups[key]
+            out: Row = {group_column: key}
+            for fn, argument, output in aggregates:
+                values = (
+                    [1] * len(members) if argument == "*"
+                    else [r[argument] for r in members]
+                )
+                out[output] = self._aggregate(fn, values)
+            result.append(out)
+        return result
+
+    def _update(self, parser: _Parser) -> ResultSet:
+        table = self.table(parser.expect("ident").text)
+        parser.expect("keyword", "SET")
+        assignments: List[Tuple[str, Any]] = []
+        while True:
+            column_name = parser.expect("ident").text
+            if column_name not in table.column_names:
+                raise SqlError(f"unknown column {column_name!r}")
+            parser.expect("op", "=")
+            assignments.append((column_name, parser.parse_expression()))
+            if not parser.accept("op", ","):
+                break
+        predicate = None
+        if parser.accept("keyword", "WHERE"):
+            predicate = parser.parse_expression()
+        updated = 0
+        for row in table.rows:
+            if predicate is not None and not bool(predicate.evaluate(row)):
+                continue
+            new_values = {}
+            for column_name, expression in assignments:
+                column = next(c for c in table.columns if c.name == column_name)
+                new_values[column_name] = column.check(expression.evaluate(row))
+            candidate = {**row, **new_values}
+            if table.primary_key and table.primary_key.name in new_values:
+                self._check_primary_key(table, candidate, ignore=row)
+            row.update(new_values)
+            updated += 1
+        return ResultSet(rowcount=updated)
+
+    def _delete(self, parser: _Parser) -> ResultSet:
+        parser.expect("keyword", "FROM")
+        table = self.table(parser.expect("ident").text)
+        predicate = None
+        if parser.accept("keyword", "WHERE"):
+            predicate = parser.parse_expression()
+        keep = []
+        deleted = 0
+        for row in table.rows:
+            if predicate is None or bool(predicate.evaluate(row)):
+                deleted += 1
+            else:
+                keep.append(row)
+        table.rows = keep
+        return ResultSet(rowcount=deleted)
+
+
+__all__ = ["ResultSet", "SqlDatabase", "SqlError", "tokenize"]

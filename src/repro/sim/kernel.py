@@ -1,0 +1,398 @@
+"""Core event loop and process machinery for the simulation kernel.
+
+The design follows the classic discrete-event pattern: a priority queue of
+``(time, priority, sequence, event)`` tuples, where each event carries a
+list of callbacks.  Generator-based processes interact with the loop by
+yielding events; when a yielded event fires, the process is resumed with
+the event's value (or the event's exception is thrown into it).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Scheduling priority for "urgent" events (fire before normal events that
+#: share the same timestamp).  Used internally for process resumption so a
+#: process observes the state left behind by the event that woke it.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary value describing why the interrupt happened.  Retrieved
+        via :attr:`cause` inside the interrupted process.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events start *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    schedules them on the environment's queue.  Processes wait on events by
+    yielding them.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (not via :meth:`fail`)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with.
+
+        Raises
+        ------
+        SimulationError
+            If the event has not been triggered yet.
+        """
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every process waiting on the event.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._processed = True
+        self.callbacks = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._triggered = True
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process at its creation time."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    A process is itself an event that fires when the generator returns,
+    carrying the generator's return value; other processes can therefore
+    wait for its completion by yielding it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The interrupt is delivered as an urgent event at the current time.
+        Interrupting a finished process is an error; interrupting a process
+        that is about to be resumed is allowed (the interrupt wins).
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        failure = Event(self.env)
+        failure._triggered = True
+        failure._exception = Interrupt(cause)
+        failure.callbacks.append(self._resume)
+        # Detach from the event we were waiting on so the normal resume
+        # callback becomes a no-op when that event eventually fires.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env._schedule(failure, URGENT, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self.env._active_process = self
+        try:
+            if event._exception is None:
+                next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._exception)
+        except StopIteration as stop:
+            self._triggered = True
+            self._value = stop.value
+            self.env._schedule(self, NORMAL, 0.0)
+            return
+        except BaseException as exc:
+            self._triggered = True
+            self._exception = exc
+            self.env._schedule(self, NORMAL, 0.0)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {next_event!r}"
+            )
+        if next_event.env is not self.env:
+            raise SimulationError("cannot wait on event from another environment")
+        self._wait_on(next_event)
+
+    def _wait_on(self, event: Event) -> None:
+        if event.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            trampoline = Event(self.env)
+            trampoline._triggered = True
+            trampoline._value = event._value
+            trampoline._exception = event._exception
+            trampoline.callbacks.append(self._resume)
+            self.env._schedule(trampoline, URGENT, 0.0)
+            self._target = trampoline
+        else:
+            event.callbacks.append(self._resume)
+            self._target = event
+
+
+class ConditionEvent(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf` event composition."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("condition mixes environments")
+        self._fired_count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+            if self._triggered:
+                break
+
+    def _condition_met(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._fired_count += 1
+        if event._exception is not None:
+            self.fail(event._exception)
+        elif self._condition_met():
+            self.succeed(
+                {e: e._value for e in self.events if e.processed and e.ok}
+            )
+
+
+class AnyOf(ConditionEvent):
+    """Fires when *any* constituent event fires."""
+
+    def _condition_met(self) -> bool:
+        return self._fired_count >= 1
+
+
+class AllOf(ConditionEvent):
+    """Fires when *all* constituent events have fired."""
+
+    def _condition_met(self) -> bool:
+        return self._fired_count >= len(self.events)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling and execution -------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event._mark_processed()
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif event._exception is not None and not isinstance(
+            event._exception, Interrupt
+        ):
+            # An event failed with nobody listening: surface the error
+            # rather than letting it pass silently.
+            raise event._exception
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the event queue drains;
+            a number — run until that simulated time;
+            an :class:`Event` — run until that event fires, returning its
+            value.
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at} is in the past (now={self._now})"
+                )
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_at is not None and self.peek() > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError("run(until=event) exhausted queue first")
+            return stop_event.value
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Environment t={self._now:.6g} queued={len(self._queue)}>"

@@ -1,0 +1,304 @@
+"""Queued resources for the simulation kernel.
+
+Three classic resource types:
+
+- :class:`Resource` — a fixed number of slots claimed/released by processes
+  (e.g. CPU cores, switch ports).
+- :class:`PriorityResource` — same, with lower-number-first queueing.
+- :class:`Store` — a FIFO buffer of Python objects (e.g. job queues).
+- :class:`Container` — a continuous quantity (e.g. battery charge).
+
+All requests are events, so processes simply ``yield resource.request()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently claimed."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the claim succeeds."""
+        req = Request(self)
+        self._waiting.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot.
+
+        Releasing an ungranted (still-queued) request cancels it instead.
+        """
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiting and len(self.users) < self.capacity:
+            req = self._pop_next()
+            self.users.append(req)
+            req.succeed(req)
+
+    def _pop_next(self) -> Request:
+        return self._waiting.popleft()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: list[tuple[int, int, Request]] = []
+        self._seq = 0
+
+    def request(self, priority: int = 0) -> Request:  # type: ignore[override]
+        req = Request(self, priority=priority)
+        self._seq += 1
+        heapq.heappush(self._heap, (priority, self._seq, req))
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            self._heap = [
+                entry for entry in self._heap if entry[2] is not request
+            ]
+            heapq.heapify(self._heap)
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _prio, _seq, req = heapq.heappop(self._heap)
+            self.users.append(req)
+            req.succeed(req)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+
+class StorePut(Event):
+    """Pending insertion into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]):
+        super().__init__(store.env)
+        self.predicate = predicate
+
+
+class Store:
+    """A FIFO buffer of arbitrary items with optional capacity.
+
+    ``get`` accepts an optional predicate, turning the store into a filter
+    queue (first matching item wins).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._putters: deque[StorePut] = deque()
+        self._getters: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; fires once there is room."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove and return the first (matching) item; fires when found."""
+        event = StoreGet(self, predicate)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending put or get request."""
+        if isinstance(event, StorePut):
+            try:
+                self._putters.remove(event)
+            except ValueError:
+                pass
+        elif isinstance(event, StoreGet):
+            try:
+                self._getters.remove(event)
+            except ValueError:
+                pass
+        else:
+            raise TypeError(f"not a store event: {event!r}")
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit queued putters while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Satisfy getters (possibly filtered).
+            remaining: deque[StoreGet] = deque()
+            while self._getters:
+                get = self._getters.popleft()
+                index = self._find(get.predicate)
+                if index is None:
+                    remaining.append(get)
+                else:
+                    item = self.items.pop(index)
+                    get.succeed(item)
+                    progress = True
+            self._getters = remaining
+
+    def _find(self, predicate: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if predicate is None:
+            return 0 if self.items else None
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                return index
+        return None
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        self.amount = amount
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        self.amount = amount
+
+
+class Container:
+    """A continuous quantity with blocking put/get semantics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init={init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: deque[ContainerPut] = deque()
+        self._getters: deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount held."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; fires when it fits under capacity."""
+        if amount <= 0:
+            raise ValueError(f"put amount must be positive, got {amount}")
+        event = ContainerPut(self, amount)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; fires when that much is available."""
+        if amount <= 0:
+            raise ValueError(f"get amount must be positive, got {amount}")
+        event = ContainerGet(self, amount)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                put = self._putters[0]
+                if self._level + put.amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += put.amount
+                    put.succeed()
+                    progress = True
+            if self._getters:
+                get = self._getters[0]
+                if get.amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= get.amount
+                    get.succeed()
+                    progress = True
+
+
+__all__ = [
+    "Container",
+    "PriorityResource",
+    "Request",
+    "Resource",
+    "Store",
+    "StoreGet",
+    "StorePut",
+]

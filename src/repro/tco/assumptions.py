@@ -1,0 +1,116 @@
+"""Cost-model assumptions from the paper's appendix.
+
+Every number here is stated in the appendix (or Sec. V):
+
+- Dell PowerEdge R6515 at $2,011; BeagleBone Black at $52.50.
+- Refurbished Catalyst 2960S-48LPS at $500, drawing 40.87 W, 48 ports.
+- $1.80 of Cat6 per node (6 ft at $0.30/ft).
+- Benchmark datacenter: PUE 1.3, SPUE 1.2, $0.10/kWh.
+- Server: 150 W loaded / 60 W idle.  SBC: 1.96 W loaded / 0.128 W
+  "fully powered down".
+- 5-year depreciation.  The energy horizon is 43,200 hours — 8,640 h
+  per year (360-day years); this is the only horizon consistent with
+  all four of Table II's energy cells.
+- Rack contents: 41 servers + 1 ToR switch vs. a throughput-equivalent
+  989 SBCs + 21 ToR switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostAssumptions:
+    """Datacenter-wide constants (Cui et al. benchmark datacenter)."""
+
+    pue: float = 1.3
+    spue: float = 1.2
+    electricity_usd_per_kwh: float = 0.10
+    lifetime_hours: float = 43_200.0  # 5 years x 8,640 h
+    cable_usd_per_node: float = 1.80
+
+    def __post_init__(self) -> None:
+        if self.pue < 1.0 or self.spue < 1.0:
+            raise ValueError("PUE and SPUE cannot be below 1.0")
+        if self.electricity_usd_per_kwh <= 0:
+            raise ValueError("electricity price must be positive")
+        if self.lifetime_hours <= 0:
+            raise ValueError("lifetime must be positive")
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """One rack's worth of one technology."""
+
+    name: str
+    node_count: int
+    node_cost_usd: float
+    node_loaded_watts: float
+    node_idle_watts: float
+    switch_count: int
+    switch_cost_usd: float = 500.0
+    switch_watts: float = 40.87
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ValueError("need at least one node")
+        if self.switch_count < 0:
+            raise ValueError("switch count cannot be negative")
+        if self.node_idle_watts > self.node_loaded_watts:
+            raise ValueError("idle power above loaded power")
+        for field_name in ("node_cost_usd", "switch_cost_usd"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} cannot be negative")
+
+
+@dataclass(frozen=True)
+class OperatingConditions:
+    """Utilization and online-rate scenario (Table II columns)."""
+
+    name: str
+    utilization: float  # fraction of time nodes are loaded
+    online_rate: float  # fraction of nodes that never need replacing
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        if not 0.0 < self.online_rate <= 1.0:
+            raise ValueError("online rate must be in (0, 1]")
+
+
+#: Table II's two scenarios.
+IDEAL = OperatingConditions(name="ideal", utilization=1.0, online_rate=1.0)
+REALISTIC = OperatingConditions(
+    name="realistic", utilization=0.5, online_rate=0.95
+)
+
+#: 41 mid-range rack servers + 1 refurbished ToR switch.
+PAPER_CONVENTIONAL_RACK = DeploymentSpec(
+    name="conventional",
+    node_count=41,
+    node_cost_usd=2011.0,
+    node_loaded_watts=150.0,
+    node_idle_watts=60.0,
+    switch_count=1,
+)
+
+#: Throughput-equivalent MicroFaaS deployment: 989 SBCs + 21 switches.
+PAPER_MICROFAAS_RACK = DeploymentSpec(
+    name="microfaas",
+    node_count=989,
+    node_cost_usd=52.50,
+    node_loaded_watts=1.96,
+    node_idle_watts=0.128,
+    switch_count=21,
+)
+
+__all__ = [
+    "CostAssumptions",
+    "DeploymentSpec",
+    "IDEAL",
+    "OperatingConditions",
+    "PAPER_CONVENTIONAL_RACK",
+    "PAPER_MICROFAAS_RACK",
+    "REALISTIC",
+]

@@ -1,0 +1,111 @@
+"""The simplified Cui et al. TCO model (Sec. V / appendix).
+
+Three components (the paper drops the original model's infrastructure
+and maintenance terms):
+
+- **Compute** (server acquisition, ``C_s``): nodes x unit price, divided
+  by the online rate — a 95 % OR means ~5 % of nodes must be bought
+  again over the lifetime.
+- **Network** (``C_n``): switches x unit price + nodes x per-node
+  cabling.
+- **Energy** (``C_p``): node power (interpolated between loaded and idle
+  by utilization) x SPUE, plus switch power, all x PUE x lifetime hours
+  x electricity price.  Online rate does not scale energy (replaced
+  nodes consume in place of the failed ones).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tco.assumptions import (
+    CostAssumptions,
+    DeploymentSpec,
+    OperatingConditions,
+)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One Table II column: the three expenses plus the total."""
+
+    compute_usd: float
+    network_usd: float
+    energy_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.network_usd + self.energy_usd
+
+    def rounded(self) -> "CostBreakdown":
+        """Whole-dollar rounding, as Table II presents (its totals are
+        sums of the rounded components).
+
+        Rounds half away from zero — Python's built-in ``round`` uses
+        banker's rounding, which would turn the paper's $51,922.50 SBC
+        acquisition cell into $51,922 instead of its printed $51,923.
+        """
+        def half_up(value: float) -> float:
+            return math.floor(value + 0.5)
+
+        return CostBreakdown(
+            compute_usd=half_up(self.compute_usd),
+            network_usd=half_up(self.network_usd),
+            energy_usd=half_up(self.energy_usd),
+        )
+
+
+class TcoModel:
+    """Evaluate deployments under the appendix assumptions."""
+
+    def __init__(self, assumptions: CostAssumptions = CostAssumptions()):
+        self.assumptions = assumptions
+
+    def compute_cost(
+        self, spec: DeploymentSpec, conditions: OperatingConditions
+    ) -> float:
+        """Server acquisition cost over the lifetime."""
+        return spec.node_count * spec.node_cost_usd / conditions.online_rate
+
+    def network_cost(self, spec: DeploymentSpec) -> float:
+        """Switch acquisition plus per-node cabling."""
+        return (
+            spec.switch_count * spec.switch_cost_usd
+            + spec.node_count * self.assumptions.cable_usd_per_node
+        )
+
+    def average_node_watts(
+        self, spec: DeploymentSpec, conditions: OperatingConditions
+    ) -> float:
+        """Utilization-weighted node power draw."""
+        u = conditions.utilization
+        return u * spec.node_loaded_watts + (1 - u) * spec.node_idle_watts
+
+    def energy_cost(
+        self, spec: DeploymentSpec, conditions: OperatingConditions
+    ) -> float:
+        """Lifetime electricity cost of the deployment."""
+        a = self.assumptions
+        node_watts = (
+            spec.node_count
+            * self.average_node_watts(spec, conditions)
+            * a.spue
+        )
+        switch_watts = spec.switch_count * spec.switch_watts
+        total_watts = (node_watts + switch_watts) * a.pue
+        kwh = total_watts * a.lifetime_hours / 1000.0
+        return kwh * a.electricity_usd_per_kwh
+
+    def evaluate(
+        self, spec: DeploymentSpec, conditions: OperatingConditions
+    ) -> CostBreakdown:
+        """Full cost breakdown for one deployment under one scenario."""
+        return CostBreakdown(
+            compute_usd=self.compute_cost(spec, conditions),
+            network_usd=self.network_cost(spec),
+            energy_usd=self.energy_cost(spec, conditions),
+        )
+
+
+__all__ = ["CostBreakdown", "TcoModel"]

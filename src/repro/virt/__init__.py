@@ -1,0 +1,28 @@
+"""Virtualization substrate: microVMs on a hypervisor host.
+
+Models the conventional cluster's execution environment (Sec. V): QEMU
+"microVM"-style guests, each with one vCPU and 512 MB RAM, scheduled
+onto the rack server's physical cores by a hypervisor.  CPU contention
+emerges naturally once vCPU demand exceeds physical cores — which is
+exactly the saturation mechanism behind Fig. 4.
+
+- :mod:`repro.virt.hypervisor` — vCPU-on-core scheduler with time
+  quanta, context-switch cost, and host-power bookkeeping.
+- :mod:`repro.virt.microvm` — VM lifecycle (boot/run/reboot) and the
+  CPU/IO execution helpers the VM worker process uses.
+- :mod:`repro.virt.overhead` — virtualization overhead constants and
+  RAM-based VM placement limits.
+"""
+
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.microvm import MicroVm, MicroVmSpec, VmState
+from repro.virt.overhead import VirtualizationOverhead, max_vms_for_host
+
+__all__ = [
+    "Hypervisor",
+    "MicroVm",
+    "MicroVmSpec",
+    "VirtualizationOverhead",
+    "VmState",
+    "max_vms_for_host",
+]

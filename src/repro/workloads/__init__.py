@@ -1,0 +1,56 @@
+"""The paper's 17-function workload suite (Table I).
+
+Every function is implemented *for real* in pure Python — including a
+from-scratch AES-128 — so the suite runs both on the live local platform
+(:mod:`repro.runtime`) and, via calibrated timing profiles
+(:mod:`repro.workloads.profiles`), inside the cluster simulation.
+
+CPU/RAM-bound: FloatOps, CascSHA, CascMD5, MatMul, HTMLGen, AES128,
+Decompress, RegExSearch, RegExMatch.
+
+Network-bound: RedisInsert, RedisUpdate, SQLSelect, SQLUpdate, COSGet,
+COSPut, MQProduce, MQConsume.
+"""
+
+from repro.workloads.base import (
+    ALL_FUNCTION_NAMES,
+    CPU_BOUND,
+    NETWORK_BOUND,
+    ServiceBundle,
+    WorkloadFunction,
+    get_function,
+    registry,
+)
+from repro.workloads.profiles import (
+    PROFILES,
+    FunctionProfile,
+    profile_for,
+)
+
+# Import the function modules for their registration side effects.
+from repro.workloads import (  # noqa: F401  (registration imports)
+    aes128,
+    cascsha,
+    cos_ops,
+    decompress,
+    floatops,
+    htmlgen,
+    matmul,
+    mq_ops,
+    redis_ops,
+    regexfn,
+    sql_ops,
+)
+
+__all__ = [
+    "ALL_FUNCTION_NAMES",
+    "CPU_BOUND",
+    "NETWORK_BOUND",
+    "FunctionProfile",
+    "PROFILES",
+    "ServiceBundle",
+    "WorkloadFunction",
+    "get_function",
+    "profile_for",
+    "registry",
+]

@@ -1,0 +1,315 @@
+"""AES128 workload: cascading AES-128 encryption/decryption.
+
+Contains a complete from-scratch AES-128 implementation (FIPS-197):
+S-boxes, key expansion, the four round transformations and their
+inverses, plus a CTR-mode helper.  The workload function encrypts a
+message through ``rounds`` cascading ECB passes and then decrypts it
+back, verifying the round trip — the same shape as FunctionBench's
+crypto benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.base import (
+    CPU_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+# ---------------------------------------------------------------------------
+# AES-128 primitives (FIPS-197)
+# ---------------------------------------------------------------------------
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Derive the S-box from GF(2^8) inverses and the affine transform."""
+    # Multiplicative inverse table via exp/log tables on generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 (generator) in GF(2^8)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inverse(a: int) -> int:
+        return 0 if a == 0 else exp[255 - log[a]]
+
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = inverse(value)
+        transformed = 0
+        for bit in range(8):
+            transformed |= (
+                (
+                    (inv >> bit)
+                    ^ (inv >> ((bit + 4) % 8))
+                    ^ (inv >> ((bit + 5) % 8))
+                    ^ (inv >> ((bit + 6) % 8))
+                    ^ (inv >> ((bit + 7) % 8))
+                    ^ (0x63 >> bit)
+                )
+                & 1
+            ) << bit
+        sbox[value] = transformed
+    inv_sbox = bytearray(256)
+    for value, substituted in enumerate(sbox):
+        inv_sbox[substituted] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """General GF(2^8) multiplication (used by InvMixColumns)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def expand_key(key: bytes) -> List[bytes]:
+    """Expand a 16-byte key into 11 round keys."""
+    if len(key) != 16:
+        raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    for round_index in range(10):
+        previous = words[-1]
+        # RotWord + SubWord + Rcon
+        rotated = previous[1:] + previous[:1]
+        substituted = bytes(SBOX[b] for b in rotated)
+        head = bytes(
+            (substituted[i] ^ words[-4][i] ^ (_RCON[round_index] if i == 0 else 0))
+            for i in range(4)
+        )
+        words.append(head)
+        for _ in range(3):
+            words.append(bytes(a ^ b for a, b in zip(words[-1], words[-4])))
+    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(11)]
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: bytearray) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: bytearray) -> None:
+    for i in range(16):
+        state[i] = INV_SBOX[state[i]]
+
+
+# State layout: column-major — state[4*c + r] is row r, column c.
+def _shift_rows(state: bytearray) -> None:
+    for row in range(1, 4):
+        column_values = [state[4 * col + row] for col in range(4)]
+        shifted = column_values[row:] + column_values[:row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _inv_shift_rows(state: bytearray) -> None:
+    for row in range(1, 4):
+        column_values = [state[4 * col + row] for col in range(4)]
+        shifted = column_values[-row:] + column_values[:-row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _mix_columns(state: bytearray) -> None:
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        state[4 * col + 0] = _xtime(a[0]) ^ _xtime(a[1]) ^ a[1] ^ a[2] ^ a[3]
+        state[4 * col + 1] = a[0] ^ _xtime(a[1]) ^ _xtime(a[2]) ^ a[2] ^ a[3]
+        state[4 * col + 2] = a[0] ^ a[1] ^ _xtime(a[2]) ^ _xtime(a[3]) ^ a[3]
+        state[4 * col + 3] = _xtime(a[0]) ^ a[0] ^ a[1] ^ a[2] ^ _xtime(a[3])
+
+
+def _inv_mix_columns(state: bytearray) -> None:
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        state[4 * col + 0] = (
+            _gf_mul(a[0], 14) ^ _gf_mul(a[1], 11) ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9)
+        )
+        state[4 * col + 1] = (
+            _gf_mul(a[0], 9) ^ _gf_mul(a[1], 14) ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13)
+        )
+        state[4 * col + 2] = (
+            _gf_mul(a[0], 13) ^ _gf_mul(a[1], 9) ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11)
+        )
+        state[4 * col + 3] = (
+            _gf_mul(a[0], 11) ^ _gf_mul(a[1], 13) ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14)
+        )
+
+
+def encrypt_block(block: bytes, round_keys: List[bytes]) -> bytes:
+    """Encrypt one 16-byte block."""
+    if len(block) != 16:
+        raise ValueError(f"block must be 16 bytes, got {len(block)}")
+    state = bytearray(block)
+    _add_round_key(state, round_keys[0])
+    for round_index in range(1, 10):
+        _sub_bytes(state)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[round_index])
+    _sub_bytes(state)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[10])
+    return bytes(state)
+
+
+def decrypt_block(block: bytes, round_keys: List[bytes]) -> bytes:
+    """Decrypt one 16-byte block."""
+    if len(block) != 16:
+        raise ValueError(f"block must be 16 bytes, got {len(block)}")
+    state = bytearray(block)
+    _add_round_key(state, round_keys[10])
+    for round_index in range(9, 0, -1):
+        _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        _add_round_key(state, round_keys[round_index])
+        _inv_mix_columns(state)
+    _inv_shift_rows(state)
+    _inv_sub_bytes(state)
+    _add_round_key(state, round_keys[0])
+    return bytes(state)
+
+
+def pad_pkcs7(data: bytes) -> bytes:
+    """PKCS#7 pad to a 16-byte multiple."""
+    pad = 16 - len(data) % 16
+    return data + bytes([pad]) * pad
+
+
+def unpad_pkcs7(data: bytes) -> bytes:
+    """Remove PKCS#7 padding (validating it)."""
+    if not data or len(data) % 16:
+        raise ValueError("invalid padded length")
+    pad = data[-1]
+    if not 1 <= pad <= 16 or data[-pad:] != bytes([pad]) * pad:
+        raise ValueError("invalid PKCS#7 padding")
+    return data[:-pad]
+
+
+def encrypt_ecb(data: bytes, key: bytes) -> bytes:
+    """ECB encrypt with PKCS#7 padding."""
+    round_keys = expand_key(key)
+    padded = pad_pkcs7(data)
+    return b"".join(
+        encrypt_block(padded[i : i + 16], round_keys)
+        for i in range(0, len(padded), 16)
+    )
+
+
+def decrypt_ecb(data: bytes, key: bytes) -> bytes:
+    """ECB decrypt and unpad."""
+    round_keys = expand_key(key)
+    plaintext = b"".join(
+        decrypt_block(data[i : i + 16], round_keys)
+        for i in range(0, len(data), 16)
+    )
+    return unpad_pkcs7(plaintext)
+
+
+def ctr_keystream_xor(data: bytes, key: bytes, nonce: bytes) -> bytes:
+    """CTR mode: encrypt == decrypt; ``nonce`` is 8 bytes."""
+    if len(nonce) != 8:
+        raise ValueError(f"nonce must be 8 bytes, got {len(nonce)}")
+    round_keys = expand_key(key)
+    out = bytearray(len(data))
+    for block_index in range((len(data) + 15) // 16):
+        counter = nonce + block_index.to_bytes(8, "big")
+        keystream = encrypt_block(counter, round_keys)
+        offset = 16 * block_index
+        chunk = data[offset : offset + 16]
+        for i, byte in enumerate(chunk):
+            out[offset + i] = byte ^ keystream[i]
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Workload function
+# ---------------------------------------------------------------------------
+
+
+@register
+class Aes128Workload(WorkloadFunction):
+    """Table I ``AES128``: cascading AES-128 encryption/decryption."""
+
+    name = "AES128"
+    category = CPU_BOUND
+    description = "cascading AES128 encryption/decryption"
+    from_functionbench = True
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        length = max(16, int(256 * scale))
+        message = bytes(rng.randrange(256) for _ in range(length))
+        key = bytes(rng.randrange(256) for _ in range(16))
+        return {
+            "message_hex": message.hex(),
+            "key_hex": key.hex(),
+            "rounds": max(1, int(6 * scale)),
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        message = bytes.fromhex(payload["message_hex"])
+        key = bytes.fromhex(payload["key_hex"])
+        rounds = int(payload["rounds"])
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        ciphertext = message
+        for _ in range(rounds):
+            ciphertext = encrypt_ecb(ciphertext, key)
+        recovered = ciphertext
+        for _ in range(rounds):
+            recovered = decrypt_ecb(recovered, key)
+        if recovered != message:
+            raise RuntimeError("AES cascade round-trip failed")
+        return {
+            "ciphertext_len": len(ciphertext),
+            "ciphertext_head_hex": ciphertext[:16].hex(),
+            "verified": True,
+        }
+
+
+__all__ = [
+    "Aes128Workload",
+    "INV_SBOX",
+    "SBOX",
+    "ctr_keystream_xor",
+    "decrypt_block",
+    "decrypt_ecb",
+    "encrypt_block",
+    "encrypt_ecb",
+    "expand_key",
+    "pad_pkcs7",
+    "unpad_pkcs7",
+]

@@ -1,0 +1,74 @@
+"""CascSHA and CascMD5 workloads: cascading hash calculations.
+
+Each round feeds the previous digest back into the hash, so the chain
+cannot be parallelized or skipped — a classic CPU-bound serverless
+microbenchmark.  The paper notes CascSHA is where the SBC most misses a
+cryptographic accelerator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.workloads.base import (
+    CPU_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+
+def cascade_digest(algorithm: str, seed: bytes, rounds: int) -> bytes:
+    """Apply ``algorithm`` ``rounds`` times, feeding each digest forward."""
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    digest = seed
+    for _ in range(rounds):
+        hasher = hashlib.new(algorithm)
+        hasher.update(digest)
+        digest = hasher.digest()
+    return digest
+
+
+class _CascadeBase(WorkloadFunction):
+    algorithm = ""
+    default_rounds = 0
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        seed = bytes(rng.randrange(256) for _ in range(64))
+        return {
+            "seed_hex": seed.hex(),
+            "rounds": max(1, int(self.default_rounds * scale)),
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        seed = bytes.fromhex(payload["seed_hex"])
+        digest = cascade_digest(self.algorithm, seed, int(payload["rounds"]))
+        return {"digest_hex": digest.hex(), "rounds": int(payload["rounds"])}
+
+
+@register
+class CascShaWorkload(_CascadeBase):
+    """Table I ``CascSHA``: cascading SHA-256."""
+
+    name = "CascSHA"
+    category = CPU_BOUND
+    description = "cascading SHA256 hash calculations"
+    algorithm = "sha256"
+    default_rounds = 30_000
+
+
+@register
+class CascMd5Workload(_CascadeBase):
+    """Table I ``CascMD5``: cascading MD5."""
+
+    name = "CascMD5"
+    category = CPU_BOUND
+    description = "cascading MD5 hash calculations"
+    algorithm = "md5"
+    default_rounds = 40_000
+
+
+__all__ = ["CascMd5Workload", "CascShaWorkload", "cascade_digest"]

@@ -1,0 +1,75 @@
+"""COSGet and COSPut workloads: cloud object store download/upload.
+
+``COSGet`` downloads a sample object and verifies its ETag (the
+integrity check is what makes the slow ARM core's TCP+MD5 path visible
+in Fig. 3); ``COSPut`` uploads a generated blob and returns the ETag.
+Both are adapted from FunctionBench's storage benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.workloads.base import (
+    NETWORK_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+
+@register
+class CosGetWorkload(WorkloadFunction):
+    """Table I ``COSGet``: download from MinIO cloud object store."""
+
+    name = "COSGet"
+    category = NETWORK_BOUND
+    description = "download from MinIO cloud object store"
+    from_functionbench = True
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        return {
+            "bucket": "faas-data",
+            "key": f"objects/sample-{rng.randrange(8)}",
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        services.seed_defaults()
+        obj = services.cos.get_object(payload["bucket"], payload["key"])
+        digest = hashlib.md5(obj.data).hexdigest()
+        if digest != obj.etag:
+            raise RuntimeError("downloaded object failed ETag verification")
+        return {"bytes": obj.size, "etag": obj.etag, "verified": True}
+
+
+@register
+class CosPutWorkload(WorkloadFunction):
+    """Table I ``COSPut``: upload to MinIO cloud object store."""
+
+    name = "COSPut"
+    category = NETWORK_BOUND
+    description = "upload to MinIO cloud object store"
+    from_functionbench = True
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        nbytes = max(1, int(12_288 * scale))
+        return {
+            "bucket": "faas-data",
+            "key": f"uploads/blob-{rng.randrange(10**9):09d}",
+            "data_hex": bytes(
+                rng.randrange(256) for _ in range(nbytes)
+            ).hex(),
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        services.seed_defaults()
+        data = bytes.fromhex(payload["data_hex"])
+        etag = services.cos.put_object(
+            payload["bucket"], payload["key"], data
+        )
+        return {"bytes": len(data), "etag": etag}
+
+
+__all__ = ["CosGetWorkload", "CosPutWorkload"]

@@ -1,0 +1,66 @@
+"""Decompress workload: extract a DEFLATE-compressed string.
+
+The orchestrator ships a compressed blob; the worker inflates it and
+returns a digest of the plaintext (MicroPython exposes raw DEFLATE via
+``zlib.decompress``, which this mirrors).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import zlib
+
+from repro.workloads.base import (
+    CPU_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+_CORPUS_WORDS = (
+    "serverless", "function", "energy", "proportional", "cluster",
+    "beaglebone", "orchestration", "invocation", "throughput", "latency",
+)
+
+
+def make_compressible_text(rng: random.Random, nbytes: int) -> bytes:
+    """Build repetitive text of roughly ``nbytes`` (compresses well)."""
+    if nbytes < 1:
+        raise ValueError("nbytes must be >= 1")
+    parts = []
+    size = 0
+    while size < nbytes:
+        sentence = " ".join(rng.choice(_CORPUS_WORDS) for _ in range(12)) + ". "
+        parts.append(sentence)
+        size += len(sentence)
+    return "".join(parts).encode()[:nbytes]
+
+
+@register
+class DecompressWorkload(WorkloadFunction):
+    """Table I ``Decompress``."""
+
+    name = "Decompress"
+    category = CPU_BOUND
+    description = "extract a DEFLATE-compressed string"
+    from_functionbench = True
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        plaintext = make_compressible_text(rng, max(64, int(600_000 * scale)))
+        return {
+            "compressed_hex": zlib.compress(plaintext, level=6).hex(),
+            "plain_sha256": hashlib.sha256(plaintext).hexdigest(),
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        compressed = bytes.fromhex(payload["compressed_hex"])
+        plaintext = zlib.decompress(compressed)
+        digest = hashlib.sha256(plaintext).hexdigest()
+        if digest != payload["plain_sha256"]:
+            raise RuntimeError("decompressed payload failed checksum")
+        return {"plain_bytes": len(plaintext), "sha256": digest}
+
+
+__all__ = ["DecompressWorkload", "make_compressible_text"]

@@ -1,0 +1,49 @@
+"""FloatOps workload: floating-point trigonometric operations.
+
+Adapted from FunctionBench's ``float_operation``: a tight loop of
+``sin``/``cos``/``sqrt`` over a running value, returning a checksum so
+the work cannot be optimized away.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.workloads.base import (
+    CPU_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+
+@register
+class FloatOpsWorkload(WorkloadFunction):
+    """Table I ``FloatOps``."""
+
+    name = "FloatOps"
+    category = CPU_BOUND
+    description = "floating-point trigonometric operations"
+    from_functionbench = True
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        return {
+            "iterations": max(1, int(120_000 * scale)),
+            "seed_value": rng.uniform(0.1, 10.0),
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        iterations = int(payload["iterations"])
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        value = float(payload["seed_value"])
+        checksum = 0.0
+        for i in range(iterations):
+            value = math.sin(value) + math.cos(value)
+            checksum += math.sqrt(abs(value) + 1.0)
+        return {"checksum": checksum, "iterations": iterations}
+
+
+__all__ = ["FloatOpsWorkload"]

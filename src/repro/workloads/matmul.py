@@ -1,0 +1,94 @@
+"""MatMul workload: large random matrix multiplication.
+
+Adapted from FunctionBench's ``matmul``.  Implemented over plain Python
+lists (MicroPython workers have no NumPy), with a deterministic LCG
+filling the matrices so the orchestrator only ships a seed and a size —
+just as the paper's control plane would.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.base import (
+    CPU_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+Matrix = List[List[float]]
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+def lcg_matrix(seed: int, n: int) -> Matrix:
+    """Fill an n-by-n matrix with a 64-bit LCG stream in [0, 1)."""
+    if n < 1:
+        raise ValueError("matrix size must be >= 1")
+    state = seed & _LCG_MASK
+    rows: Matrix = []
+    for _ in range(n):
+        row = []
+        for _ in range(n):
+            state = (_LCG_A * state + _LCG_C) & _LCG_MASK
+            row.append((state >> 11) / float(1 << 53))
+        rows.append(row)
+    return rows
+
+
+def matmul(a: Matrix, b: Matrix) -> Matrix:
+    """Plain O(n^3) matrix multiply with an inner-loop transpose."""
+    n = len(a)
+    if n == 0 or any(len(row) != len(b) for row in a):
+        raise ValueError("incompatible matrix shapes")
+    width = len(b[0])
+    if any(len(row) != width for row in b):
+        raise ValueError("ragged right-hand matrix")
+    b_transposed = [[b[k][j] for k in range(len(b))] for j in range(width)]
+    result: Matrix = []
+    for row in a:
+        out_row = []
+        for col in b_transposed:
+            total = 0.0
+            for x, y in zip(row, col):
+                total += x * y
+            out_row.append(total)
+        result.append(out_row)
+    return result
+
+
+def trace(m: Matrix) -> float:
+    """Sum of the diagonal (the result checksum the worker returns)."""
+    return sum(m[i][i] for i in range(len(m)))
+
+
+@register
+class MatMulWorkload(WorkloadFunction):
+    """Table I ``MatMul``."""
+
+    name = "MatMul"
+    category = CPU_BOUND
+    description = "large random matrix multiplication"
+    from_functionbench = True
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        return {
+            "size": max(2, int(48 * scale)),
+            "seed_a": rng.getrandbits(63),
+            "seed_b": rng.getrandbits(63),
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        n = int(payload["size"])
+        a = lcg_matrix(int(payload["seed_a"]), n)
+        b = lcg_matrix(int(payload["seed_b"]), n)
+        product = matmul(a, b)
+        return {"size": n, "trace": trace(product)}
+
+
+__all__ = ["MatMulWorkload", "lcg_matrix", "matmul", "trace"]

@@ -1,0 +1,76 @@
+"""MQProduce and MQConsume workloads: Kafka topic interaction.
+
+``MQProduce`` appends a small batch of messages to the ``jobs`` topic;
+``MQConsume`` drains a few from its consumer group.  Both are dominated
+by per-record round trips in the cluster simulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import (
+    NETWORK_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+
+@register
+class MqProduceWorkload(WorkloadFunction):
+    """Table I ``MQProduce``: send message to Kafka topic."""
+
+    name = "MQProduce"
+    category = NETWORK_BOUND
+    description = "send message to Kafka topic"
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        count = max(1, int(10 * scale))
+        return {
+            "topic": "jobs",
+            "key": f"producer-{rng.randrange(1000)}",
+            "messages": [
+                f"event-{rng.randrange(10**9):09d}" for _ in range(count)
+            ],
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        services.seed_defaults()
+        offsets = []
+        for message in payload["messages"]:
+            record = services.mq.produce(
+                payload["topic"], message, key=payload["key"]
+            )
+            offsets.append(record.offset)
+        return {"produced": len(offsets), "last_offset": offsets[-1]}
+
+
+@register
+class MqConsumeWorkload(WorkloadFunction):
+    """Table I ``MQConsume``: receive message from Kafka topic."""
+
+    name = "MQConsume"
+    category = NETWORK_BOUND
+    description = "receive message from Kafka topic"
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        return {
+            "topic": "jobs",
+            "group": f"worker-group-{rng.randrange(4)}",
+            "max_records": max(1, int(10 * scale)),
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        services.seed_defaults()
+        consumed = []
+        for _ in range(int(payload["max_records"])):
+            record = services.mq.consume_one(payload["group"], payload["topic"])
+            if record is None:
+                break
+            consumed.append(record.value)
+        return {"consumed": len(consumed)}
+
+
+__all__ = ["MqConsumeWorkload", "MqProduceWorkload"]

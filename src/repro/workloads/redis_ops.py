@@ -1,0 +1,86 @@
+"""RedisInsert and RedisUpdate workloads.
+
+``RedisInsert`` creates a batch of fresh key-value records;
+``RedisUpdate`` read-modify-writes existing ones.  Both issue sequences
+of point operations through the store's command protocol, the way a
+MicroPython Redis client would over the wire — so in the cluster
+simulation their cost is dominated by per-operation round trips.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import (
+    NETWORK_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+
+@register
+class RedisInsertWorkload(WorkloadFunction):
+    """Table I ``RedisInsert``: insert Redis key-value records."""
+
+    name = "RedisInsert"
+    category = NETWORK_BOUND
+    description = "insert Redis key-value record"
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        count = max(1, int(40 * scale))
+        prefix = f"job-{rng.randrange(10**9):09d}"
+        return {
+            "key_prefix": prefix,
+            "values": [
+                f"payload-{rng.randrange(10**6):06d}" for _ in range(count)
+            ],
+            "ttl_s": 3600,
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        inserted = 0
+        for index, value in enumerate(payload["values"]):
+            key = f"{payload['key_prefix']}:{index}"
+            stored = services.kv.execute(
+                ["SET", key, value, "EX", str(payload["ttl_s"]), "NX"]
+            )
+            if stored:
+                inserted += 1
+        return {"inserted": inserted, "requested": len(payload["values"])}
+
+
+@register
+class RedisUpdateWorkload(WorkloadFunction):
+    """Table I ``RedisUpdate``: update Redis key-value records."""
+
+    name = "RedisUpdate"
+    category = NETWORK_BOUND
+    description = "update Redis key-value record"
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        count = max(1, int(40 * scale))
+        prefix = f"job-{rng.randrange(10**9):09d}"
+        return {
+            "key_prefix": prefix,
+            "initial": [f"v0-{i}" for i in range(count)],
+            "updated": [f"v1-{rng.randrange(10**6):06d}" for i in range(count)],
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        prefix = payload["key_prefix"]
+        # Seed (an updater in the wild would find these already present).
+        for index, value in enumerate(payload["initial"]):
+            services.kv.execute(["SET", f"{prefix}:{index}", value])
+        updated = 0
+        for index, value in enumerate(payload["updated"]):
+            key = f"{prefix}:{index}"
+            current = services.kv.execute(["GET", key])
+            if current is not None:
+                services.kv.execute(["SET", key, value, "XX"])
+                updated += 1
+        return {"updated": updated}
+
+
+__all__ = ["RedisInsertWorkload", "RedisUpdateWorkload"]

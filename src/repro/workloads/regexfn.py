@@ -1,0 +1,93 @@
+"""RegExSearch and RegExMatch workloads.
+
+``RegExSearch`` finds all matches of a pattern in a large synthetic log;
+``RegExMatch`` validates inputs against an anchored pattern — the two
+regex usage shapes Table I lists.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.workloads.base import (
+    CPU_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+_LOG_LEVELS = ("DEBUG", "INFO", "WARN", "ERROR")
+
+
+def make_log_text(rng: random.Random, lines: int) -> str:
+    """Synthesize a plausible service log."""
+    if lines < 1:
+        raise ValueError("lines must be >= 1")
+    rows = []
+    for i in range(lines):
+        level = rng.choice(_LOG_LEVELS)
+        ip = ".".join(str(rng.randrange(256)) for _ in range(4))
+        rows.append(
+            f"2021-11-{rng.randrange(1, 29):02d}T{rng.randrange(24):02d}:"
+            f"{rng.randrange(60):02d}:{rng.randrange(60):02d} {level} "
+            f"request from {ip} took {rng.randrange(1, 2000)}ms id=req-{i:06d}"
+        )
+    return "\n".join(rows)
+
+
+@register
+class RegExSearchWorkload(WorkloadFunction):
+    """Table I ``RegExSearch``: find all matches in the input."""
+
+    name = "RegExSearch"
+    category = CPU_BOUND
+    description = "find all regular expr. matches in input"
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        return {
+            "text": make_log_text(rng, max(1, int(2500 * scale))),
+            "pattern": r"(ERROR|WARN) request from (\d+\.\d+\.\d+\.\d+) "
+                       r"took (\d{3,})ms",
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        matches = re.findall(payload["pattern"], payload["text"])
+        slow_ips = sorted({ip for _level, ip, _ms in matches})
+        return {"match_count": len(matches), "distinct_ips": len(slow_ips)}
+
+
+@register
+class RegExMatchWorkload(WorkloadFunction):
+    """Table I ``RegExMatch``: does the input match the pattern?"""
+
+    name = "RegExMatch"
+    category = CPU_BOUND
+    description = "determine if input matches regular expr."
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        count = max(1, int(900 * scale))
+        candidates = []
+        for _ in range(count):
+            if rng.random() < 0.5:
+                candidates.append(
+                    f"user{rng.randrange(10_000)}@example-{rng.randrange(100)}.com"
+                )
+            else:
+                candidates.append(f"not an email {rng.randrange(10_000)}")
+        return {
+            "candidates": candidates,
+            "pattern": r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}",
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        pattern = re.compile(payload["pattern"])
+        valid = sum(
+            1 for candidate in payload["candidates"]
+            if pattern.fullmatch(candidate)
+        )
+        return {"valid": valid, "total": len(payload["candidates"])}
+
+
+__all__ = ["RegExMatchWorkload", "RegExSearchWorkload", "make_log_text"]

@@ -1,0 +1,80 @@
+"""SQLSelect and SQLUpdate workloads.
+
+Query the seeded ``records`` table (see
+:meth:`repro.workloads.base.ServiceBundle.seed_defaults`) with a SELECT
+over a score range, or bump versions with an UPDATE — the two
+PostgreSQL shapes Table I lists.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import (
+    NETWORK_BOUND,
+    Payload,
+    ServiceBundle,
+    WorkloadFunction,
+    register,
+)
+
+
+@register
+class SqlSelectWorkload(WorkloadFunction):
+    """Table I ``SQLSelect``: query our PostgreSQL server using SELECT."""
+
+    name = "SQLSelect"
+    category = NETWORK_BOUND
+    description = "query our PostgreSQL server using SELECT"
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        low = rng.uniform(0.0, 50.0)
+        return {
+            "score_low": round(low, 3),
+            "score_high": round(low + 25.0 * scale, 3),
+            "limit": max(1, int(50 * scale)),
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        services.seed_defaults()
+        result = services.sql.execute(
+            f"SELECT id, payload, score FROM records "
+            f"WHERE score >= {payload['score_low']} "
+            f"AND score < {payload['score_high']} "
+            f"ORDER BY score DESC LIMIT {int(payload['limit'])}"
+        )
+        scores = [row["score"] for row in result.rows]
+        return {
+            "rows": len(result.rows),
+            "top_score": scores[0] if scores else None,
+        }
+
+
+@register
+class SqlUpdateWorkload(WorkloadFunction):
+    """Table I ``SQLUpdate``: query our PostgreSQL server using UPDATE."""
+
+    name = "SQLUpdate"
+    category = NETWORK_BOUND
+    description = "query our PostgreSQL server using UPDATE"
+
+    def generate_input(self, rng: random.Random, scale: float = 1.0) -> Payload:
+        low = rng.randrange(0, 450)
+        return {
+            "id_low": low,
+            "id_high": low + max(1, int(25 * scale)),
+            "score_bump": round(rng.uniform(0.1, 2.0), 3),
+        }
+
+    def run(self, payload: Payload, services: ServiceBundle) -> Payload:
+        services.seed_defaults()
+        result = services.sql.execute(
+            f"UPDATE records SET version = version + 1, "
+            f"score = score + {payload['score_bump']} "
+            f"WHERE id >= {int(payload['id_low'])} "
+            f"AND id < {int(payload['id_high'])}"
+        )
+        return {"updated": result.rowcount}
+
+
+__all__ = ["SqlSelectWorkload", "SqlUpdateWorkload"]

@@ -1,0 +1,242 @@
+"""Synthetic invocation arrival traces.
+
+The paper drives its clusters with a fixed arrival process (jobs to
+random queues every second).  Real FaaS platforms see Poisson-ish
+arrivals with diurnal swings and bursts; this module generates such
+traces so the clusters can be studied under realistic load (and so the
+energy-proportionality advantage at low utilization becomes visible in
+end-to-end runs).
+
+All generators are deterministic given a :class:`RandomStreams` and
+return an :class:`ArrivalTrace` — a time-sorted sequence of
+``(time, function)`` events replayable against either cluster via
+:func:`repro.cluster.replay.replay_trace`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.rng import RandomStreams
+from repro.workloads.base import ALL_FUNCTION_NAMES
+
+
+@dataclass(frozen=True)
+class FunctionMix:
+    """A weighted mix of function names to draw invocations from."""
+
+    weights: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("empty function mix")
+        bad = {f: w for f, w in self.weights.items() if w <= 0}
+        if bad:
+            raise ValueError(f"non-positive weights: {bad}")
+
+    @classmethod
+    def uniform(
+        cls, functions: Sequence[str] = tuple(ALL_FUNCTION_NAMES)
+    ) -> "FunctionMix":
+        return cls(weights={name: 1.0 for name in functions})
+
+    def sample(self, streams: RandomStreams, name: str = "mix") -> str:
+        """One weighted draw."""
+        names = sorted(self.weights)
+        total = sum(self.weights[n] for n in names)
+        point = streams.uniform(name, 0.0, total)
+        accumulated = 0.0
+        for candidate in names:
+            accumulated += self.weights[candidate]
+            if point <= accumulated:
+                return candidate
+        return names[-1]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One invocation arrival."""
+
+    time_s: float
+    function: str
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("negative arrival time")
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A time-sorted invocation trace."""
+
+    events: Tuple[TraceEvent, ...]
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        times = [e.time_s for e in self.events]
+        if times != sorted(times):
+            raise ValueError("trace events out of order")
+        if times and times[-1] > self.duration_s:
+            raise ValueError("event beyond trace duration")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        return len(self.events) / self.duration_s
+
+    def arrivals_in(self, start: float, end: float) -> int:
+        """Events with ``start <= time < end``."""
+        if end < start:
+            raise ValueError("window end before start")
+        times = [e.time_s for e in self.events]
+        return bisect_left(times, end) - bisect_left(times, start)
+
+    def function_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.function] = counts.get(event.function, 0) + 1
+        return counts
+
+
+def _draw_functions(
+    times: List[float],
+    mix: FunctionMix,
+    streams: RandomStreams,
+) -> Tuple[TraceEvent, ...]:
+    return tuple(
+        TraceEvent(time_s=t, function=mix.sample(streams)) for t in times
+    )
+
+
+def constant_rate_trace(
+    rate_per_s: float,
+    duration_s: float,
+    mix: Optional[FunctionMix] = None,
+    streams: Optional[RandomStreams] = None,
+) -> ArrivalTrace:
+    """Evenly spaced arrivals at a fixed rate."""
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    mix = mix if mix is not None else FunctionMix.uniform()
+    streams = streams if streams is not None else RandomStreams(0)
+    interval = 1.0 / rate_per_s
+    times = []
+    t = interval
+    while t <= duration_s:
+        times.append(t)
+        t += interval
+    return ArrivalTrace(
+        events=_draw_functions(times, mix, streams), duration_s=duration_s
+    )
+
+
+def poisson_trace(
+    rate_per_s: float,
+    duration_s: float,
+    mix: Optional[FunctionMix] = None,
+    streams: Optional[RandomStreams] = None,
+) -> ArrivalTrace:
+    """Homogeneous Poisson arrivals (exponential inter-arrival gaps)."""
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    mix = mix if mix is not None else FunctionMix.uniform()
+    streams = streams if streams is not None else RandomStreams(0)
+    times: List[float] = []
+    t = 0.0
+    while True:
+        t += streams.expovariate("poisson", rate_per_s)
+        if t > duration_s:
+            break
+        times.append(t)
+    return ArrivalTrace(
+        events=_draw_functions(times, mix, streams), duration_s=duration_s
+    )
+
+
+def diurnal_trace(
+    trough_rate_per_s: float,
+    peak_rate_per_s: float,
+    period_s: float,
+    duration_s: float,
+    mix: Optional[FunctionMix] = None,
+    streams: Optional[RandomStreams] = None,
+) -> ArrivalTrace:
+    """Non-homogeneous Poisson with a sinusoidal day/night rate.
+
+    Generated by thinning: candidates at the peak rate are kept with
+    probability ``rate(t)/peak``.
+    """
+    if not 0 < trough_rate_per_s <= peak_rate_per_s:
+        raise ValueError("need 0 < trough <= peak rate")
+    if period_s <= 0 or duration_s <= 0:
+        raise ValueError("period and duration must be positive")
+    mix = mix if mix is not None else FunctionMix.uniform()
+    streams = streams if streams is not None else RandomStreams(0)
+    mid = (peak_rate_per_s + trough_rate_per_s) / 2
+    amplitude = (peak_rate_per_s - trough_rate_per_s) / 2
+    times: List[float] = []
+    t = 0.0
+    while True:
+        t += streams.expovariate("diurnal", peak_rate_per_s)
+        if t > duration_s:
+            break
+        rate = mid + amplitude * math.sin(2 * math.pi * t / period_s)
+        if streams.uniform("thin", 0.0, 1.0) <= rate / peak_rate_per_s:
+            times.append(t)
+    return ArrivalTrace(
+        events=_draw_functions(times, mix, streams), duration_s=duration_s
+    )
+
+
+def bursty_trace(
+    idle_rate_per_s: float,
+    burst_rate_per_s: float,
+    mean_burst_s: float,
+    mean_idle_s: float,
+    duration_s: float,
+    mix: Optional[FunctionMix] = None,
+    streams: Optional[RandomStreams] = None,
+) -> ArrivalTrace:
+    """On/off (interrupted Poisson) arrivals: quiet spells punctuated by
+    bursts — the short-lived, bursty nature Sec. II attributes to
+    serverless functions."""
+    if not 0 < idle_rate_per_s <= burst_rate_per_s:
+        raise ValueError("need 0 < idle rate <= burst rate")
+    if mean_burst_s <= 0 or mean_idle_s <= 0 or duration_s <= 0:
+        raise ValueError("durations must be positive")
+    mix = mix if mix is not None else FunctionMix.uniform()
+    streams = streams if streams is not None else RandomStreams(0)
+    times: List[float] = []
+    t = 0.0
+    bursting = False
+    phase_end = streams.expovariate("phase", 1.0 / mean_idle_s)
+    while t < duration_s:
+        rate = burst_rate_per_s if bursting else idle_rate_per_s
+        t += streams.expovariate("arrivals", rate)
+        while t > phase_end and phase_end < duration_s:
+            bursting = not bursting
+            mean = mean_burst_s if bursting else mean_idle_s
+            phase_end += streams.expovariate("phase", 1.0 / mean)
+        if t <= duration_s:
+            times.append(t)
+    return ArrivalTrace(
+        events=_draw_functions(times, mix, streams), duration_s=duration_s
+    )
+
+
+__all__ = [
+    "ArrivalTrace",
+    "FunctionMix",
+    "TraceEvent",
+    "bursty_trace",
+    "constant_rate_trace",
+    "diurnal_trace",
+    "poisson_trace",
+]

@@ -1,0 +1,91 @@
+"""Tests for the Sec. VI accelerator model."""
+
+import pytest
+
+from repro.cluster import MicroFaaSCluster
+from repro.core.scheduler import LeastLoadedPolicy
+from repro.hardware.accelerators import (
+    AcceleratorSpec,
+    CRYPTO_ACCELERATOR,
+    REGEX_ACCELERATOR,
+    accelerated_profiles,
+    accelerated_unit_cost,
+)
+from repro.workloads.profiles import PROFILES
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        AcceleratorSpec("x", {}, 0.1, 1.0)
+    with pytest.raises(ValueError):
+        AcceleratorSpec("x", {"CascSHA": 0.5}, 0.1, 1.0)
+    with pytest.raises(ValueError):
+        AcceleratorSpec("x", {"CascSHA": 2.0}, -0.1, 1.0)
+
+
+def test_crypto_accelerator_targets_crypto_functions():
+    assert CRYPTO_ACCELERATOR.accelerates("CascSHA")
+    assert CRYPTO_ACCELERATOR.accelerates("AES128")
+    assert not CRYPTO_ACCELERATOR.accelerates("MatMul")
+
+
+def test_accelerated_profiles_shrink_cpu_phase_only():
+    base = PROFILES["CascSHA"]
+    accelerated = accelerated_profiles(CRYPTO_ACCELERATOR)["CascSHA"]
+    base_cpu = base.work_arm_s * base.cpu_fraction_arm
+    base_io = base.work_arm_s - base_cpu
+    new_cpu = accelerated.work_arm_s * accelerated.cpu_fraction_arm
+    new_io = accelerated.work_arm_s - new_cpu
+    assert new_cpu == pytest.approx(base_cpu / 8.0)
+    assert new_io == pytest.approx(base_io)
+    # The x86 baseline is untouched.
+    assert accelerated.work_x86_s == base.work_x86_s
+
+
+def test_unaccelerated_functions_unchanged():
+    accelerated = accelerated_profiles(CRYPTO_ACCELERATOR)
+    assert accelerated["MatMul"] is PROFILES["MatMul"]
+    assert set(accelerated) == set(PROFILES)
+
+
+def test_accelerated_unit_cost():
+    assert accelerated_unit_cost(52.50, CRYPTO_ACCELERATOR) == pytest.approx(
+        60.50
+    )
+    with pytest.raises(ValueError):
+        accelerated_unit_cost(-1.0, CRYPTO_ACCELERATOR)
+
+
+def test_crypto_accelerator_closes_the_cascsha_gap_in_simulation():
+    """Sec. VI's hypothesis: an accelerator mitigates the crypto
+    penalty.  With the engine fitted, CascSHA drops out of the
+    'slower than half speed' group."""
+    stock = MicroFaaSCluster(worker_count=6, seed=4, policy=LeastLoadedPolicy())
+    stock_result = stock.run_saturated(invocations_per_function=6)
+    accel = MicroFaaSCluster(
+        worker_count=6,
+        seed=4,
+        policy=LeastLoadedPolicy(),
+        profiles=accelerated_profiles(CRYPTO_ACCELERATOR),
+    )
+    accel_result = accel.run_saturated(invocations_per_function=6)
+    stock_sha = stock_result.telemetry.function_stats("CascSHA").mean_working_s
+    accel_sha = accel_result.telemetry.function_stats("CascSHA").mean_working_s
+    assert accel_sha < stock_sha / 5
+    # Whole-cluster throughput improves too.
+    assert accel_result.throughput_per_min > stock_result.throughput_per_min
+
+
+def test_regex_accelerator_speeds_text_workloads():
+    profiles = accelerated_profiles(REGEX_ACCELERATOR)
+    assert profiles["RegExSearch"].work_arm_s < PROFILES["RegExSearch"].work_arm_s
+    assert profiles["RegExMatch"].work_arm_s < PROFILES["RegExMatch"].work_arm_s
+
+
+def test_accelerators_compose():
+    """Fitting both engines accelerates both function families."""
+    both = accelerated_profiles(
+        REGEX_ACCELERATOR, base=accelerated_profiles(CRYPTO_ACCELERATOR)
+    )
+    assert both["CascSHA"].work_arm_s < PROFILES["CascSHA"].work_arm_s
+    assert both["RegExSearch"].work_arm_s < PROFILES["RegExSearch"].work_arm_s

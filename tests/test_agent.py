@@ -1,0 +1,148 @@
+"""Tests for the worker agent (protocol-driven real execution)."""
+
+import random
+
+import pytest
+
+from repro.bootos.agent import AgentState, WorkerAgent
+from repro.core.protocol import (
+    ErrorMessage,
+    InvokeMessage,
+    PingMessage,
+    PongMessage,
+    ProtocolError,
+    ResultMessage,
+    decode_message,
+    encode_message,
+)
+from repro.workloads import ServiceBundle, get_function
+
+
+def invoke_frame(job_id=1, function="CascMD5", scale=0.01, seed=3):
+    payload = get_function(function).generate_input(
+        random.Random(seed), scale=scale
+    )
+    return encode_message(
+        InvokeMessage(job_id=job_id, function=function, payload=payload)
+    )
+
+
+def test_agent_serves_one_job():
+    agent = WorkerAgent()
+    replies = agent.handle_bytes(invoke_frame())
+    assert len(replies) == 1
+    reply = decode_message(replies[0])
+    assert isinstance(reply, ResultMessage)
+    assert reply.job_id == 1
+    assert reply.result["digest_hex"]
+    assert agent.jobs_served == 1
+    assert agent.wants_reboot
+
+
+def test_agent_refuses_second_tenant_without_reboot():
+    agent = WorkerAgent()
+    agent.handle_bytes(invoke_frame(job_id=1))
+    replies = agent.handle_bytes(invoke_frame(job_id=2))
+    reply = decode_message(replies[0])
+    assert isinstance(reply, ErrorMessage)
+    assert "reboot" in reply.error
+    assert agent.jobs_served == 1
+
+
+def test_reboot_restores_service():
+    agent = WorkerAgent()
+    agent.handle_bytes(invoke_frame(job_id=1))
+    agent.reboot()
+    assert agent.state is AgentState.AWAITING_INVOKE
+    replies = agent.handle_bytes(invoke_frame(job_id=2))
+    assert isinstance(decode_message(replies[0]), ResultMessage)
+    assert agent.reboots == 1
+    assert agent.jobs_served == 2
+
+
+def test_function_failure_becomes_error_message():
+    agent = WorkerAgent()
+    frame = encode_message(
+        InvokeMessage(
+            job_id=9, function="AES128",
+            payload={"message_hex": "00", "key_hex": "00", "rounds": 1},
+        )
+    )
+    reply = decode_message(agent.handle_bytes(frame)[0])
+    assert isinstance(reply, ErrorMessage)
+    assert "ValueError" in reply.error
+    assert agent.wants_reboot  # failure also taints the worker
+
+
+def test_unknown_function_reported_not_raised():
+    agent = WorkerAgent()
+    frame = encode_message(
+        InvokeMessage(job_id=1, function="Teleport", payload={})
+    )
+    reply = decode_message(agent.handle_bytes(frame)[0])
+    assert isinstance(reply, ErrorMessage)
+    assert "KeyError" in reply.error
+
+
+def test_ping_pong_any_time():
+    agent = WorkerAgent()
+    frame = encode_message(PingMessage(nonce=42))
+    reply = decode_message(agent.handle_bytes(frame)[0])
+    assert reply == PongMessage(nonce=42)
+    agent.handle_bytes(invoke_frame())
+    # Still answers pings when tainted (the OP's liveness probe).
+    reply = decode_message(
+        agent.handle_bytes(encode_message(PingMessage(nonce=7)))[0]
+    )
+    assert reply == PongMessage(nonce=7)
+
+
+def test_partial_frames_are_buffered():
+    agent = WorkerAgent()
+    frame = invoke_frame()
+    replies = []
+    for i in range(0, len(frame), 7):  # drip-feed 7 bytes at a time
+        replies.extend(agent.handle_bytes(frame[i : i + 7]))
+    assert len(replies) == 1
+    assert isinstance(decode_message(replies[0]), ResultMessage)
+
+
+def test_ping_and_invoke_in_one_packet():
+    agent = WorkerAgent()
+    packet = encode_message(PingMessage(nonce=1)) + invoke_frame()
+    replies = agent.handle_bytes(packet)
+    assert isinstance(decode_message(replies[0]), PongMessage)
+    assert isinstance(decode_message(replies[1]), ResultMessage)
+
+
+def test_agent_rejects_peer_message_types():
+    agent = WorkerAgent()
+    frame = encode_message(ResultMessage(job_id=1, result={"x": 1}))
+    with pytest.raises(ProtocolError, match="cannot handle"):
+        agent.handle_bytes(frame)
+
+
+def test_network_function_through_agent_hits_services():
+    services = ServiceBundle()
+    services.seed_defaults()
+    agent = WorkerAgent(services=services)
+    payload = get_function("RedisInsert").generate_input(
+        random.Random(5), scale=0.1
+    )
+    frame = encode_message(
+        InvokeMessage(job_id=3, function="RedisInsert", payload=payload)
+    )
+    reply = decode_message(agent.handle_bytes(frame)[0])
+    assert reply.result["inserted"] > 0
+    assert services.kv.dbsize() == reply.result["inserted"]
+
+
+def test_services_survive_reboot():
+    """State lives on the backend, not the worker — rebooting the agent
+    must not clear it (that's the whole stateless-function premise)."""
+    services = ServiceBundle()
+    agent = WorkerAgent(services=services)
+    services.kv.set("persistent", "yes")
+    agent.handle_bytes(invoke_frame())
+    agent.reboot()
+    assert services.kv.get("persistent") == "yes"

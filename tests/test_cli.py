@@ -1,0 +1,49 @@
+"""Tests for the CLI harness."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+def test_every_artifact_has_description_and_runner():
+    assert set(ARTIFACTS) == {
+        "fig1", "fig3", "fig4", "fig5", "table1", "table2", "headline",
+        "scale", "hardware",
+    }
+    for description, runner in ARTIFACTS.values():
+        assert description
+        assert callable(runner)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ARTIFACTS:
+        assert name in out
+
+
+def test_fig1_command(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "1.51" in out
+
+
+def test_table2_command(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "$124,701" in out
+
+
+def test_headline_command_with_invocations(capsys):
+    assert main(["headline", "--invocations", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "energy-efficiency ratio" in out
+
+
+def test_invalid_invocations_rejected(capsys):
+    assert main(["fig1", "--invocations", "0"]) == 2
+
+
+def test_unknown_artifact_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])

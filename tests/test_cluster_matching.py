@@ -1,0 +1,59 @@
+"""Tests for throughput matching (the paper's 6-VM sizing decision)."""
+
+import pytest
+
+from repro.cluster.matching import (
+    match_vm_count,
+    mean_cycle_s,
+    microfaas_throughput_per_min,
+    vm_throughput_per_min,
+)
+
+
+def test_ten_sbc_cluster_matches_published_throughput():
+    """Sec. V: the 10-SBC cluster is 'capable of 200.6 func/min'."""
+    assert microfaas_throughput_per_min(10) == pytest.approx(200.6, abs=0.5)
+
+
+def test_six_vm_cluster_matches_published_throughput():
+    """Sec. V: six VMs are 'altogether capable of 211.7 func/min'."""
+    assert vm_throughput_per_min(6) == pytest.approx(211.7, abs=0.5)
+
+
+def test_paper_sizing_decision_is_six_vms():
+    """'we choose to use six VMs for most experiments'."""
+    assert match_vm_count(sbc_count=10) == 6
+
+
+def test_five_vms_would_not_meet_the_target():
+    assert vm_throughput_per_min(5) < microfaas_throughput_per_min(10)
+
+
+def test_throughput_scales_linearly_with_sbcs():
+    one = microfaas_throughput_per_min(1)
+    assert microfaas_throughput_per_min(100) == pytest.approx(100 * one)
+
+
+def test_vm_throughput_saturates_at_cpu_limit():
+    """More VMs than CPU capacity stops helping (the Fig. 4 knee)."""
+    unsat = vm_throughput_per_min(6)
+    assert vm_throughput_per_min(24) < 4 * unsat
+    assert vm_throughput_per_min(24) == pytest.approx(
+        vm_throughput_per_min(25), rel=0.01
+    )
+
+
+def test_mean_cycles_match_targets():
+    assert mean_cycle_s("arm") == pytest.approx(10 * 60 / 200.6, rel=1e-3)
+    assert mean_cycle_s("x86") == pytest.approx(6 * 60 / 211.7, rel=1e-3)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        mean_cycle_s("sparc")
+    with pytest.raises(ValueError):
+        microfaas_throughput_per_min(0)
+    with pytest.raises(ValueError):
+        vm_throughput_per_min(0)
+    with pytest.raises(ValueError):
+        match_vm_count(sbc_count=10_000, max_vms=10)

@@ -1,0 +1,46 @@
+"""Unit tests for the ClusterResult container."""
+
+import pytest
+
+from repro.cluster.result import ClusterResult
+from repro.core.telemetry import TelemetryCollector
+
+
+def make_result(jobs=60, duration=30.0, energy=300.0):
+    return ClusterResult(
+        platform="microfaas",
+        worker_count=10,
+        jobs_completed=jobs,
+        duration_s=duration,
+        energy_joules=energy,
+        telemetry=TelemetryCollector(),
+    )
+
+
+def test_derived_metrics():
+    result = make_result(jobs=60, duration=30.0, energy=300.0)
+    assert result.throughput_per_min == pytest.approx(120.0)
+    assert result.joules_per_function == pytest.approx(5.0)
+    assert result.average_watts == pytest.approx(10.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_result(jobs=-1)
+    with pytest.raises(ValueError):
+        make_result(duration=0.0)
+    with pytest.raises(ValueError):
+        make_result(energy=-1.0)
+
+
+def test_joules_per_function_requires_jobs():
+    result = make_result(jobs=0)
+    with pytest.raises(ValueError):
+        _ = result.joules_per_function
+
+
+def test_summary_is_informative():
+    text = make_result().summary()
+    assert "microfaas" in text
+    assert "J/func" in text
+    assert "func/min" in text

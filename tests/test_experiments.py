@@ -1,0 +1,227 @@
+"""Tests for the experiment harness (reduced-scale runs)."""
+
+import pytest
+
+from repro.experiments import (
+    fig1_boot,
+    fig3_runtime,
+    fig4_vmsweep,
+    fig5_power,
+    headline,
+    table1_workloads,
+    table2_tco,
+)
+from repro.experiments.report import format_bar_chart, format_table
+
+
+# -- report helpers -----------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 2], [333, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "333" in text
+    assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+
+def test_format_table_validation():
+    with pytest.raises(ValueError):
+        format_table([], [])
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_format_bar_chart():
+    chart = format_bar_chart(["x", "yy"], [1.0, 2.0], title="C", width=10)
+    assert "##########" in chart
+    with pytest.raises(ValueError):
+        format_bar_chart(["x"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        format_bar_chart([], [])
+    with pytest.raises(ValueError):
+        format_bar_chart(["x"], [1.0], width=0)
+
+
+# -- Fig. 1 -------------------------------------------------------------------------
+
+
+def test_fig1_reaches_published_finals():
+    result = fig1_boot.run()
+    assert result.final_real_s["arm"] == pytest.approx(1.51, abs=0.005)
+    assert result.final_real_s["x86"] == pytest.approx(0.96, abs=0.005)
+
+
+def test_fig1_render_contains_changes():
+    text = fig1_boot.render(fig1_boot.run())
+    for letter in "ABCDEFGHI":
+        assert f"\n{letter} " in text
+    assert "1.51" in text
+
+
+# -- Table I -------------------------------------------------------------------------
+
+
+def test_table1_runs_all_functions_live():
+    result = table1_workloads.run(scale=0.02)
+    assert len(result.rows) == 17
+    assert len(result.cpu_bound) == 9
+    assert len(result.network_bound) == 8
+    assert all(row.live_latency_s > 0 for row in result.rows)
+
+
+def test_table1_render_marks_functionbench():
+    result = table1_workloads.run(scale=0.02)
+    text = table1_workloads.render(result)
+    assert "FloatOps*" in text
+    assert "HTMLGen " in text  # not starred
+    with pytest.raises(ValueError):
+        table1_workloads.run(repeats=0)
+
+
+# -- Fig. 3 -------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return fig3_runtime.run(invocations_per_function=10)
+
+
+def test_fig3_counts_match_paper(fig3_result):
+    assert len(fig3_result.faster_on_microfaas) == 4
+    assert len(fig3_result.above_half_speed) == 9
+    assert len(fig3_result.below_half_speed) == 4
+
+
+def test_fig3_identifies_expected_winners(fig3_result):
+    assert set(fig3_result.faster_on_microfaas) == {
+        "RedisInsert", "RedisUpdate", "MQProduce", "MQConsume",
+    }
+    assert "CascSHA" in fig3_result.below_half_speed
+
+
+def test_fig3_render(fig3_result):
+    text = fig3_runtime.render(fig3_result)
+    assert "CascSHA" in text
+    assert "(paper: 4)" in text
+
+
+# -- Fig. 4 -------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return fig4_vmsweep.run(
+        vm_counts=(1, 6, 12, 20), invocations_per_function=5,
+        measure_microfaas=False,
+    )
+
+
+def test_fig4_six_vm_point_matches_paper(fig4_result):
+    assert fig4_result.at(6).joules_per_function == pytest.approx(32.0, rel=0.06)
+
+
+def test_fig4_efficiency_improves_toward_saturation(fig4_result):
+    jpf = [p.joules_per_function for p in fig4_result.points]
+    assert jpf[0] > jpf[1] > jpf[2] > jpf[3]
+    # Peak lands in the paper's ballpark (16.1 J/func published).
+    assert fig4_result.peak.joules_per_function == pytest.approx(16.1, rel=0.2)
+
+
+def test_fig4_microfaas_always_lower(fig4_result):
+    assert all(
+        fig4_result.microfaas_jpf < p.joules_per_function
+        for p in fig4_result.points
+    )
+
+
+def test_fig4_lookup_and_render(fig4_result):
+    with pytest.raises(KeyError):
+        fig4_result.at(99)
+    text = fig4_vmsweep.render(fig4_result)
+    assert "J/func" in text
+
+
+# -- Fig. 5 -------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5_power.run(measure=True, measured_points=(3,), invocations=3)
+
+
+def test_fig5_idle_contrast(fig5_result):
+    assert fig5_result.vm_series.idle_watts == pytest.approx(60.0)
+    assert fig5_result.sbc_series.idle_watts < 2.0
+
+
+def test_fig5_measured_points_land_on_analytic_line(fig5_result):
+    for active, measured_watts in fig5_result.sbc_measured:
+        analytic = fig5_result.sbc_series.watts[active]
+        assert measured_watts == pytest.approx(analytic, rel=0.15)
+
+
+def test_fig5_proportionality_contrast(fig5_result):
+    assert fig5_result.sbc_proportionality > 0.9
+    assert fig5_result.vm_proportionality < 0.6
+    assert fig5_result.sbc_linearity > 0.999
+
+
+def test_fig5_render(fig5_result):
+    text = fig5_power.render(fig5_result)
+    assert "idle" in text
+    assert "cross-checks" in text
+
+
+# -- Table II -------------------------------------------------------------------------
+
+
+def test_table2_cells_exact():
+    result = table2_tco.run()
+    assert result.cell("ideal", "conventional").total_usd == 124_701
+    assert result.cell("ideal", "microfaas").total_usd == 82_087
+    assert result.cell("realistic", "conventional").total_usd == 116_607
+    assert result.cell("realistic", "microfaas").total_usd == 78_713
+    with pytest.raises(KeyError):
+        result.cell("ideal", "quantum")
+
+
+def test_table2_render_contains_dollar_figures():
+    text = table2_tco.render(table2_tco.run())
+    assert "$124,701" in text
+    assert "$78,713" in text
+    assert "34.2%" in text
+
+
+# -- Headline -------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def headline_result():
+    return headline.run(invocations_per_function=30)
+
+
+def test_headline_throughputs_near_paper(headline_result):
+    assert headline_result.microfaas.throughput_per_min == pytest.approx(
+        200.6, rel=0.05
+    )
+    assert headline_result.conventional.throughput_per_min == pytest.approx(
+        211.7, rel=0.05
+    )
+    assert headline_result.throughput_matched
+
+
+def test_headline_energy_near_paper(headline_result):
+    assert headline_result.microfaas.joules_per_function == pytest.approx(
+        5.7, rel=0.05
+    )
+    assert headline_result.conventional.joules_per_function == pytest.approx(
+        32.0, rel=0.05
+    )
+    assert headline_result.efficiency_ratio == pytest.approx(5.6, rel=0.07)
+
+
+def test_headline_render(headline_result):
+    text = headline.render(headline_result)
+    assert "5.6x" in text or "ratio" in text
+    assert "200.6" in text

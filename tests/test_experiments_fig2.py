@@ -1,0 +1,34 @@
+"""Tests for the Fig. 2 testbed-composition experiment."""
+
+import pytest
+
+from repro.experiments import fig2_testbed
+
+
+def test_fig2_matches_paper_composition():
+    inventory = fig2_testbed.run()
+    assert inventory.worker_count == 10
+    assert "BeagleBone Black" in inventory.worker_model
+    assert inventory.gpio_lines == 10
+    # 10 workers + OP + backend services = 12 switch ports.
+    assert inventory.switch_ports_used == 12
+    assert inventory.switch_ports_total == 24
+
+
+def test_fig2_endpoint_nics():
+    inventory = fig2_testbed.run()
+    assert inventory.endpoints["op"] == "Gigabit Ethernet"
+    assert inventory.endpoints["sbc-0"] == "10/100 Fast Ethernet"
+    assert len([n for n in inventory.endpoints if n.startswith("sbc-")]) == 10
+
+
+def test_fig2_render():
+    text = fig2_testbed.render(fig2_testbed.run())
+    assert "10x BeagleBone Black" in text
+    assert "12/24 ports" in text
+
+
+def test_fig2_scales_with_worker_count():
+    inventory = fig2_testbed.run(worker_count=4)
+    assert inventory.worker_count == 4
+    assert inventory.switch_ports_used == 6

@@ -1,0 +1,255 @@
+"""Unit tests for the SBC and rack-server hardware models."""
+
+import pytest
+
+from repro.hardware import (
+    BEAGLEBONE_BLACK,
+    THINKMATE_RAX,
+    PowerState,
+    RackServer,
+    SingleBoardComputer,
+)
+from repro.hardware.specs import (
+    CATALYST_2960S,
+    CpuSpec,
+    DELL_POWEREDGE_R6515,
+    NicSpec,
+    SbcPowerDraw,
+    SwitchSpec,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+# ---------------------------------------------------------------------------
+# Spec sheets
+# ---------------------------------------------------------------------------
+
+
+def test_beaglebone_matches_paper_numbers():
+    spec = BEAGLEBONE_BLACK
+    assert spec.cpu.cores == 1
+    assert spec.cpu.frequency_hz == pytest.approx(1.0e9)
+    assert spec.cpu.architecture == "arm"
+    assert spec.ram_bytes == 512 * 1024**2
+    assert spec.storage_bytes == 4 * 1024**3
+    assert spec.nic.bandwidth_bps == pytest.approx(100e6)
+    assert spec.unit_cost_usd == pytest.approx(52.50)
+    assert spec.power.off == pytest.approx(0.128)  # appendix P_ss-idle
+
+
+def test_thinkmate_matches_paper_numbers():
+    spec = THINKMATE_RAX
+    assert spec.cpu.cores == 12
+    assert spec.cpu.frequency_hz == pytest.approx(2.1e9)
+    assert spec.ram_bytes == 16 * 1024**3
+    assert spec.idle_watts == pytest.approx(60.0)
+    assert spec.loaded_watts == pytest.approx(150.0)
+    assert spec.reboot_s >= 55.0  # Sec. III-a's rack-server reboot claim
+
+
+def test_catalyst_switch_matches_appendix():
+    assert CATALYST_2960S.ports == 48
+    assert CATALYST_2960S.watts == pytest.approx(40.87)
+    assert CATALYST_2960S.unit_cost_usd == pytest.approx(500.0)
+
+
+def test_dell_r6515_price():
+    assert DELL_POWEREDGE_R6515.unit_cost_usd == pytest.approx(2011.0)
+
+
+def test_cpu_spec_validation():
+    with pytest.raises(ValueError):
+        CpuSpec("x", "arm", 0, 1e9)
+    with pytest.raises(ValueError):
+        CpuSpec("x", "arm", 1, 0.0)
+    with pytest.raises(ValueError):
+        CpuSpec("x", "riscv", 1, 1e9)
+
+
+def test_nic_spec_goodput_and_validation():
+    nic = NicSpec("test", 100e6, efficiency=0.9)
+    assert nic.goodput_bps == pytest.approx(90e6)
+    with pytest.raises(ValueError):
+        NicSpec("bad", 0.0)
+    with pytest.raises(ValueError):
+        NicSpec("bad", 1e6, efficiency=1.5)
+
+
+def test_sbc_power_draw_validation():
+    with pytest.raises(ValueError):
+        SbcPowerDraw(off=-0.1, boot=1, idle=1, cpu_busy=1, io_wait=1)
+
+
+def test_switch_spec_validation():
+    with pytest.raises(ValueError):
+        SwitchSpec("bad", ports=0, watts=10.0, unit_cost_usd=1.0)
+
+
+def test_rack_server_vm_capacity_is_ram_limited():
+    vm_ram = 512 * 1024**2
+    # 16 GB minus 2 GB host reserve = 14 GB => 28 VMs.
+    assert THINKMATE_RAX.max_vm_count(vm_ram) == 28
+    with pytest.raises(ValueError):
+        THINKMATE_RAX.max_vm_count(0)
+
+
+# ---------------------------------------------------------------------------
+# SingleBoardComputer
+# ---------------------------------------------------------------------------
+
+
+def test_sbc_starts_powered_off():
+    sbc = SingleBoardComputer(FakeClock())
+    assert sbc.state is PowerState.OFF
+    assert not sbc.is_powered
+    assert sbc.watts == pytest.approx(0.128)
+
+
+def test_sbc_power_cycle():
+    clock = FakeClock()
+    sbc = SingleBoardComputer(clock)
+    sbc.power_on()
+    assert sbc.state is PowerState.BOOT
+    assert sbc.boot_count == 1
+    clock.t = 1.51
+    sbc.boot_complete()
+    assert sbc.state is PowerState.IDLE
+    sbc.power_off()
+    assert sbc.state is PowerState.OFF
+
+
+def test_sbc_double_power_on_rejected():
+    sbc = SingleBoardComputer(FakeClock())
+    sbc.power_on()
+    with pytest.raises(RuntimeError):
+        sbc.power_on()
+
+
+def test_sbc_boot_complete_requires_boot_state():
+    sbc = SingleBoardComputer(FakeClock())
+    with pytest.raises(RuntimeError):
+        sbc.boot_complete()
+
+
+def test_sbc_job_execution_states():
+    clock = FakeClock()
+    sbc = SingleBoardComputer(clock)
+    sbc.power_on()
+    clock.t = 1.5
+    sbc.boot_complete()
+    sbc.start_compute()
+    assert sbc.state is PowerState.CPU_BUSY
+    clock.t = 2.0
+    sbc.start_io_wait()
+    assert sbc.state is PowerState.IO_WAIT
+    clock.t = 2.5
+    sbc.finish_job()
+    assert sbc.state is PowerState.IDLE
+    assert sbc.jobs_completed == 1
+
+
+def test_sbc_compute_requires_powered_state():
+    sbc = SingleBoardComputer(FakeClock())
+    with pytest.raises(RuntimeError):
+        sbc.start_compute()
+
+
+def test_sbc_reboot_increments_boot_count():
+    clock = FakeClock()
+    sbc = SingleBoardComputer(clock)
+    sbc.power_on()
+    clock.t = 1.5
+    sbc.boot_complete()
+    sbc.begin_reboot()
+    assert sbc.boot_count == 2
+    assert sbc.state is PowerState.BOOT
+
+
+def test_sbc_reboot_from_off_rejected():
+    sbc = SingleBoardComputer(FakeClock())
+    with pytest.raises(RuntimeError):
+        sbc.begin_reboot()
+
+
+def test_sbc_energy_trace_reflects_cycle():
+    clock = FakeClock()
+    sbc = SingleBoardComputer(clock)
+    clock.t = 10.0
+    sbc.power_on()
+    clock.t = 11.51
+    sbc.boot_complete()
+    sbc.start_compute()
+    clock.t = 12.51
+    sbc.finish_job()
+    sbc.power_off()
+    clock.t = 20.0
+    p = sbc.spec.power
+    expected = (
+        10.0 * p.off + 1.51 * p.boot + 1.0 * p.cpu_busy + 7.49 * p.off
+    )
+    assert sbc.trace.energy_joules(0.0, 20.0) == pytest.approx(expected)
+
+
+# ---------------------------------------------------------------------------
+# RackServer
+# ---------------------------------------------------------------------------
+
+
+def test_rack_server_idles_at_spec_idle_power():
+    server = RackServer(FakeClock())
+    assert server.watts == pytest.approx(60.0)
+    assert server.utilization == 0.0
+
+
+def test_rack_server_loaded_power():
+    server = RackServer(FakeClock())
+    server.set_busy_cores(12)
+    assert server.watts == pytest.approx(150.0)
+    assert server.utilization == pytest.approx(1.0)
+
+
+def test_rack_server_concave_power_curve():
+    server = RackServer(FakeClock())
+    server.set_busy_cores(6)
+    half_load = server.watts
+    # Concave: half utilization draws well over half of the dynamic range.
+    assert half_load > 60.0 + 0.5 * 90.0
+
+
+def test_rack_server_rejects_bad_core_counts():
+    server = RackServer(FakeClock())
+    with pytest.raises(ValueError):
+        server.set_busy_cores(-1)
+    with pytest.raises(ValueError):
+        server.set_busy_cores(13)
+
+
+def test_rack_server_power_off_on():
+    clock = FakeClock()
+    server = RackServer(clock)
+    clock.t = 5.0
+    server.power_off()
+    assert server.watts == 0.0
+    assert not server.is_powered
+    clock.t = 10.0
+    server.power_on()
+    assert server.watts == pytest.approx(60.0)
+    assert server.trace.energy_joules(0.0, 10.0) == pytest.approx(5 * 60.0)
+
+
+def test_rack_server_trace_records_utilization_changes():
+    clock = FakeClock()
+    server = RackServer(clock)
+    clock.t = 10.0
+    server.set_busy_cores(12)
+    clock.t = 20.0
+    server.set_busy_cores(0)
+    energy = server.trace.energy_joules(0.0, 20.0)
+    assert energy == pytest.approx(10 * 60.0 + 10 * 150.0)

@@ -1,0 +1,323 @@
+"""Unit and property tests for power traces and power models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.power import (
+    PowerState,
+    PowerStateMachine,
+    PowerTrace,
+    UtilizationPowerModel,
+    combine_traces,
+)
+
+
+# ---------------------------------------------------------------------------
+# PowerTrace
+# ---------------------------------------------------------------------------
+
+
+def test_trace_initial_power():
+    trace = PowerTrace(initial_time=0.0, initial_watts=5.0)
+    assert trace.power_at(0.0) == 5.0
+    assert trace.power_at(100.0) == 5.0
+
+
+def test_trace_power_before_start_is_zero():
+    trace = PowerTrace(initial_time=10.0, initial_watts=5.0)
+    assert trace.power_at(9.999) == 0.0
+
+
+def test_trace_records_step_changes():
+    trace = PowerTrace(0.0, 1.0)
+    trace.record(2.0, 3.0)
+    assert trace.power_at(1.999) == 1.0
+    assert trace.power_at(2.0) == 3.0
+
+
+def test_trace_rejects_negative_power():
+    trace = PowerTrace(0.0, 1.0)
+    with pytest.raises(ValueError):
+        trace.record(1.0, -0.5)
+    with pytest.raises(ValueError):
+        PowerTrace(0.0, -1.0)
+
+
+def test_trace_rejects_time_going_backwards():
+    trace = PowerTrace(0.0, 1.0)
+    trace.record(5.0, 2.0)
+    with pytest.raises(ValueError):
+        trace.record(4.0, 3.0)
+
+
+def test_trace_same_time_overwrites():
+    trace = PowerTrace(0.0, 1.0)
+    trace.record(5.0, 2.0)
+    trace.record(5.0, 7.0)
+    assert trace.power_at(5.0) == 7.0
+    assert len(trace) == 2
+
+
+def test_trace_dedupes_equal_power():
+    trace = PowerTrace(0.0, 1.0)
+    trace.record(1.0, 1.0)
+    trace.record(2.0, 1.0)
+    assert len(trace) == 1
+
+
+def test_trace_energy_constant_power():
+    trace = PowerTrace(0.0, 10.0)
+    assert trace.energy_joules(0.0, 5.0) == pytest.approx(50.0)
+
+
+def test_trace_energy_step_function():
+    trace = PowerTrace(0.0, 2.0)
+    trace.record(10.0, 4.0)
+    # 10 s at 2 W + 5 s at 4 W
+    assert trace.energy_joules(0.0, 15.0) == pytest.approx(40.0)
+
+
+def test_trace_energy_partial_window():
+    trace = PowerTrace(0.0, 2.0)
+    trace.record(10.0, 4.0)
+    assert trace.energy_joules(5.0, 12.0) == pytest.approx(5 * 2 + 2 * 4)
+
+
+def test_trace_energy_window_before_start():
+    trace = PowerTrace(10.0, 5.0)
+    assert trace.energy_joules(0.0, 10.0) == 0.0
+    # Window straddling the start only counts the powered part.
+    assert trace.energy_joules(5.0, 12.0) == pytest.approx(10.0)
+
+
+def test_trace_energy_empty_window():
+    trace = PowerTrace(0.0, 5.0)
+    assert trace.energy_joules(3.0, 3.0) == 0.0
+
+
+def test_trace_energy_invalid_window():
+    trace = PowerTrace(0.0, 5.0)
+    with pytest.raises(ValueError):
+        trace.energy_joules(5.0, 3.0)
+
+
+def test_trace_average_watts():
+    trace = PowerTrace(0.0, 2.0)
+    trace.record(5.0, 6.0)
+    assert trace.average_watts(0.0, 10.0) == pytest.approx(4.0)
+
+
+def test_trace_average_invalid_window():
+    trace = PowerTrace(0.0, 2.0)
+    with pytest.raises(ValueError):
+        trace.average_watts(3.0, 3.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=100.0),
+            st.floats(min_value=0.0, max_value=1000.0),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_trace_energy_additivity_property(segments):
+    """Energy over [0, T] equals the sum over any split point."""
+    trace = PowerTrace(0.0, 1.0)
+    t = 0.0
+    for dt, watts in segments:
+        t += dt
+        trace.record(t, watts)
+    end = t + 1.0
+    mid = end / 2
+    total = trace.energy_joules(0.0, end)
+    split = trace.energy_joules(0.0, mid) + trace.energy_joules(mid, end)
+    assert total == pytest.approx(split, rel=1e-9, abs=1e-9)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=100.0),
+            st.floats(min_value=0.0, max_value=1000.0),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_trace_energy_bounded_by_peak_property(segments):
+    trace = PowerTrace(0.0, 1.0)
+    t = 0.0
+    peak = 1.0
+    for dt, watts in segments:
+        t += dt
+        trace.record(t, watts)
+        peak = max(peak, watts)
+    end = t + 1.0
+    energy = trace.energy_joules(0.0, end)
+    assert 0.0 <= energy <= peak * end + 1e-6
+
+
+def test_combine_traces_sums_power():
+    a = PowerTrace(0.0, 1.0)
+    b = PowerTrace(0.0, 2.0)
+    a.record(5.0, 3.0)
+    b.record(7.0, 0.0)
+    combined = combine_traces([a, b])
+    assert combined.power_at(0.0) == 3.0
+    assert combined.power_at(5.0) == 5.0
+    assert combined.power_at(7.0) == 3.0
+    assert combined.energy_joules(0.0, 10.0) == pytest.approx(
+        a.energy_joules(0.0, 10.0) + b.energy_joules(0.0, 10.0)
+    )
+
+
+def test_combine_traces_requires_input():
+    with pytest.raises(ValueError):
+        combine_traces([])
+
+
+# ---------------------------------------------------------------------------
+# PowerStateMachine
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+STATE_WATTS = {
+    PowerState.OFF: 0.1,
+    PowerState.BOOT: 2.0,
+    PowerState.IDLE: 1.0,
+    PowerState.CPU_BUSY: 2.5,
+    PowerState.IO_WAIT: 1.2,
+}
+
+
+def test_psm_requires_all_states():
+    clock = FakeClock()
+    with pytest.raises(ValueError):
+        PowerStateMachine(clock, {PowerState.OFF: 0.1})
+
+
+def test_psm_tracks_state_and_watts():
+    clock = FakeClock()
+    psm = PowerStateMachine(clock, STATE_WATTS)
+    assert psm.state is PowerState.OFF
+    assert psm.watts == 0.1
+    clock.t = 5.0
+    psm.set_state(PowerState.BOOT)
+    assert psm.watts == 2.0
+    assert psm.trace.power_at(4.9) == 0.1
+    assert psm.trace.power_at(5.0) == 2.0
+
+
+def test_psm_time_in_state_accumulates():
+    clock = FakeClock()
+    psm = PowerStateMachine(clock, STATE_WATTS)
+    clock.t = 4.0
+    psm.set_state(PowerState.BOOT)
+    clock.t = 6.0
+    psm.set_state(PowerState.IDLE)
+    clock.t = 10.0
+    psm.set_state(PowerState.BOOT)
+    clock.t = 11.0
+    assert psm.time_in_state(PowerState.OFF) == pytest.approx(4.0)
+    assert psm.time_in_state(PowerState.BOOT) == pytest.approx(3.0)
+    assert psm.time_in_state(PowerState.IDLE) == pytest.approx(4.0)
+
+
+def test_psm_energy_matches_states():
+    clock = FakeClock()
+    psm = PowerStateMachine(clock, STATE_WATTS)
+    clock.t = 2.0
+    psm.set_state(PowerState.BOOT)  # 2 s off at 0.1 W
+    clock.t = 4.0
+    psm.set_state(PowerState.CPU_BUSY)  # 2 s boot at 2.0 W
+    clock.t = 6.0
+    psm.set_state(PowerState.OFF)  # 2 s busy at 2.5 W
+    energy = psm.trace.energy_joules(0.0, 6.0)
+    assert energy == pytest.approx(2 * 0.1 + 2 * 2.0 + 2 * 2.5)
+
+
+# ---------------------------------------------------------------------------
+# UtilizationPowerModel
+# ---------------------------------------------------------------------------
+
+
+def test_upm_idle_and_loaded_endpoints():
+    model = UtilizationPowerModel(60.0, 150.0, 0.547)
+    assert model.watts(0.0) == 60.0
+    assert model.watts(1.0) == pytest.approx(150.0)
+
+
+def test_upm_clamps_utilization():
+    model = UtilizationPowerModel(60.0, 150.0, 0.547)
+    assert model.watts(-0.5) == 60.0
+    assert model.watts(1.5) == pytest.approx(150.0)
+
+
+def test_upm_is_concave_shape():
+    """At 40 % utilization a conventional server burns well over 40 % of
+    its dynamic range (the non-energy-proportionality the paper targets)."""
+    model = UtilizationPowerModel(60.0, 150.0, 0.547)
+    dynamic_at_40 = (model.watts(0.4) - 60.0) / 90.0
+    assert dynamic_at_40 > 0.55
+
+
+def test_upm_monotone_increasing():
+    model = UtilizationPowerModel(60.0, 150.0, 0.547)
+    values = [model.watts(u / 20) for u in range(21)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+def test_upm_calibrated_six_vm_operating_point():
+    """The paper's 6-VM point: 211.7 func/min at 32.0 J/func => 112.9 W.
+
+    With the calibrated exponent, utilization 0.3785 (6 VMs x 1.287 CPU-s
+    per 1.70 s cycle over 12 cores) must draw ~112.9 W.
+    """
+    model = UtilizationPowerModel(60.0, 150.0, 0.547)
+    utilization = 6 * (1.287 / 1.70) / 12
+    assert model.watts(utilization) == pytest.approx(112.9, abs=1.0)
+
+
+def test_upm_inverse_roundtrip():
+    model = UtilizationPowerModel(60.0, 150.0, 0.547)
+    for u in (0.1, 0.3, 0.5, 0.9):
+        assert model.utilization_for_watts(model.watts(u)) == pytest.approx(u)
+
+
+def test_upm_inverse_clamps():
+    model = UtilizationPowerModel(60.0, 150.0, 0.547)
+    assert model.utilization_for_watts(10.0) == 0.0
+    assert model.utilization_for_watts(500.0) == 1.0
+
+
+def test_upm_dynamic_range():
+    model = UtilizationPowerModel(60.0, 150.0, 0.547)
+    assert model.dynamic_range() == pytest.approx(0.6)
+
+
+def test_upm_validation():
+    with pytest.raises(ValueError):
+        UtilizationPowerModel(-1.0, 150.0, 0.5)
+    with pytest.raises(ValueError):
+        UtilizationPowerModel(60.0, 50.0, 0.5)
+    with pytest.raises(ValueError):
+        UtilizationPowerModel(60.0, 150.0, 0.0)
+    with pytest.raises(ValueError):
+        UtilizationPowerModel(60.0, 150.0, 1.5)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_upm_within_bounds_property(u):
+    model = UtilizationPowerModel(60.0, 150.0, 0.547)
+    assert 60.0 <= model.watts(u) <= 150.0 + 1e-9

@@ -1,0 +1,80 @@
+"""Tests for the hardware-selection study and multi-board support."""
+
+import pytest
+
+from repro.cluster import MicroFaaSCluster
+from repro.core.scheduler import LeastLoadedPolicy
+from repro.experiments import hardware_selection
+from repro.hardware.specs import BEAGLEBONE_BLACK, RASPBERRY_PI_CM, SbcSpec
+
+
+def test_rpi_spec_sanity():
+    assert RASPBERRY_PI_CM.relative_speed > BEAGLEBONE_BLACK.relative_speed
+    assert RASPBERRY_PI_CM.power.cpu_busy > BEAGLEBONE_BLACK.power.cpu_busy
+    assert RASPBERRY_PI_CM.boot_time_scale > 1.0
+
+
+def test_spec_validation_of_new_fields():
+    import dataclasses
+
+    with pytest.raises(ValueError):
+        dataclasses.replace(BEAGLEBONE_BLACK, relative_speed=0.0)
+    with pytest.raises(ValueError):
+        dataclasses.replace(BEAGLEBONE_BLACK, boot_time_scale=-1.0)
+
+
+def test_faster_board_shrinks_cpu_heavy_functions():
+    """CascSHA (97 % CPU) speeds up ~2x on the Pi; COSGet (I/O-heavy)
+    barely moves — the speed factor touches only the CPU phase."""
+    def stats(spec):
+        cluster = MicroFaaSCluster(
+            worker_count=4, seed=6, policy=LeastLoadedPolicy(), sbc_spec=spec
+        )
+        result = cluster.run_saturated(invocations_per_function=4)
+        return result.telemetry.all_function_stats()
+
+    bbb = stats(BEAGLEBONE_BLACK)
+    rpi = stats(RASPBERRY_PI_CM)
+    sha_speedup = bbb["CascSHA"].mean_working_s / rpi["CascSHA"].mean_working_s
+    cos_speedup = bbb["COSGet"].mean_working_s / rpi["COSGet"].mean_working_s
+    assert sha_speedup == pytest.approx(0.95 / 0.45, rel=0.1)
+    assert cos_speedup < 1.25
+
+
+def test_boot_time_scale_applies():
+    cluster = MicroFaaSCluster(worker_count=2, sbc_spec=RASPBERRY_PI_CM)
+    result = cluster.run_saturated(invocations_per_function=1)
+    boots = [r.boot_s for r in result.telemetry.records]
+    assert all(b == pytest.approx(1.51 * 1.25, abs=0.02) for b in boots)
+
+
+def test_selection_study_bbb_wins_on_energy():
+    """The Pi is faster but burns >2x the power — for this mix the
+    BeagleBone stays the energy-efficiency choice."""
+    result = hardware_selection.run(invocations_per_function=10)
+    by_name = {c.spec_name: c for c in result.candidates}
+    bbb = by_name[BEAGLEBONE_BLACK.name]
+    rpi = by_name[RASPBERRY_PI_CM.name]
+    assert rpi.throughput_per_board_per_min > bbb.throughput_per_board_per_min
+    assert bbb.joules_per_function < rpi.joules_per_function
+    assert result.best_by_energy().spec_name == BEAGLEBONE_BLACK.name
+
+
+def test_selection_fleet_sizes_near_table2():
+    """Sized against Table II's throughput target, the BBB fleet lands
+    near the paper's 989 boards."""
+    result = hardware_selection.run(invocations_per_function=25)
+    bbb = next(
+        c for c in result.candidates
+        if c.spec_name == BEAGLEBONE_BLACK.name
+    )
+    assert bbb.fleet_size == pytest.approx(989, rel=0.12)
+
+
+def test_selection_render_and_validation():
+    result = hardware_selection.run(invocations_per_function=6)
+    text = hardware_selection.render(result)
+    assert "BeagleBone" in text
+    assert "$ per M invocations" in text
+    with pytest.raises(ValueError):
+        hardware_selection.run(specs=())

@@ -1,0 +1,243 @@
+"""Tests for the reliability substrate: MTBF math and fault injection."""
+
+import pytest
+
+from repro.cluster import MicroFaaSCluster
+from repro.core.scheduler import RoundRobinPolicy
+from repro.reliability import (
+    FailureModel,
+    FaultInjector,
+    FaultPlan,
+    SBC_MTBF_HOURS,
+    SERVER_MTBF_HOURS,
+    expected_replacements,
+    online_rate_after,
+)
+from repro.reliability.faults import FaultEvent
+from repro.reliability.mtbf import sbc_failure_model, server_failure_model
+from repro.sim.rng import RandomStreams
+
+
+# ---------------------------------------------------------------------------
+# MTBF math
+# ---------------------------------------------------------------------------
+
+
+def test_cited_mtbf_ratio():
+    """Footnote 4: the SBC's MTBF is ~10x the server board's."""
+    assert SBC_MTBF_HOURS / SERVER_MTBF_HOURS > 9.0
+
+
+def test_failure_model_validation():
+    with pytest.raises(ValueError):
+        FailureModel(mtbf_hours=0.0)
+    with pytest.raises(ValueError):
+        FailureModel(mtbf_hours=100.0, repair_hours=-1.0)
+
+
+def test_survival_decreases_monotonically():
+    model = sbc_failure_model()
+    values = [model.survival(h) for h in (0, 1000, 100_000, 1_000_000)]
+    assert values[0] == 1.0
+    assert all(b < a for a, b in zip(values, values[1:]))
+
+
+def test_survival_at_mtbf_is_1_over_e():
+    model = FailureModel(mtbf_hours=1000.0)
+    assert model.survival(1000.0) == pytest.approx(0.3679, abs=1e-3)
+
+
+def test_survival_rejects_negative():
+    with pytest.raises(ValueError):
+        sbc_failure_model().survival(-1.0)
+
+
+def test_failure_probability_complements_survival():
+    model = sbc_failure_model()
+    assert model.failure_probability(50_000) == pytest.approx(
+        1 - model.survival(50_000)
+    )
+
+
+def test_availability_is_high_for_sbc():
+    assert sbc_failure_model().availability() > 0.99998
+    assert server_failure_model().availability() < sbc_failure_model().availability()
+
+
+def test_expected_replacements_over_5_years():
+    """989 SBCs over the TCO horizon need ~18 replacements (~2 %);
+    41 servers need ~7.5 (~18 % of the fleet) — the Sec. III-c claim
+    that SBC fleets are cheaper to keep online."""
+    horizon = 43_200.0
+    sbc = expected_replacements(989, sbc_failure_model(), horizon)
+    servers = expected_replacements(41, server_failure_model(), horizon)
+    assert sbc == pytest.approx(989 * horizon / SBC_MTBF_HOURS)
+    assert sbc / 989 < 0.05  # well under the TCO model's 5 % allowance
+    assert servers / 41 > 0.15
+
+
+def test_expected_replacements_validation():
+    with pytest.raises(ValueError):
+        expected_replacements(-1, sbc_failure_model(), 10.0)
+    with pytest.raises(ValueError):
+        expected_replacements(1, sbc_failure_model(), -10.0)
+
+
+def test_online_rate_with_and_without_replacement():
+    model = server_failure_model()
+    with_replacement = online_rate_after(model, 43_200.0, replace=True)
+    without = online_rate_after(model, 43_200.0, replace=False)
+    assert with_replacement > without
+    assert without == pytest.approx(model.survival(43_200.0))
+
+
+def test_sample_lifetime_inverse_cdf():
+    model = FailureModel(mtbf_hours=100.0)
+    # Median of the exponential = MTBF * ln 2.
+    assert model.sample_lifetime_hours(0.5) == pytest.approx(69.31, abs=0.01)
+    with pytest.raises(ValueError):
+        model.sample_lifetime_hours(0.0)
+    with pytest.raises(ValueError):
+        model.sample_lifetime_hours(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+
+
+def test_fault_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, 0)
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, 0, repair_after_s=0.0)
+
+
+def test_fault_plan_rejects_duplicates():
+    with pytest.raises(ValueError):
+        FaultPlan(events=(FaultEvent(1.0, 0), FaultEvent(1.0, 0)))
+
+
+def test_fault_plan_from_model_is_sorted_and_reproducible():
+    model = FailureModel(mtbf_hours=1.0)  # absurdly failure-prone
+    plan_a = FaultPlan.from_failure_model(
+        model, worker_count=10, duration_s=3600.0,
+        streams=RandomStreams(1),
+    )
+    plan_b = FaultPlan.from_failure_model(
+        model, worker_count=10, duration_s=3600.0,
+        streams=RandomStreams(1),
+    )
+    assert plan_a == plan_b
+    times = [e.time_s for e in plan_a.events]
+    assert times == sorted(times)
+    assert len(plan_a.events) > 0
+
+
+def test_fault_plan_acceleration_increases_failures():
+    model = sbc_failure_model()
+    slow = FaultPlan.from_failure_model(
+        model, 10, duration_s=600.0, acceleration=1.0,
+        streams=RandomStreams(2),
+    )
+    fast = FaultPlan.from_failure_model(
+        model, 10, duration_s=600.0, acceleration=1e7,
+        streams=RandomStreams(2),
+    )
+    assert len(slow.events) == 0  # centuries-scale MTBF, 10-minute run
+    assert len(fast.events) > 0
+
+
+def test_fault_plan_validation():
+    model = sbc_failure_model()
+    with pytest.raises(ValueError):
+        FaultPlan.from_failure_model(model, 0, 10.0)
+    with pytest.raises(ValueError):
+        FaultPlan.from_failure_model(model, 1, 0.0)
+    with pytest.raises(ValueError):
+        FaultPlan.from_failure_model(model, 1, 10.0, acceleration=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection into the cluster
+# ---------------------------------------------------------------------------
+
+
+def run_with_faults(plan, worker_count=4, per_function=4, detection=1.0):
+    cluster = MicroFaaSCluster(
+        worker_count=worker_count, seed=7, policy=RoundRobinPolicy()
+    )
+    injector = FaultInjector(cluster, detection_delay_s=detection)
+    injector.apply(plan)
+    result = cluster.run_saturated(invocations_per_function=per_function)
+    return cluster, injector, result
+
+
+def test_all_jobs_complete_despite_mid_run_fault():
+    plan = FaultPlan.single(time_s=10.0, worker_id=1)
+    cluster, injector, result = run_with_faults(plan)
+    assert result.jobs_completed == 4 * 17
+    assert injector.kills == [(10.0, 1)]
+    assert injector.recovered_jobs > 0
+    assert cluster.orchestrator.resubmissions == injector.recovered_jobs
+
+
+def test_dead_worker_gets_no_new_jobs():
+    plan = FaultPlan.single(time_s=5.0, worker_id=0)
+    cluster, _injector, result = run_with_faults(plan)
+    assert result.jobs_completed == 4 * 17
+    # Worker 0's board is off and stays off after the fault.
+    assert not cluster.sbcs[0].is_powered
+    assert 0 in cluster.orchestrator.dead_workers
+
+
+def test_retried_jobs_carry_attempt_counts():
+    plan = FaultPlan.single(time_s=10.0, worker_id=1)
+    cluster, injector, _result = run_with_faults(plan)
+    retried = [j for j in cluster.orchestrator.jobs.values() if j.attempts > 0]
+    assert len(retried) == injector.recovered_jobs
+    assert all(j.is_finished for j in retried)
+
+
+def test_repair_brings_worker_back():
+    plan = FaultPlan.single(time_s=8.0, worker_id=2, repair_after_s=15.0)
+    cluster, injector, result = run_with_faults(plan, per_function=6)
+    assert result.jobs_completed == 6 * 17
+    assert injector.repairs == 1
+    assert 2 not in cluster.orchestrator.dead_workers
+    # The replacement worker actually served jobs after the repair.
+    assert cluster.workers[2].process is not None
+
+
+def test_multiple_faults_still_complete():
+    plan = FaultPlan(
+        events=(FaultEvent(6.0, 0), FaultEvent(12.0, 1), FaultEvent(20.0, 2))
+    )
+    _cluster, injector, result = run_with_faults(
+        plan, worker_count=5, per_function=4
+    )
+    assert result.jobs_completed == 4 * 17
+    assert len(injector.kills) == 3
+
+
+def test_killing_every_worker_is_fatal():
+    plan = FaultPlan(events=(FaultEvent(5.0, 0), FaultEvent(6.0, 1)))
+    cluster = MicroFaaSCluster(worker_count=2, seed=7)
+    injector = FaultInjector(cluster)
+    injector.apply(plan)
+    with pytest.raises(RuntimeError, match="cluster is lost"):
+        cluster.run_saturated(invocations_per_function=4)
+
+
+def test_injector_validation():
+    cluster = MicroFaaSCluster(worker_count=2)
+    with pytest.raises(ValueError):
+        FaultInjector(cluster, detection_delay_s=-1.0)
+
+
+def test_fault_free_plan_changes_nothing():
+    plan = FaultPlan(events=())
+    _cluster, injector, result = run_with_faults(plan)
+    assert result.jobs_completed == 4 * 17
+    assert injector.kills == []
+    assert injector.recovered_jobs == 0

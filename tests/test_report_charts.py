@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.report import format_xy_chart
+
+
+def test_xy_chart_plots_series_markers():
+    chart = format_xy_chart(
+        {"alpha": ([0, 1, 2], [0.0, 1.0, 2.0])},
+        width=20, height=6, title="T", x_label="x", y_label="y",
+    )
+    assert "T" in chart
+    assert "a = alpha" in chart
+    assert chart.count("a") >= 3  # three plotted points (plus legend)
+
+
+def test_xy_chart_two_series_and_overlap():
+    chart = format_xy_chart(
+        {
+            "up": ([0, 1], [0.0, 1.0]),
+            "down": ([0, 1], [1.0, 0.0]),
+        },
+        width=20, height=6,
+    )
+    assert "u = up" in chart and "d = down" in chart
+
+
+def test_xy_chart_overlapping_points_star():
+    chart = format_xy_chart(
+        {
+            "aaa": ([0, 1], [0.0, 1.0]),
+            "bbb": ([0, 1], [0.0, 2.0]),
+        },
+        width=20, height=6,
+    )
+    assert "*" in chart  # both series hit (0, 0)
+
+
+def test_xy_chart_axis_labels_show_ranges():
+    chart = format_xy_chart(
+        {"s": ([10, 50], [100.0, 400.0])}, width=30, height=6
+    )
+    assert "400" in chart
+    assert "100" in chart
+    assert "10" in chart and "50" in chart
+
+
+def test_xy_chart_constant_series_does_not_divide_by_zero():
+    chart = format_xy_chart({"flat": ([1, 2, 3], [5.0, 5.0, 5.0])})
+    assert "f = flat" in chart
+
+
+def test_xy_chart_validation():
+    with pytest.raises(ValueError):
+        format_xy_chart({})
+    with pytest.raises(ValueError):
+        format_xy_chart({"s": ([1], [1.0])}, width=4)
+    with pytest.raises(ValueError):
+        format_xy_chart({"s": ([1, 2], [1.0])})
+    with pytest.raises(ValueError):
+        format_xy_chart({"s": ([], [])})

@@ -1,0 +1,182 @@
+"""Tests for the key-value store's hash and list structures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.services import KeyValueStore, KvError
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def kv():
+    return KeyValueStore(clock=FakeClock())
+
+
+# -- hashes ----------------------------------------------------------------------
+
+
+def test_hset_hget_roundtrip(kv):
+    assert kv.hset("user:1", "name", "alice") == 1
+    assert kv.hset("user:1", "name", "bob") == 0  # overwrite, not new
+    assert kv.hget("user:1", "name") == "bob"
+    assert kv.hget("user:1", "ghost") is None
+    assert kv.hget("missing", "f") is None
+
+
+def test_hgetall_and_hlen(kv):
+    kv.hset("h", "a", "1")
+    kv.hset("h", "b", "2")
+    assert kv.hgetall("h") == {"a": "1", "b": "2"}
+    assert kv.hlen("h") == 2
+    assert kv.hgetall("missing") == {}
+    assert kv.hlen("missing") == 0
+
+
+def test_hgetall_returns_a_copy(kv):
+    kv.hset("h", "a", "1")
+    snapshot = kv.hgetall("h")
+    snapshot["a"] = "tampered"
+    assert kv.hget("h", "a") == "1"
+
+
+def test_hdel_removes_fields_and_empty_hash(kv):
+    kv.hset("h", "a", "1")
+    kv.hset("h", "b", "2")
+    assert kv.hdel("h", "a", "ghost") == 1
+    assert kv.hdel("h", "b") == 1
+    assert kv.exists("h") == 0  # emptied hash disappears
+    assert kv.hdel("h", "a") == 0
+
+
+def test_hash_wrongtype_guards(kv):
+    kv.set("s", "string")
+    with pytest.raises(KvError, match="WRONGTYPE"):
+        kv.hset("s", "f", "v")
+    kv.hset("h", "f", "v")
+    with pytest.raises(KvError, match="WRONGTYPE"):
+        kv.get("h")
+    with pytest.raises(KvError, match="WRONGTYPE"):
+        kv.incr("h")
+
+
+# -- lists -----------------------------------------------------------------------
+
+
+def test_push_pop_semantics(kv):
+    assert kv.rpush("q", "a", "b") == 2
+    assert kv.lpush("q", "front") == 3
+    assert kv.lpop("q") == "front"
+    assert kv.rpop("q") == "b"
+    assert kv.lpop("q") == "a"
+    assert kv.lpop("q") is None
+    assert kv.exists("q") == 0  # emptied list disappears
+
+
+def test_lpush_order_matches_redis(kv):
+    """LPUSH a b c leaves c at the head."""
+    kv.lpush("q", "a", "b", "c")
+    assert kv.lrange("q", 0, -1) == ["c", "b", "a"]
+
+
+def test_llen(kv):
+    assert kv.llen("missing") == 0
+    kv.rpush("q", "a", "b", "c")
+    assert kv.llen("q") == 3
+
+
+def test_lrange_inclusive_and_negative_indices(kv):
+    kv.rpush("q", *"abcde")
+    assert kv.lrange("q", 0, 2) == ["a", "b", "c"]
+    assert kv.lrange("q", -2, -1) == ["d", "e"]
+    assert kv.lrange("q", 1, -2) == ["b", "c", "d"]
+    assert kv.lrange("q", 4, 1) == []
+    assert kv.lrange("missing", 0, -1) == []
+
+
+def test_list_wrongtype_guards(kv):
+    kv.set("s", "x")
+    with pytest.raises(KvError, match="WRONGTYPE"):
+        kv.rpush("s", "v")
+    kv.rpush("q", "v")
+    with pytest.raises(KvError, match="WRONGTYPE"):
+        kv.append("q", "x")
+
+
+def test_push_requires_values(kv):
+    with pytest.raises(KvError):
+        kv.lpush("q")
+    with pytest.raises(KvError):
+        kv.rpush("q")
+
+
+def test_set_overwrites_any_type(kv):
+    kv.rpush("k", "v")
+    assert kv.set("k", "now a string") is True
+    assert kv.get("k") == "now a string"
+
+
+def test_structures_count_in_dbsize_and_keys(kv):
+    kv.set("s", "1")
+    kv.hset("h", "f", "1")
+    kv.rpush("l", "1")
+    assert kv.dbsize() == 3
+    assert kv.keys() == ["h", "l", "s"]
+
+
+# -- command protocol -------------------------------------------------------------
+
+
+def test_execute_hash_commands(kv):
+    assert kv.execute(["HSET", "h", "f", "v"]) == 1
+    assert kv.execute(["HGET", "h", "f"]) == "v"
+    assert kv.execute(["HGETALL", "h"]) == {"f": "v"}
+    assert kv.execute(["HLEN", "h"]) == 1
+    assert kv.execute(["HDEL", "h", "f"]) == 1
+
+
+def test_execute_list_commands(kv):
+    assert kv.execute(["RPUSH", "q", "a", "b"]) == 2
+    assert kv.execute(["LPUSH", "q", "z"]) == 3
+    assert kv.execute(["LRANGE", "q", "0", "-1"]) == ["z", "a", "b"]
+    assert kv.execute(["LLEN", "q"]) == 3
+    assert kv.execute(["LPOP", "q"]) == "z"
+    assert kv.execute(["RPOP", "q"]) == "b"
+
+
+def test_execute_structure_arity_errors(kv):
+    for bad in (["HSET", "h", "f"], ["HGET", "h"], ["LPUSH", "q"],
+                ["LRANGE", "q", "0"]):
+        with pytest.raises(KvError):
+            kv.execute(bad)
+
+
+@given(st.lists(st.text(max_size=8), min_size=1, max_size=30))
+def test_property_rpush_lpop_is_fifo(values):
+    kv = KeyValueStore(clock=FakeClock())
+    kv.rpush("q", *values)
+    popped = []
+    while True:
+        value = kv.lpop("q")
+        if value is None:
+            break
+        popped.append(value)
+    assert popped == [str(v) for v in values]
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=8), st.text(max_size=8), max_size=20
+    )
+)
+def test_property_hash_roundtrip(fields):
+    kv = KeyValueStore(clock=FakeClock())
+    for field_name, value in fields.items():
+        kv.hset("h", field_name, value)
+    assert kv.hgetall("h") == {k: str(v) for k, v in fields.items()}

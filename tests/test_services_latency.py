@@ -1,0 +1,49 @@
+"""Unit tests for the service latency model."""
+
+import pytest
+
+from repro.services import SERVICE_LATENCY, ServiceLatencyModel
+
+
+def test_default_model_covers_all_network_bound_ops():
+    model = ServiceLatencyModel()
+    for op in (
+        "kv.set", "kv.get", "kv.update", "sql.select", "sql.update",
+        "cos.get", "cos.put", "mq.produce", "mq.consume",
+    ):
+        assert model.service_time_s(op) > 0
+
+
+def test_default_matches_table():
+    model = ServiceLatencyModel()
+    assert model.service_time_s("sql.select") == pytest.approx(
+        SERVICE_LATENCY["sql.select"]
+    )
+
+
+def test_load_factor_scales_uniformly():
+    base = ServiceLatencyModel()
+    loaded = ServiceLatencyModel(load_factor=2.5)
+    assert loaded.service_time_s("kv.set") == pytest.approx(
+        2.5 * base.service_time_s("kv.set")
+    )
+
+
+def test_unknown_operation_rejected():
+    with pytest.raises(KeyError):
+        ServiceLatencyModel().service_time_s("teleport")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ServiceLatencyModel(load_factor=0.0)
+    with pytest.raises(ValueError):
+        ServiceLatencyModel(latencies={"bad": -1.0})
+
+
+def test_point_ops_are_much_faster_than_queries():
+    """Redis point ops are sub-millisecond; SQL queries are tens of ms."""
+    model = ServiceLatencyModel()
+    assert model.service_time_s("sql.select") > 20 * model.service_time_s(
+        "kv.get"
+    )

@@ -1,0 +1,169 @@
+"""Unit and property tests for the message queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.services import MessageQueue, MqError
+from repro.services.mq import NoSuchTopic, TopicAlreadyExists
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def mq():
+    queue = MessageQueue(clock=FakeClock())
+    queue.create_topic("events", partitions=3)
+    return queue
+
+
+def test_produce_assigns_offsets(mq):
+    r1 = mq.produce("events", "a", key="k")
+    r2 = mq.produce("events", "b", key="k")
+    assert r1.partition == r2.partition  # same key, same partition
+    assert r2.offset == r1.offset + 1
+
+
+def test_produce_unknown_topic(mq):
+    with pytest.raises(NoSuchTopic):
+        mq.produce("ghost", "x")
+
+
+def test_keyless_produce_round_robins(mq):
+    partitions = [mq.produce("events", str(i)).partition for i in range(6)]
+    assert partitions == [0, 1, 2, 0, 1, 2]
+
+
+def test_key_routing_is_deterministic(mq):
+    first = mq.partition_for_key("events", "user-42")
+    for _ in range(5):
+        assert mq.partition_for_key("events", "user-42") == first
+
+
+def test_create_topic_validation(mq):
+    with pytest.raises(TopicAlreadyExists):
+        mq.create_topic("events")
+    with pytest.raises(MqError):
+        mq.create_topic("bad", partitions=0)
+
+
+def test_delete_topic_clears_offsets(mq):
+    record = mq.produce("events", "x", key="k")
+    mq.commit("group", record)
+    mq.delete_topic("events")
+    assert "events" not in mq.list_topics()
+    mq.create_topic("events", partitions=3)
+    assert mq.committed_offset("group", "events", record.partition) == 0
+
+
+def test_poll_does_not_advance_offset(mq):
+    mq.produce("events", "x", key="k")
+    first = mq.poll("group", "events")
+    second = mq.poll("group", "events")
+    assert first == second  # nothing committed yet
+
+
+def test_consume_one_advances(mq):
+    mq.produce("events", "x", key="k")
+    mq.produce("events", "y", key="k")
+    assert mq.consume_one("group", "events").value == "x"
+    assert mq.consume_one("group", "events").value == "y"
+    assert mq.consume_one("group", "events") is None
+
+
+def test_groups_are_independent(mq):
+    mq.produce("events", "x", key="k")
+    assert mq.consume_one("group-a", "events").value == "x"
+    assert mq.consume_one("group-b", "events").value == "x"
+
+
+def test_poll_max_records(mq):
+    for i in range(5):
+        mq.produce("events", str(i), key="k")
+    records = mq.poll("group", "events", max_records=3)
+    assert len(records) == 3
+    with pytest.raises(MqError):
+        mq.poll("group", "events", max_records=0)
+
+
+def test_poll_specific_partition(mq):
+    record = mq.produce("events", "x", key="k")
+    other = (record.partition + 1) % 3
+    assert mq.poll("group", "events", partition=other) == []
+    assert mq.poll("group", "events", partition=record.partition) == [record]
+    with pytest.raises(MqError):
+        mq.poll("group", "events", partition=99)
+
+
+def test_commit_is_monotone(mq):
+    r1 = mq.produce("events", "a", key="k")
+    r2 = mq.produce("events", "b", key="k")
+    mq.commit("group", r2)
+    mq.commit("group", r1)  # going backwards must not rewind
+    assert mq.committed_offset("group", "events", r1.partition) == 2
+
+
+def test_lag_counts_uncommitted(mq):
+    for i in range(4):
+        mq.produce("events", str(i))
+    assert mq.lag("group", "events") == 4
+    mq.consume_one("group", "events")
+    assert mq.lag("group", "events") == 3
+
+
+def test_record_timestamps_use_clock():
+    clock = FakeClock()
+    mq = MessageQueue(clock=clock)
+    mq.create_topic("t")
+    clock.t = 7.5
+    assert mq.produce("t", "x").timestamp == 7.5
+
+
+def test_counters(mq):
+    mq.produce("events", "a", key="k")
+    mq.produce("events", "b", key="k")
+    mq.consume_one("group", "events")
+    assert mq.records_produced == 2
+    assert mq.records_consumed == 1
+
+
+@given(st.lists(st.text(max_size=10), max_size=40))
+def test_property_single_partition_preserves_order(values):
+    mq = MessageQueue(clock=FakeClock())
+    mq.create_topic("t", partitions=1)
+    for value in values:
+        mq.produce("t", value)
+    consumed = []
+    while True:
+        record = mq.consume_one("g", "t")
+        if record is None:
+            break
+        consumed.append(record.value)
+    assert consumed == values
+
+
+@given(
+    st.lists(
+        st.tuples(st.text(min_size=1, max_size=5), st.text(max_size=10)),
+        max_size=40,
+    ),
+    st.integers(min_value=1, max_value=8),
+)
+def test_property_every_record_consumed_exactly_once(items, partitions):
+    mq = MessageQueue(clock=FakeClock())
+    mq.create_topic("t", partitions=partitions)
+    for key, value in items:
+        mq.produce("t", value, key=key)
+    consumed = []
+    while True:
+        record = mq.consume_one("g", "t")
+        if record is None:
+            break
+        consumed.append((record.key, record.value))
+    assert sorted(consumed) == sorted(items)
+    assert mq.lag("g", "t") == 0

@@ -1,0 +1,310 @@
+"""Unit tests for the SQL engine."""
+
+import pytest
+
+from repro.services import SqlDatabase, SqlError
+from repro.services.sqldb import tokenize
+
+
+@pytest.fixture
+def db():
+    database = SqlDatabase()
+    database.execute(
+        "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT, "
+        "age INTEGER, score REAL)"
+    )
+    database.execute(
+        "INSERT INTO users VALUES (1, 'alice', 30, 91.5), "
+        "(2, 'bob', 25, 84.0), (3, 'carol', 35, 77.25)"
+    )
+    return database
+
+
+# -- tokenizer -----------------------------------------------------------------
+
+
+def test_tokenizer_basic():
+    tokens = tokenize("SELECT a FROM t WHERE x >= 3.5")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["keyword", "ident", "keyword", "ident", "keyword",
+                     "ident", "op", "number"]
+
+
+def test_tokenizer_string_escapes():
+    tokens = tokenize("SELECT 'it''s'")
+    assert tokens[1].text == "it's"
+
+
+def test_tokenizer_rejects_junk():
+    with pytest.raises(SqlError):
+        tokenize("SELECT @!#")
+
+
+# -- CREATE / DROP ---------------------------------------------------------------
+
+
+def test_create_and_drop_table():
+    db = SqlDatabase()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    assert "t" in db.tables
+    db.execute("DROP TABLE t")
+    assert "t" not in db.tables
+
+
+def test_create_duplicate_table_rejected(db):
+    with pytest.raises(SqlError):
+        db.execute("CREATE TABLE users (x INTEGER)")
+
+
+def test_drop_missing_table_rejected():
+    with pytest.raises(SqlError):
+        SqlDatabase().execute("DROP TABLE ghost")
+
+
+def test_create_duplicate_columns_rejected():
+    with pytest.raises(SqlError):
+        SqlDatabase().execute("CREATE TABLE t (a INTEGER, a TEXT)")
+
+
+def test_create_two_primary_keys_rejected():
+    with pytest.raises(SqlError):
+        SqlDatabase().execute(
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)"
+        )
+
+
+def test_create_unknown_type_rejected():
+    with pytest.raises(SqlError):
+        SqlDatabase().execute("CREATE TABLE t (a BLOB)")
+
+
+# -- INSERT -----------------------------------------------------------------------
+
+
+def test_insert_returns_rowcount(db):
+    result = db.execute("INSERT INTO users VALUES (4, 'dave', 28, 50.0)")
+    assert result.rowcount == 1
+
+
+def test_insert_with_column_list(db):
+    db.execute("INSERT INTO users (id, name) VALUES (10, 'eve')")
+    rows = db.execute("SELECT age FROM users WHERE id = 10").rows
+    assert rows[0]["age"] is None
+
+
+def test_insert_multiple_rows(db):
+    result = db.execute(
+        "INSERT INTO users VALUES (5, 'x', 1, 1.0), (6, 'y', 2, 2.0)"
+    )
+    assert result.rowcount == 2
+
+
+def test_insert_type_checking(db):
+    with pytest.raises(SqlError, match="expects INTEGER"):
+        db.execute("INSERT INTO users VALUES (7, 'z', 'old', 1.0)")
+    with pytest.raises(SqlError, match="expects TEXT"):
+        db.execute("INSERT INTO users VALUES (7, 42, 30, 1.0)")
+
+
+def test_insert_integer_coerces_to_real(db):
+    db.execute("INSERT INTO users VALUES (7, 'z', 30, 80)")
+    rows = db.execute("SELECT score FROM users WHERE id = 7").rows
+    assert rows[0]["score"] == 80.0
+    assert isinstance(rows[0]["score"], float)
+
+
+def test_insert_duplicate_primary_key_rejected(db):
+    with pytest.raises(SqlError, match="duplicate primary key"):
+        db.execute("INSERT INTO users VALUES (1, 'dup', 1, 1.0)")
+
+
+def test_insert_null_primary_key_rejected(db):
+    with pytest.raises(SqlError, match="cannot be NULL"):
+        db.execute("INSERT INTO users (name) VALUES ('nobody')")
+
+
+def test_insert_wrong_value_count(db):
+    with pytest.raises(SqlError, match="expected 4 values"):
+        db.execute("INSERT INTO users VALUES (9, 'x')")
+
+
+def test_insert_unknown_column(db):
+    with pytest.raises(SqlError, match="unknown columns"):
+        db.execute("INSERT INTO users (wings) VALUES (2)")
+
+
+# -- SELECT -----------------------------------------------------------------------
+
+
+def test_select_star(db):
+    result = db.execute("SELECT * FROM users")
+    assert len(result) == 3
+    assert set(result.rows[0]) == {"id", "name", "age", "score"}
+
+
+def test_select_projection(db):
+    result = db.execute("SELECT name FROM users WHERE id = 2")
+    assert result.rows == ({"name": "bob"},)
+
+
+def test_select_where_comparisons(db):
+    assert len(db.execute("SELECT * FROM users WHERE age > 25").rows) == 2
+    assert len(db.execute("SELECT * FROM users WHERE age >= 25").rows) == 3
+    assert len(db.execute("SELECT * FROM users WHERE age <> 25").rows) == 2
+
+
+def test_select_where_and_or_not(db):
+    result = db.execute(
+        "SELECT name FROM users WHERE age > 20 AND (score > 90.0 OR name = 'bob')"
+    )
+    names = {row["name"] for row in result.rows}
+    assert names == {"alice", "bob"}
+    result = db.execute("SELECT name FROM users WHERE NOT age = 30")
+    assert {row["name"] for row in result.rows} == {"bob", "carol"}
+
+
+def test_select_like(db):
+    result = db.execute("SELECT name FROM users WHERE name LIKE '%o%'")
+    assert {row["name"] for row in result.rows} == {"bob", "carol"}
+    result = db.execute("SELECT name FROM users WHERE name LIKE 'a_ice'")
+    assert {row["name"] for row in result.rows} == {"alice"}
+
+
+def test_select_is_null(db):
+    db.execute("INSERT INTO users (id, name) VALUES (4, 'dave')")
+    nulls = db.execute("SELECT name FROM users WHERE age IS NULL")
+    assert {row["name"] for row in nulls.rows} == {"dave"}
+    not_nulls = db.execute("SELECT COUNT(*) FROM users WHERE age IS NOT NULL")
+    assert not_nulls.scalar() == 3
+
+
+def test_select_null_comparison_excludes_row(db):
+    """NULL compared with anything is not TRUE (SQL semantics)."""
+    db.execute("INSERT INTO users (id, name) VALUES (4, 'dave')")
+    result = db.execute("SELECT name FROM users WHERE age > 0")
+    assert "dave" not in {row["name"] for row in result.rows}
+
+
+def test_select_order_by(db):
+    result = db.execute("SELECT name FROM users ORDER BY age")
+    assert [row["name"] for row in result.rows] == ["bob", "alice", "carol"]
+    result = db.execute("SELECT name FROM users ORDER BY age DESC")
+    assert [row["name"] for row in result.rows] == ["carol", "alice", "bob"]
+
+
+def test_select_limit(db):
+    result = db.execute("SELECT name FROM users ORDER BY age LIMIT 2")
+    assert [row["name"] for row in result.rows] == ["bob", "alice"]
+
+
+def test_select_count_star(db):
+    assert db.execute("SELECT COUNT(*) FROM users").scalar() == 3
+    assert (
+        db.execute("SELECT COUNT(*) FROM users WHERE age < 30").scalar() == 1
+    )
+
+
+def test_select_arithmetic_in_where(db):
+    result = db.execute("SELECT name FROM users WHERE age * 2 > 60")
+    assert {row["name"] for row in result.rows} == {"carol"}
+
+
+def test_select_unknown_table():
+    with pytest.raises(SqlError, match="no such table"):
+        SqlDatabase().execute("SELECT * FROM ghost")
+
+
+def test_select_unknown_column(db):
+    with pytest.raises(SqlError, match="unknown column"):
+        db.execute("SELECT wings FROM users")
+    with pytest.raises(SqlError, match="unknown column"):
+        db.execute("SELECT name FROM users WHERE wings = 2")
+
+
+# -- UPDATE -----------------------------------------------------------------------
+
+
+def test_update_with_where(db):
+    result = db.execute("UPDATE users SET age = 31 WHERE name = 'alice'")
+    assert result.rowcount == 1
+    assert db.execute("SELECT age FROM users WHERE id = 1").rows[0]["age"] == 31
+
+
+def test_update_all_rows(db):
+    result = db.execute("UPDATE users SET score = 0.0")
+    assert result.rowcount == 3
+
+
+def test_update_expression_references_row(db):
+    db.execute("UPDATE users SET age = age + 1")
+    ages = [r["age"] for r in db.execute("SELECT age FROM users ORDER BY id").rows]
+    assert ages == [31, 26, 36]
+
+
+def test_update_type_checked(db):
+    with pytest.raises(SqlError):
+        db.execute("UPDATE users SET age = 'old' WHERE id = 1")
+
+
+def test_update_primary_key_collision_rejected(db):
+    with pytest.raises(SqlError, match="duplicate primary key"):
+        db.execute("UPDATE users SET id = 2 WHERE id = 1")
+
+
+def test_update_multiple_assignments(db):
+    db.execute("UPDATE users SET age = 99, score = 1.5 WHERE id = 3")
+    row = db.execute("SELECT age, score FROM users WHERE id = 3").rows[0]
+    assert row == {"age": 99, "score": 1.5}
+
+
+# -- DELETE -----------------------------------------------------------------------
+
+
+def test_delete_with_where(db):
+    result = db.execute("DELETE FROM users WHERE age < 30")
+    assert result.rowcount == 1
+    assert db.execute("SELECT COUNT(*) FROM users").scalar() == 2
+
+
+def test_delete_all(db):
+    assert db.execute("DELETE FROM users").rowcount == 3
+    assert db.execute("SELECT COUNT(*) FROM users").scalar() == 0
+
+
+# -- misc -------------------------------------------------------------------------
+
+
+def test_division_by_zero_is_an_error(db):
+    with pytest.raises(SqlError, match="division by zero"):
+        db.execute("SELECT name FROM users WHERE age / 0 > 1")
+
+
+def test_trailing_tokens_rejected(db):
+    with pytest.raises(SqlError, match="trailing"):
+        db.execute("SELECT * FROM users garbage here")
+
+
+def test_semicolon_terminates_statement(db):
+    assert len(db.execute("SELECT * FROM users;").rows) == 3
+
+
+def test_empty_statement_rejected():
+    with pytest.raises(SqlError):
+        SqlDatabase().execute("   ")
+
+
+def test_scalar_on_empty_result(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT * FROM users WHERE id = 99").scalar()
+
+
+def test_statement_counter(db):
+    before = db.statements_executed
+    db.execute("SELECT * FROM users")
+    assert db.statements_executed == before + 1
+
+
+def test_negative_literals(db):
+    db.execute("INSERT INTO users VALUES (8, 'neg', -5, -1.5)")
+    row = db.execute("SELECT age, score FROM users WHERE id = 8").rows[0]
+    assert row == {"age": -5, "score": -1.5}

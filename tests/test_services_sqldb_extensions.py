@@ -1,0 +1,227 @@
+"""Tests for the SQL engine's aggregates, GROUP BY, and JOIN support."""
+
+import pytest
+
+from repro.services import SqlDatabase, SqlError
+
+
+@pytest.fixture
+def db():
+    database = SqlDatabase()
+    database.execute(
+        "CREATE TABLE employees (id INTEGER PRIMARY KEY, name TEXT, "
+        "dept INTEGER, salary REAL)"
+    )
+    database.execute(
+        "INSERT INTO employees VALUES "
+        "(1, 'alice', 10, 120.0), (2, 'bob', 10, 100.0), "
+        "(3, 'carol', 20, 90.0), (4, 'dave', 20, 110.0), "
+        "(5, 'erin', 30, 80.0)"
+    )
+    database.execute(
+        "CREATE TABLE depts (id INTEGER PRIMARY KEY, label TEXT)"
+    )
+    database.execute(
+        "INSERT INTO depts VALUES (10, 'eng'), (20, 'ops'), (40, 'empty')"
+    )
+    return database
+
+
+# -- aggregates --------------------------------------------------------------------
+
+
+def test_sum_avg_min_max(db):
+    row = db.execute(
+        "SELECT SUM(salary), AVG(salary), MIN(salary), MAX(salary) "
+        "FROM employees"
+    ).rows[0]
+    assert row == {
+        "sum_salary": 500.0,
+        "avg_salary": 100.0,
+        "min_salary": 80.0,
+        "max_salary": 120.0,
+    }
+
+
+def test_aggregate_with_where(db):
+    row = db.execute(
+        "SELECT SUM(salary) FROM employees WHERE dept = 10"
+    ).rows[0]
+    assert row["sum_salary"] == 220.0
+
+
+def test_aggregates_ignore_nulls(db):
+    db.execute("INSERT INTO employees (id, name) VALUES (6, 'noop')")
+    row = db.execute(
+        "SELECT COUNT(salary), AVG(salary), COUNT(*) FROM employees"
+    ).rows[0]
+    assert row["count_salary"] == 5
+    assert row["avg_salary"] == 100.0
+    assert row["count"] == 6
+
+
+def test_empty_aggregate_is_null_but_count_zero(db):
+    row = db.execute(
+        "SELECT SUM(salary), COUNT(*) FROM employees WHERE dept = 99"
+    ).rows[0]
+    assert row["sum_salary"] is None
+    assert row["count"] == 0
+
+
+def test_aggregate_unknown_column(db):
+    with pytest.raises(SqlError, match="unknown column"):
+        db.execute("SELECT SUM(wings) FROM employees")
+
+
+def test_mixing_plain_columns_with_aggregates_requires_group_by(db):
+    with pytest.raises(SqlError, match="GROUP BY"):
+        db.execute("SELECT name, SUM(salary) FROM employees")
+
+
+# -- GROUP BY ----------------------------------------------------------------------
+
+
+def test_group_by_counts_and_sums(db):
+    rows = db.execute(
+        "SELECT dept, COUNT(*), SUM(salary) FROM employees GROUP BY dept"
+    ).rows
+    assert rows == (
+        {"dept": 10, "count": 2, "sum_salary": 220.0},
+        {"dept": 20, "count": 2, "sum_salary": 200.0},
+        {"dept": 30, "count": 1, "sum_salary": 80.0},
+    )
+
+
+def test_group_by_with_where_filters_first(db):
+    rows = db.execute(
+        "SELECT dept, COUNT(*) FROM employees WHERE salary >= 100.0 "
+        "GROUP BY dept"
+    ).rows
+    assert rows == (
+        {"dept": 10, "count": 2},
+        {"dept": 20, "count": 1},
+    )
+
+
+def test_group_by_order_by_aggregate(db):
+    rows = db.execute(
+        "SELECT dept, AVG(salary) FROM employees GROUP BY dept "
+        "ORDER BY avg_salary DESC"
+    ).rows
+    assert [r["dept"] for r in rows] == [10, 20, 30]
+
+
+def test_group_by_limit(db):
+    rows = db.execute(
+        "SELECT dept, COUNT(*) FROM employees GROUP BY dept LIMIT 2"
+    ).rows
+    assert len(rows) == 2
+
+
+def test_group_by_unknown_column(db):
+    with pytest.raises(SqlError, match="GROUP BY column"):
+        db.execute("SELECT COUNT(*) FROM employees GROUP BY wings")
+
+
+def test_group_by_stray_projection_rejected(db):
+    with pytest.raises(SqlError, match="GROUP BY"):
+        db.execute("SELECT name, COUNT(*) FROM employees GROUP BY dept")
+
+
+# -- JOIN --------------------------------------------------------------------------
+
+
+def test_inner_join_basic(db):
+    rows = db.execute(
+        "SELECT name, label FROM employees JOIN depts "
+        "ON employees.dept = depts.id ORDER BY name"
+    ).rows
+    assert rows == (
+        {"name": "alice", "label": "eng"},
+        {"name": "bob", "label": "eng"},
+        {"name": "carol", "label": "ops"},
+        {"name": "dave", "label": "ops"},
+    )
+
+
+def test_join_drops_unmatched_rows(db):
+    """erin's dept 30 has no match; dept 40 has no employees."""
+    rows = db.execute(
+        "SELECT name FROM employees JOIN depts ON dept = depts.id"
+    ).rows
+    assert "erin" not in {r["name"] for r in rows}
+    labels = db.execute(
+        "SELECT label FROM employees JOIN depts ON dept = depts.id"
+    ).rows
+    assert "empty" not in {r["label"] for r in labels}
+
+
+def test_join_with_qualified_projection(db):
+    rows = db.execute(
+        "SELECT employees.id, depts.id FROM employees JOIN depts "
+        "ON employees.dept = depts.id WHERE employees.id = 1"
+    ).rows
+    assert rows == ({"employees.id": 1, "depts.id": 10},)
+
+
+def test_join_star_uses_qualified_columns(db):
+    rows = db.execute(
+        "SELECT * FROM employees JOIN depts ON dept = depts.id LIMIT 1"
+    ).rows
+    assert set(rows[0]) == {
+        "employees.id", "employees.name", "employees.dept",
+        "employees.salary", "depts.id", "depts.label",
+    }
+
+
+def test_join_with_where_and_aggregate(db):
+    row = db.execute(
+        "SELECT label, SUM(salary) FROM employees JOIN depts "
+        "ON dept = depts.id GROUP BY label"
+    ).rows
+    assert row == (
+        {"label": "eng", "sum_salary": 220.0},
+        {"label": "ops", "sum_salary": 200.0},
+    )
+
+
+def test_join_ambiguous_column_rejected(db):
+    with pytest.raises(SqlError, match="ambiguous"):
+        db.execute(
+            "SELECT name FROM employees JOIN depts ON id = depts.id"
+        )
+
+
+def test_join_condition_must_span_tables(db):
+    with pytest.raises(SqlError, match="both tables"):
+        db.execute(
+            "SELECT name FROM employees JOIN depts "
+            "ON employees.id = employees.dept"
+        )
+
+
+def test_join_unknown_qualifier(db):
+    with pytest.raises(SqlError, match="qualifier"):
+        db.execute(
+            "SELECT name FROM employees JOIN depts ON ghosts.id = depts.id"
+        )
+
+
+def test_join_nulls_never_match(db):
+    db.execute("INSERT INTO employees (id, name) VALUES (7, 'nodept')")
+    rows = db.execute(
+        "SELECT name FROM employees JOIN depts ON dept = depts.id"
+    ).rows
+    assert "nodept" not in {r["name"] for r in rows}
+
+
+def test_join_empty_result_still_validates_columns(db):
+    db.execute("DELETE FROM employees")
+    result = db.execute(
+        "SELECT name, label FROM employees JOIN depts ON dept = depts.id"
+    )
+    assert result.rows == ()
+    with pytest.raises(SqlError, match="unknown column"):
+        db.execute(
+            "SELECT wings FROM employees JOIN depts ON dept = depts.id"
+        )

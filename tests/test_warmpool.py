@@ -1,0 +1,144 @@
+"""Tests for the warm-pool controller and clean-state tracking."""
+
+import pytest
+
+from repro.cluster import MicroFaaSCluster, replay_trace
+from repro.core.warmpool import WarmPool
+from repro.hardware import PowerState, SingleBoardComputer
+from repro.sim.rng import RandomStreams
+from repro.workloads.traces import poisson_trace
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+# -- clean-state flag -----------------------------------------------------------------
+
+
+def test_board_is_clean_only_between_boot_and_first_work():
+    clock = FakeClock()
+    sbc = SingleBoardComputer(clock)
+    assert not sbc.clean
+    sbc.power_on()
+    assert not sbc.clean  # still booting
+    clock.t = 1.51
+    sbc.boot_complete()
+    assert sbc.clean
+    sbc.start_compute()
+    assert not sbc.clean  # tainted by tenant code
+
+
+def test_power_off_taints_the_board():
+    clock = FakeClock()
+    sbc = SingleBoardComputer(clock)
+    sbc.power_on()
+    clock.t = 1.51
+    sbc.boot_complete()
+    sbc.power_off()
+    assert not sbc.clean
+
+
+def test_reboot_restores_cleanliness():
+    clock = FakeClock()
+    sbc = SingleBoardComputer(clock)
+    sbc.power_on()
+    clock.t = 1.51
+    sbc.boot_complete()
+    sbc.start_compute()
+    sbc.finish_job()
+    sbc.begin_reboot()
+    assert not sbc.clean
+    clock.t = 3.1
+    sbc.boot_complete()
+    assert sbc.clean
+
+
+# -- warm pool -------------------------------------------------------------------------
+
+
+def test_warm_pool_size_validation():
+    cluster = MicroFaaSCluster(worker_count=4)
+    with pytest.raises(ValueError):
+        WarmPool(cluster, size=5)
+    with pytest.raises(ValueError):
+        WarmPool(cluster, size=-1)
+
+
+def test_warm_pool_flags_workers():
+    cluster = MicroFaaSCluster(worker_count=6)
+    pool = WarmPool(cluster, size=3)
+    assert pool.warm_worker_ids() == [0, 1, 2]
+    pool.set_size(1)
+    assert pool.warm_worker_ids() == [0]
+
+
+def test_warm_boards_stay_powered_and_clean_between_jobs():
+    trace = poisson_trace(0.5, 60.0, streams=RandomStreams(3))
+    cluster = MicroFaaSCluster(worker_count=4, seed=3)
+    WarmPool(cluster, size=4)
+    replay_trace(cluster, trace)
+    # Let in-flight pre-boots finish before inspecting the fleet.
+    cluster.env.run(until=cluster.env.now + 2.0)
+    for sbc in cluster.sbcs:
+        if sbc.jobs_completed:
+            assert sbc.is_powered
+            assert sbc.state is PowerState.IDLE
+            assert sbc.clean  # pre-booted for the next tenant
+
+
+def test_warm_hits_have_zero_boot_time():
+    """Repeat traffic on a warm board skips the 1.51 s boot."""
+    trace = poisson_trace(0.8, 90.0, streams=RandomStreams(5))
+    cluster = MicroFaaSCluster(worker_count=4, seed=5)
+    WarmPool(cluster, size=4)
+    result = replay_trace(cluster, trace)
+    boots = [r.boot_s for r in result.telemetry.records]
+    warm_hits = [b for b in boots if b < 0.01]
+    cold_hits = [b for b in boots if b > 1.0]
+    assert warm_hits, "expected some zero-boot warm hits"
+    assert all(
+        b == pytest.approx(1.51, abs=0.02) for b in cold_hits
+    )  # first touch per board is still cold
+
+
+def test_warm_pool_trades_energy_for_latency():
+    """Warm beats cold on end-to-end latency but burns more joules."""
+    def run(warm: int):
+        trace = poisson_trace(0.8, 120.0, streams=RandomStreams(8))
+        cluster = MicroFaaSCluster(worker_count=6, seed=8)
+        WarmPool(cluster, size=warm)
+        return replay_trace(cluster, trace)
+
+    cold = run(0)
+    warm = run(6)
+    cold_latency = sum(cold.telemetry.end_to_end_latencies_s()) / cold.jobs_completed
+    warm_latency = sum(warm.telemetry.end_to_end_latencies_s()) / warm.jobs_completed
+    assert warm_latency < cold_latency - 0.5  # at least the boot saved
+    assert warm.joules_per_function > cold.joules_per_function
+
+
+def test_autoscaler_grows_and_shrinks_the_pool():
+    cluster = MicroFaaSCluster(worker_count=8, seed=9)
+    pool = WarmPool(cluster, size=0)
+    cluster.env.process(pool.autoscale(interval_s=5.0), name="autoscaler")
+    # Busy phase then quiet phase.
+    trace = poisson_trace(2.0, 60.0, streams=RandomStreams(9))
+    replay_trace(cluster, trace)
+    cluster.env.run(until=cluster.env.now + 30.0)  # quiet tail
+    sizes = [size for _t, size in pool.resize_history]
+    assert max(sizes) >= 3  # scaled up under load
+    assert pool.size == 0  # scaled back down when idle
+
+
+def test_autoscaler_validation():
+    cluster = MicroFaaSCluster(worker_count=2)
+    pool = WarmPool(cluster)
+    with pytest.raises(ValueError):
+        next(pool.autoscale(interval_s=0.0))
+    with pytest.raises(ValueError):
+        next(pool.autoscale(headroom=0.5))

@@ -1,0 +1,220 @@
+"""Unit tests for the CPU/RAM-bound workload functions."""
+
+import random
+
+import pytest
+
+from repro.workloads import ServiceBundle, get_function
+from repro.workloads.cascsha import cascade_digest
+from repro.workloads.decompress import make_compressible_text
+from repro.workloads.htmlgen import render_page
+from repro.workloads.matmul import lcg_matrix, matmul, trace
+from repro.workloads.regexfn import make_log_text
+
+
+@pytest.fixture
+def services():
+    return ServiceBundle()
+
+
+def run_function(name, services, scale=0.05, seed=7):
+    function = get_function(name)
+    payload = function.generate_input(random.Random(seed), scale=scale)
+    return function.run(payload, services)
+
+
+# -- FloatOps ---------------------------------------------------------------
+
+
+def test_floatops_returns_checksum(services):
+    result = run_function("FloatOps", services)
+    assert result["iterations"] > 0
+    assert isinstance(result["checksum"], float)
+
+
+def test_floatops_deterministic_for_same_input(services):
+    a = run_function("FloatOps", services, seed=3)
+    b = run_function("FloatOps", services, seed=3)
+    assert a == b
+
+
+def test_floatops_scale_grows_iterations(services):
+    fn = get_function("FloatOps")
+    small = fn.generate_input(random.Random(0), scale=0.1)
+    large = fn.generate_input(random.Random(0), scale=1.0)
+    assert large["iterations"] > small["iterations"]
+
+
+def test_floatops_rejects_bad_iterations(services):
+    with pytest.raises(ValueError):
+        get_function("FloatOps").run(
+            {"iterations": 0, "seed_value": 1.0}, services
+        )
+
+
+# -- CascSHA / CascMD5 --------------------------------------------------------
+
+
+def test_cascade_digest_known_chain():
+    import hashlib
+
+    seed = b"seed"
+    expected = hashlib.sha256(hashlib.sha256(seed).digest()).digest()
+    assert cascade_digest("sha256", seed, 2) == expected
+
+
+def test_cascade_digest_rejects_zero_rounds():
+    with pytest.raises(ValueError):
+        cascade_digest("sha256", b"x", 0)
+
+
+def test_cascsha_and_cascmd5_run(services):
+    sha = run_function("CascSHA", services, scale=0.01)
+    md5 = run_function("CascMD5", services, scale=0.01)
+    assert len(bytes.fromhex(sha["digest_hex"])) == 32
+    assert len(bytes.fromhex(md5["digest_hex"])) == 16
+
+
+def test_cascade_is_order_dependent(services):
+    """One extra round gives a completely different digest."""
+    fn = get_function("CascSHA")
+    payload = fn.generate_input(random.Random(1), scale=0.01)
+    one = fn.run(payload, services)
+    payload2 = dict(payload, rounds=payload["rounds"] + 1)
+    two = fn.run(payload2, services)
+    assert one["digest_hex"] != two["digest_hex"]
+
+
+# -- MatMul -------------------------------------------------------------------
+
+
+def test_lcg_matrix_is_deterministic():
+    assert lcg_matrix(42, 4) == lcg_matrix(42, 4)
+    assert lcg_matrix(42, 4) != lcg_matrix(43, 4)
+
+
+def test_lcg_matrix_values_in_unit_interval():
+    for row in lcg_matrix(7, 10):
+        assert all(0.0 <= x < 1.0 for x in row)
+
+
+def test_matmul_identity():
+    import numpy as np
+
+    identity = [[1.0 if i == j else 0.0 for j in range(3)] for i in range(3)]
+    a = lcg_matrix(1, 3)
+    assert np.allclose(matmul(a, identity), a)
+
+
+def test_matmul_against_numpy():
+    import numpy as np
+
+    a = lcg_matrix(1, 8)
+    b = lcg_matrix(2, 8)
+    ours = matmul(a, b)
+    theirs = np.array(a) @ np.array(b)
+    assert np.allclose(ours, theirs)
+
+
+def test_matmul_shape_validation():
+    with pytest.raises(ValueError):
+        matmul([[1.0, 2.0]], [[1.0]])
+    with pytest.raises(ValueError):
+        matmul([], [])
+    with pytest.raises(ValueError):
+        matmul([[1.0]], [[1.0, 2.0], [3.0]])
+    with pytest.raises(ValueError):
+        lcg_matrix(0, 0)
+
+
+def test_matmul_workload_returns_trace(services):
+    result = run_function("MatMul", services, scale=0.2)
+    assert result["size"] >= 2
+    assert isinstance(result["trace"], float)
+
+
+# -- HTMLGen ------------------------------------------------------------------
+
+
+def test_htmlgen_escapes_user_content(services):
+    page = render_page("<script>", [{"item": "a&b", "qty": 1, "price": 2.0}])
+    assert "<script>" not in page
+    assert "&lt;script&gt;" in page
+    assert "a&amp;b" in page
+
+
+def test_htmlgen_row_count(services):
+    result = run_function("HTMLGen", services, scale=0.1)
+    assert result["html"].count("<tr>") == 41  # 40 rows + header
+    assert result["bytes"] == len(result["html"].encode())
+
+
+# -- AES128 workload ------------------------------------------------------------
+
+
+def test_aes128_workload_verifies_roundtrip(services):
+    result = run_function("AES128", services, scale=0.2)
+    assert result["verified"] is True
+    assert result["ciphertext_len"] >= 16
+
+
+def test_aes128_workload_rejects_zero_rounds(services):
+    fn = get_function("AES128")
+    payload = fn.generate_input(random.Random(0), scale=0.2)
+    payload["rounds"] = 0
+    with pytest.raises(ValueError):
+        fn.run(payload, services)
+
+
+# -- Decompress -------------------------------------------------------------------
+
+
+def test_make_compressible_text_size():
+    text = make_compressible_text(random.Random(0), 5000)
+    assert len(text) == 5000
+    with pytest.raises(ValueError):
+        make_compressible_text(random.Random(0), 0)
+
+
+def test_decompress_verifies_checksum(services):
+    result = run_function("Decompress", services, scale=0.05)
+    assert result["plain_bytes"] > 0
+
+
+def test_decompress_detects_corruption(services):
+    fn = get_function("Decompress")
+    payload = fn.generate_input(random.Random(0), scale=0.05)
+    payload["plain_sha256"] = "0" * 64
+    with pytest.raises(RuntimeError):
+        fn.run(payload, services)
+
+
+# -- RegEx ------------------------------------------------------------------------
+
+
+def test_make_log_text_shape():
+    text = make_log_text(random.Random(0), 10)
+    assert len(text.splitlines()) == 10
+    with pytest.raises(ValueError):
+        make_log_text(random.Random(0), 0)
+
+
+def test_regexsearch_finds_matches(services):
+    result = run_function("RegExSearch", services, scale=0.2)
+    assert result["match_count"] > 0
+    assert 0 < result["distinct_ips"] <= result["match_count"]
+
+
+def test_regexmatch_counts_valid(services):
+    result = run_function("RegExMatch", services, scale=0.2)
+    assert 0 < result["valid"] < result["total"]
+
+
+def test_regexmatch_anchored_semantics(services):
+    fn = get_function("RegExMatch")
+    payload = {
+        "candidates": ["a@b.co", "x a@b.co y"],
+        "pattern": r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}",
+    }
+    result = fn.run(payload, services)
+    assert result["valid"] == 1  # the embedded one must NOT fullmatch

@@ -1,0 +1,118 @@
+"""Unit tests for the network-bound workload functions."""
+
+import random
+
+import pytest
+
+from repro.workloads import ServiceBundle, get_function
+
+
+@pytest.fixture
+def services():
+    bundle = ServiceBundle()
+    bundle.seed_defaults()
+    return bundle
+
+
+def run_function(name, services, scale=0.2, seed=7):
+    function = get_function(name)
+    payload = function.generate_input(random.Random(seed), scale=scale)
+    return function.run(payload, services)
+
+
+def test_seed_defaults_is_idempotent(services):
+    before = services.sql.execute("SELECT COUNT(*) FROM records").scalar()
+    services.seed_defaults()
+    after = services.sql.execute("SELECT COUNT(*) FROM records").scalar()
+    assert before == after == 500
+
+
+def test_redis_insert_stores_records(services):
+    result = run_function("RedisInsert", services)
+    assert result["inserted"] == result["requested"] > 0
+    assert services.kv.dbsize() == result["inserted"]
+
+
+def test_redis_insert_nx_does_not_clobber(services):
+    fn = get_function("RedisInsert")
+    payload = fn.generate_input(random.Random(1), scale=0.1)
+    first = fn.run(payload, services)
+    second = fn.run(payload, services)  # same keys again
+    assert first["inserted"] > 0
+    assert second["inserted"] == 0
+
+
+def test_redis_update_updates_all(services):
+    result = run_function("RedisUpdate", services)
+    assert result["updated"] > 0
+    keys = services.kv.keys("job-*")
+    assert all(services.kv.get(k).startswith("v1-") for k in keys)
+
+
+def test_sql_select_returns_ordered_rows(services):
+    result = run_function("SQLSelect", services)
+    assert result["rows"] > 0
+    assert result["top_score"] is not None
+
+
+def test_sql_select_respects_limit(services):
+    fn = get_function("SQLSelect")
+    payload = {"score_low": 0.0, "score_high": 100.0, "limit": 5}
+    result = fn.run(payload, services)
+    assert result["rows"] == 5
+
+
+def test_sql_update_bumps_versions(services):
+    fn = get_function("SQLUpdate")
+    payload = {"id_low": 10, "id_high": 15, "score_bump": 1.0}
+    result = fn.run(payload, services)
+    assert result["updated"] == 5
+    versions = services.sql.execute(
+        "SELECT version FROM records WHERE id >= 10 AND id < 15"
+    ).rows
+    assert all(row["version"] == 2 for row in versions)
+
+
+def test_cos_get_verifies_etag(services):
+    result = run_function("COSGet", services)
+    assert result["verified"] is True
+    assert result["bytes"] == 16384
+
+
+def test_cos_put_roundtrip(services):
+    result = run_function("COSPut", services)
+    keys = services.cos.list_objects("faas-data", prefix="uploads/")
+    assert len(keys) == 1
+    stored = services.cos.get_object("faas-data", keys[0])
+    assert stored.etag == result["etag"]
+    assert stored.size == result["bytes"]
+
+
+def test_mq_produce_appends(services):
+    before = services.mq.records_produced
+    result = run_function("MQProduce", services)
+    assert result["produced"] > 0
+    assert services.mq.records_produced == before + result["produced"]
+
+
+def test_mq_consume_drains_backlog(services):
+    result = run_function("MQConsume", services)
+    assert result["consumed"] > 0
+
+
+def test_mq_consume_eventually_exhausts(services):
+    fn = get_function("MQConsume")
+    payload = {"topic": "jobs", "group": "drainer", "max_records": 10_000}
+    first = fn.run(payload, services)
+    second = fn.run(payload, services)
+    assert first["consumed"] == 32  # the seeded backlog
+    assert second["consumed"] == 0
+
+
+def test_all_network_functions_run_cleanly(services):
+    for name in (
+        "RedisInsert", "RedisUpdate", "SQLSelect", "SQLUpdate",
+        "COSGet", "COSPut", "MQProduce", "MQConsume",
+    ):
+        result = run_function(name, services, seed=hash(name) % 1000)
+        assert isinstance(result, dict) and result
