@@ -1,0 +1,56 @@
+"""Benchmark: raw event throughput of the simulation kernel.
+
+A timeout-ping workload — K processes each sleeping N times, plus an
+event ping-pong pair and waits on already-finished processes — drives
+``Environment.step`` through its hot paths (timeout scheduling, process
+resume, the processed-event fast path).  The benchmark reports events
+per second, so kernel regressions show up directly in the bench
+trajectory.
+"""
+
+from benchmarks.conftest import emit
+from repro.sim import Environment
+
+#: Pinging processes and timeouts per process for one workload run.
+PINGERS = 50
+PINGS = 200
+
+
+def run_timeout_ping(pingers: int = PINGERS, pings: int = PINGS) -> int:
+    """Run the workload; returns the number of events processed."""
+    env = Environment()
+    finished = []
+
+    def pinger(delay: float):
+        for _ in range(pings):
+            yield env.timeout(delay)
+        return delay
+
+    def pingpong(partner_done):
+        # Exercise succeed() delivery plus the wait-on-processed fast
+        # path: by t=pings the pingers are done, so yielding them
+        # resumes via the kernel's pre-triggered resume carrier.
+        yield env.timeout(float(pings))
+        for proc in procs:
+            value = yield proc
+            finished.append(value)
+        partner_done.succeed(len(finished))
+
+    procs = [env.process(pinger(1.0 + i * 1e-6)) for i in range(pingers)]
+    done = env.event()
+    env.process(pingpong(done))
+    result = env.run(until=done)
+    assert result == pingers
+    # one Initialize + `pings` timeouts + one completion per pinger,
+    # plus the collector's own events.
+    return pingers * (pings + 2)
+
+
+def test_bench_kernel_events_per_sec(benchmark):
+    events = benchmark(run_timeout_ping)
+    assert events == PINGERS * (PINGS + 2)
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:  # absent under --benchmark-disable
+        mean = stats.stats.mean
+        if mean > 0:
+            emit(f"kernel throughput: {events / mean:,.0f} events/s")

@@ -27,52 +27,66 @@ from repro.experiments import (
     table2_tco,
 )
 
-#: artifact name -> (description, runner(invocations) -> rendered text)
+#: artifact name -> (description, runner(invocations, jobs, cache) -> text)
+#: ``jobs``/``cache`` reach the experiments ported onto
+#: :mod:`repro.experiments.runner`; the rest ignore them.
 ARTIFACTS: Dict[str, tuple] = {
     "fig1": (
         "worker-OS boot-time trajectory (1.51 s ARM / 0.96 s x86)",
-        lambda n: fig1_boot.render(fig1_boot.run()),
+        lambda n, jobs, cache: fig1_boot.render(fig1_boot.run()),
     ),
     "table1": (
         "the 17-function workload suite, executed live",
-        lambda n: table1_workloads.render(table1_workloads.run(scale=0.05)),
+        lambda n, jobs, cache: table1_workloads.render(
+            table1_workloads.run(scale=0.05, jobs=jobs, cache=cache)
+        ),
     ),
     "fig3": (
         "per-function Working/Overhead split on both clusters",
-        lambda n: fig3_runtime.render(
+        lambda n, jobs, cache: fig3_runtime.render(
             fig3_runtime.run(invocations_per_function=n)
         ),
     ),
     "fig4": (
         "energy efficiency & throughput vs VM count",
-        lambda n: fig4_vmsweep.render(
-            fig4_vmsweep.run(invocations_per_function=max(4, n // 3))
+        lambda n, jobs, cache: fig4_vmsweep.render(
+            fig4_vmsweep.run(
+                invocations_per_function=max(4, n // 3),
+                jobs=jobs,
+                cache=cache,
+            )
         ),
     ),
     "fig5": (
         "power vs active workers (energy proportionality)",
-        lambda n: fig5_power.render(fig5_power.run(invocations=max(3, n // 4))),
+        lambda n, jobs, cache: fig5_power.render(
+            fig5_power.run(invocations=max(3, n // 4))
+        ),
     ),
     "table2": (
         "5-year TCO comparison (exact to the dollar)",
-        lambda n: table2_tco.render(table2_tco.run()),
+        lambda n, jobs, cache: table2_tco.render(table2_tco.run()),
     ),
     "headline": (
         "throughput match + the 5.6x energy headline",
-        lambda n: headline.render(headline.run(invocations_per_function=n)),
+        lambda n, jobs, cache: headline.render(
+            headline.run(invocations_per_function=n, jobs=jobs, cache=cache)
+        ),
     ),
     "hardware": (
         "candidate worker boards compared (extension)",
-        lambda n: hardware_selection.render(
+        lambda n, jobs, cache: hardware_selection.render(
             hardware_selection.run(invocations_per_function=n)
         ),
     ),
     "scale": (
         "the prototype architecture at fleet scale (extension)",
-        lambda n: scale_study.render(
+        lambda n, jobs, cache: scale_study.render(
             scale_study.run(
                 worker_counts=(10, 100, 400, 800),
                 jobs_per_worker=max(2, n // 8),
+                jobs=jobs,
+                cache=cache,
             )
         ),
     ),
@@ -95,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=30,
         help="invocations per function for simulation-backed artifacts",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep-shaped artifacts "
+        "(0 = one per CPU core)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point instead of reusing cached results",
+    )
     return parser
 
 
@@ -103,13 +129,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.invocations < 1:
         print("error: --invocations must be >= 1", file=sys.stderr)
         return 2
+    if args.jobs < 0:
+        print("error: --jobs must be >= 0", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs > 0 else None  # None -> cpu_count
     if args.artifact == "list":
         for name in sorted(ARTIFACTS):
             print(f"{name:9s} {ARTIFACTS[name][0]}")
         return 0
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in names:
-        print(ARTIFACTS[name][1](args.invocations))
+        print(ARTIFACTS[name][1](args.invocations, jobs, not args.no_cache))
         print()
     return 0
 

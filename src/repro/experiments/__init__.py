@@ -16,6 +16,11 @@ One module per paper artifact:
 
 Every module exposes ``run(...)`` returning structured results and
 ``render(...)`` producing the text the benchmark harness prints.
+
+:mod:`repro.experiments.runner` is the shared execution layer: the
+sweep-shaped experiments fan their independent points across worker
+processes via :func:`repro.experiments.runner.run_map`, backed by a
+content-addressed on-disk result cache.
 """
 
 from repro.experiments import (
@@ -26,6 +31,7 @@ from repro.experiments import (
     fig5_power,
     hardware_selection,
     headline,
+    runner,
     scale_study,
     table1_workloads,
     table2_tco,
@@ -39,6 +45,7 @@ __all__ = [
     "fig5_power",
     "hardware_selection",
     "headline",
+    "runner",
     "scale_study",
     "table1_workloads",
     "table2_tco",

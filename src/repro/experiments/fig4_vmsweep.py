@@ -20,6 +20,7 @@ from repro.cluster import ConventionalCluster, MicroFaaSCluster
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.energy.efficiency import peak_efficiency
 from repro.experiments.report import format_table
+from repro.experiments.runner import run_map
 
 #: Published reference values.
 PAPER_SIX_VM_JPF = 32.0
@@ -57,43 +58,73 @@ class Fig4Result:
         raise KeyError(f"no sweep point at {vm_count} VMs")
 
 
+@dataclass(frozen=True)
+class SweepTask:
+    """Picklable spec for one sweep point (its seed rides along)."""
+
+    platform: str  # "conventional" or "microfaas"
+    vm_count: int
+    invocations_per_function: int
+    seed: int
+
+
+def _run_sweep_task(task: SweepTask):
+    """Worker for one sweep point (runs in-process or in a pool)."""
+    if task.platform == "microfaas":
+        microfaas = MicroFaaSCluster(
+            worker_count=10, seed=task.seed, policy=LeastLoadedPolicy()
+        )
+        mf_result = microfaas.run_saturated(
+            invocations_per_function=task.invocations_per_function
+        )
+        return mf_result.joules_per_function
+    cluster = ConventionalCluster(
+        vm_count=task.vm_count,
+        seed=task.seed,
+        policy=LeastLoadedPolicy(),
+        quantum_s=0.15,
+    )
+    result = cluster.run_saturated(
+        invocations_per_function=task.invocations_per_function
+    )
+    return SweepPoint(
+        vm_count=task.vm_count,
+        throughput_per_min=result.throughput_per_min,
+        joules_per_function=result.joules_per_function,
+        average_watts=result.average_watts,
+    )
+
+
 def run(
     vm_counts: Sequence[int] = (1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24),
     invocations_per_function: int = 8,
     seed: int = 1,
     measure_microfaas: bool = True,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir=None,
 ) -> Fig4Result:
-    """Regenerate Fig. 4's sweep."""
-    points = []
-    for vm_count in vm_counts:
-        cluster = ConventionalCluster(
-            vm_count=vm_count,
-            seed=seed,
-            policy=LeastLoadedPolicy(),
-            quantum_s=0.15,
-        )
-        result = cluster.run_saturated(
-            invocations_per_function=invocations_per_function
-        )
-        points.append(
-            SweepPoint(
-                vm_count=vm_count,
-                throughput_per_min=result.throughput_per_min,
-                joules_per_function=result.joules_per_function,
-                average_watts=result.average_watts,
-            )
-        )
+    """Regenerate Fig. 4's sweep.
+
+    Sweep points are independent, so they fan across ``jobs`` worker
+    processes and memoize per-point in the shared result cache; every
+    point carries its own seed, keeping results identical at any
+    ``jobs`` value.
+    """
+    tasks = [
+        SweepTask("conventional", vm_count, invocations_per_function, seed)
+        for vm_count in vm_counts
+    ]
     if measure_microfaas:
-        microfaas = MicroFaaSCluster(
-            worker_count=10, seed=seed, policy=LeastLoadedPolicy()
-        )
-        mf_result = microfaas.run_saturated(
-            invocations_per_function=invocations_per_function
-        )
-        microfaas_jpf = mf_result.joules_per_function
+        tasks.append(SweepTask("microfaas", 10, invocations_per_function, seed))
+    outputs = run_map(
+        tasks, _run_sweep_task, jobs=jobs, cache=cache, cache_dir=cache_dir
+    )
+    if measure_microfaas:
+        points, microfaas_jpf = outputs[:-1], outputs[-1]
     else:
-        microfaas_jpf = PAPER_MICROFAAS_JPF
-    return Fig4Result(points=points, microfaas_jpf=microfaas_jpf)
+        points, microfaas_jpf = outputs, PAPER_MICROFAAS_JPF
+    return Fig4Result(points=list(points), microfaas_jpf=microfaas_jpf)
 
 
 def render(result: Fig4Result) -> str:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.cluster import ClusterResult, ConventionalCluster, MicroFaaSCluster
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.experiments.report import format_table
+from repro.experiments.runner import run_map
 
 PAPER = {
     "microfaas_fpm": 200.6,
@@ -46,25 +47,54 @@ class HeadlineResult:
         return abs(mf - cv) / cv < 0.10
 
 
-def run(invocations_per_function: int = 30, seed: int = 1) -> HeadlineResult:
+@dataclass(frozen=True)
+class HeadlineTask:
+    """Picklable spec for one side of the comparison."""
+
+    platform: str  # "microfaas" or "conventional"
+    invocations_per_function: int
+    seed: int
+
+
+def _run_cluster(task: HeadlineTask) -> ClusterResult:
+    """Worker: run one throughput-matched cluster at capacity."""
+    if task.platform == "microfaas":
+        cluster = MicroFaaSCluster(
+            worker_count=10, seed=task.seed, policy=LeastLoadedPolicy()
+        )
+    else:
+        cluster = ConventionalCluster(
+            vm_count=6, seed=task.seed, policy=LeastLoadedPolicy()
+        )
+    return cluster.run_saturated(
+        invocations_per_function=task.invocations_per_function
+    )
+
+
+def run(
+    invocations_per_function: int = 30,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir=None,
+) -> HeadlineResult:
     """Run the headline comparison.
 
     Uses the least-loaded assignment policy so the measured window is a
     true capacity measurement (random sampling converges to the same
     numbers at the paper's 1,000 invocations per function, but leaves
-    straggler tails at smaller counts).
+    straggler tails at smaller counts).  The two clusters are
+    independent simulations, so they fan out and cache like any sweep.
     """
-    microfaas = MicroFaaSCluster(
-        worker_count=10, seed=seed, policy=LeastLoadedPolicy()
-    )
-    mf_result = microfaas.run_saturated(
-        invocations_per_function=invocations_per_function
-    )
-    conventional = ConventionalCluster(
-        vm_count=6, seed=seed, policy=LeastLoadedPolicy()
-    )
-    cv_result = conventional.run_saturated(
-        invocations_per_function=invocations_per_function
+    mf_result, cv_result = run_map(
+        [
+            HeadlineTask("microfaas", invocations_per_function, seed),
+            HeadlineTask("conventional", invocations_per_function, seed),
+        ],
+        _run_cluster,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
     )
     return HeadlineResult(microfaas=mf_result, conventional=cv_result)
 

@@ -20,6 +20,7 @@ from repro.cluster import MicroFaaSCluster
 from repro.core.controlplane import ControlPlaneModel
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.experiments.report import format_table
+from repro.experiments.runner import run_map
 
 
 @dataclass(frozen=True)
@@ -69,42 +70,65 @@ class ScaleStudyResult:
         return bits_per_s / 940e6
 
 
+@dataclass(frozen=True)
+class ScaleTask:
+    """Picklable spec for one cluster size's constrained + free pair."""
+
+    worker_count: int
+    jobs_per_worker: int
+    seed: int
+    control_plane: ControlPlaneModel
+
+
+def _run_scale_point(task: ScaleTask) -> ScalePoint:
+    """Worker: one cluster size, measured with and without the OP."""
+    per_function = max(1, (task.jobs_per_worker * task.worker_count) // 17)
+    constrained = MicroFaaSCluster(
+        worker_count=task.worker_count,
+        seed=task.seed,
+        policy=LeastLoadedPolicy(),
+        control_plane=task.control_plane,
+    )
+    result = constrained.run_saturated(invocations_per_function=per_function)
+    free = MicroFaaSCluster(
+        worker_count=task.worker_count, seed=task.seed, policy=LeastLoadedPolicy()
+    )
+    baseline = free.run_saturated(invocations_per_function=per_function)
+    return ScalePoint(
+        worker_count=task.worker_count,
+        switch_count=len(constrained.switches),
+        throughput_per_min=result.throughput_per_min,
+        unconstrained_per_min=baseline.throughput_per_min,
+        control_plane_utilization=constrained.control_plane.utilization(
+            result.duration_s
+        ),
+    )
+
+
 def run(
     worker_counts: Sequence[int] = (10, 50, 100, 200, 400, 600, 800),
     jobs_per_worker: int = 5,
     control_plane: ControlPlaneModel = ControlPlaneModel(),
     seed: int = 1,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir=None,
 ) -> ScaleStudyResult:
-    """Sweep cluster sizes under the single-SBC control plane."""
+    """Sweep cluster sizes under the single-SBC control plane.
+
+    Each size is an independent task spec (seed included), so the sweep
+    parallelizes across ``jobs`` processes and caches per-point without
+    changing any value.
+    """
     if jobs_per_worker < 1:
         raise ValueError("jobs_per_worker must be >= 1")
-    points = []
-    for count in worker_counts:
-        per_function = max(1, (jobs_per_worker * count) // 17)
-        constrained = MicroFaaSCluster(
-            worker_count=count,
-            seed=seed,
-            policy=LeastLoadedPolicy(),
-            control_plane=control_plane,
-        )
-        result = constrained.run_saturated(
-            invocations_per_function=per_function
-        )
-        free = MicroFaaSCluster(
-            worker_count=count, seed=seed, policy=LeastLoadedPolicy()
-        )
-        baseline = free.run_saturated(invocations_per_function=per_function)
-        points.append(
-            ScalePoint(
-                worker_count=count,
-                switch_count=len(constrained.switches),
-                throughput_per_min=result.throughput_per_min,
-                unconstrained_per_min=baseline.throughput_per_min,
-                control_plane_utilization=constrained.control_plane.utilization(
-                    result.duration_s
-                ),
-            )
-        )
+    tasks = [
+        ScaleTask(count, jobs_per_worker, seed, control_plane)
+        for count in worker_counts
+    ]
+    points = run_map(
+        tasks, _run_scale_point, jobs=jobs, cache=cache, cache_dir=cache_dir
+    )
     return ScaleStudyResult(points=points, control_plane=control_plane)
 
 

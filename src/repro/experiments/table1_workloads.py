@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.experiments.report import format_table
+from repro.experiments.runner import run_map
 from repro.runtime import LocalFaaSPlatform
 from repro.workloads import ALL_FUNCTION_NAMES, registry
 
@@ -40,28 +41,58 @@ class Table1Result:
         return [r for r in self.rows if r.category == "network"]
 
 
-def run(scale: float = 0.05, repeats: int = 1) -> Table1Result:
-    """Execute every Table I function live and time it."""
+@dataclass(frozen=True)
+class WorkloadTask:
+    """Picklable spec for one function's live characterization."""
+
+    name: str
+    scale: float
+    repeats: int
+    seed: int
+
+
+def _run_row(task: WorkloadTask) -> WorkloadRow:
+    """Worker: execute one Table I function for real and time it."""
+    function = registry()[task.name]
+    with LocalFaaSPlatform(workers=2, seed=task.seed) as platform:
+        latencies = [
+            platform.invoke(task.name, scale=task.scale).latency_s
+            for _ in range(task.repeats)
+        ]
+    return WorkloadRow(
+        name=task.name,
+        category=function.category,
+        description=function.description,
+        from_functionbench=function.from_functionbench,
+        live_latency_s=sum(latencies) / len(latencies),
+    )
+
+
+def run(
+    scale: float = 0.05,
+    repeats: int = 1,
+    seed: int = 7,
+    jobs: int = 1,
+    cache: bool = False,
+    cache_dir=None,
+) -> Table1Result:
+    """Execute every Table I function live and time it.
+
+    Each function characterizes independently (one task per row), so
+    the suite fans across ``jobs`` processes.  Caching defaults *off*
+    here — the latencies are live wall-clock measurements, and serving
+    a stale timing would defeat the characterization — but the CLI can
+    opt in for quick artifact regeneration.
+    """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    functions = registry()
-    rows = []
-    with LocalFaaSPlatform(workers=2, seed=7) as platform:
-        for name in ALL_FUNCTION_NAMES:
-            latencies = [
-                platform.invoke(name, scale=scale).latency_s
-                for _ in range(repeats)
-            ]
-            function = functions[name]
-            rows.append(
-                WorkloadRow(
-                    name=name,
-                    category=function.category,
-                    description=function.description,
-                    from_functionbench=function.from_functionbench,
-                    live_latency_s=sum(latencies) / len(latencies),
-                )
-            )
+    tasks = [
+        WorkloadTask(name, scale, repeats, seed)
+        for name in ALL_FUNCTION_NAMES
+    ]
+    rows = run_map(
+        tasks, _run_row, jobs=jobs, cache=cache, cache_dir=cache_dir
+    )
     return Table1Result(rows=rows)
 
 

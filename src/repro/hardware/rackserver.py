@@ -35,6 +35,11 @@ class RackServer:
         self._busy_cores = 0.0
         initial = spec.idle_watts if powered_on else 0.0
         self.trace = PowerTrace(initial_time=clock(), initial_watts=initial)
+        # watts-per-busy-count memo: the hypervisor reports integer core
+        # counts on every quantum, so the power curve is evaluated for a
+        # handful of distinct values millions of times.  Cleared on any
+        # power-state change.
+        self._watts_by_busy: dict = {}
 
     @property
     def is_powered(self) -> bool:
@@ -69,17 +74,23 @@ class RackServer:
                 f"busy={busy} exceeds physical core count {self.cores}"
             )
         self._busy_cores = busy
-        self.trace.record(self._clock(), self.watts)
+        watts = self._watts_by_busy.get(busy)
+        if watts is None:
+            watts = self.watts
+            self._watts_by_busy[busy] = watts
+        self.trace.record(self._clock(), watts)
 
     def power_off(self) -> None:
         """Cut power to the whole host (rare in conventional clouds)."""
         self._powered = False
         self._busy_cores = 0.0
+        self._watts_by_busy.clear()
         self.trace.record(self._clock(), 0.0)
 
     def power_on(self) -> None:
         """Restore power; the host returns to idle draw."""
         self._powered = True
+        self._watts_by_busy.clear()
         self.trace.record(self._clock(), self.watts)
 
     def max_vm_count(self, vm_ram_bytes: int) -> int:

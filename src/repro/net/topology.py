@@ -27,12 +27,22 @@ class NetworkTopology:
         self.endpoints: Dict[str, Endpoint] = {}
         self.switches: Dict[str, Switch] = {}
         self.links: Dict[str, Link] = {}
+        # Resolved-path memo, flushed on any topology mutation.  Edge
+        # bandwidths and switch forwarding latencies are fixed at attach
+        # time, so cached entries stay valid until the graph changes.
+        self._path_cache: Dict[Tuple[str, str], List[str]] = {}
+        self._props_cache: Dict[Tuple[str, str], Tuple[float, float, int]] = {}
+
+    def _invalidate_paths(self) -> None:
+        self._path_cache.clear()
+        self._props_cache.clear()
 
     def add_switch(self, switch: Switch) -> None:
         if switch.name in self.switches:
             raise ValueError(f"duplicate switch name {switch.name!r}")
         self.switches[switch.name] = switch
         self.graph.add_node(switch.name, kind="switch")
+        self._invalidate_paths()
 
     def attach_endpoint(self, endpoint: Endpoint, switch_name: str) -> Link:
         """Attach ``endpoint`` to the named switch."""
@@ -48,6 +58,7 @@ class NetworkTopology:
             switch_name,
             bandwidth_bps=link.effective_bandwidth_bps,
         )
+        self._invalidate_paths()
         return link
 
     def connect_switches(
@@ -62,17 +73,27 @@ class NetworkTopology:
         self.switches[a].reserve_trunk(b)
         self.switches[b].reserve_trunk(a)
         self.graph.add_edge(a, b, bandwidth_bps=trunk_bandwidth_bps)
+        self._invalidate_paths()
 
     def path(self, src: str, dst: str) -> List[str]:
-        """Shortest node path from ``src`` to ``dst``."""
-        return nx.shortest_path(self.graph, src, dst)
+        """Shortest node path from ``src`` to ``dst`` (memoized)."""
+        cached = self._path_cache.get((src, dst))
+        if cached is None:
+            cached = nx.shortest_path(self.graph, src, dst)
+            self._path_cache[(src, dst)] = cached
+            self._path_cache[(dst, src)] = cached[::-1]
+        return cached
 
     def path_properties(self, src: str, dst: str) -> Tuple[float, float, int]:
         """Resolve (bottleneck_bps, switch_latency_s, hop_count) for a path.
 
         ``switch_latency_s`` is the summed store-and-forward latency of
-        every switch traversed.
+        every switch traversed.  Memoized: the graph is undirected, so
+        the same tuple serves both directions.
         """
+        props = self._props_cache.get((src, dst))
+        if props is not None:
+            return props
         nodes = self.path(src, dst)
         bottleneck = float("inf")
         switch_latency = 0.0
@@ -81,7 +102,10 @@ class NetworkTopology:
         for node in nodes[1:-1]:
             if self.graph.nodes[node]["kind"] == "switch":
                 switch_latency += self.switches[node].forwarding_latency_s
-        return bottleneck, switch_latency, len(nodes) - 1
+        props = (bottleneck, switch_latency, len(nodes) - 1)
+        self._props_cache[(src, dst)] = props
+        self._props_cache[(dst, src)] = props
+        return props
 
     def endpoint(self, name: str) -> Endpoint:
         return self.endpoints[name]

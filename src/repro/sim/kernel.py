@@ -9,7 +9,7 @@ the event's value (or the event's exception is thrown into it).
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 #: Scheduling priority for "urgent" events (fire before normal events that
@@ -46,6 +46,15 @@ class Event:
     schedules them on the environment's queue.  Processes wait on events by
     yielding them.
     """
+
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_exception",
+        "_triggered",
+        "_processed",
+    )
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -117,8 +126,37 @@ class Event:
         return f"<{type(self).__name__} {state} at t={self.env.now:.6g}>"
 
 
+class _Resume(object):
+    """Pre-triggered resume carrier for :meth:`Process._wait_on`.
+
+    Stands in for the trampoline :class:`Event` when a process waits on an
+    already-processed event: it carries only what :meth:`Environment.step`
+    and :meth:`Process._resume` touch (``callbacks``, the value/exception
+    payload, and the processed flag), so the hot wait-on-finished path
+    allocates one small slotted object instead of a full event.
+    """
+
+    __slots__ = ("callbacks", "_value", "_exception", "_processed")
+
+    #: Class-level: a resume carrier is born triggered and never re-fires.
+    _triggered = True
+
+    def __init__(
+        self,
+        value: Any,
+        exception: Optional[BaseException],
+        callback: Callable[["Event"], None],
+    ):
+        self.callbacks: Optional[list] = [callback]
+        self._value = value
+        self._exception = exception
+        self._processed = False
+
+
 class Timeout(Event):
     """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -132,6 +170,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event used to start a process at its creation time."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -147,6 +187,8 @@ class Process(Event):
     carrying the generator's return value; other processes can therefore
     wait for its completion by yielding it.
     """
+
+    __slots__ = ("name", "_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -215,22 +257,22 @@ class Process(Event):
         self._wait_on(next_event)
 
     def _wait_on(self, event: Event) -> None:
-        if event.callbacks is None:
-            # Already processed: resume immediately at the current time.
-            trampoline = Event(self.env)
-            trampoline._triggered = True
-            trampoline._value = event._value
-            trampoline._exception = event._exception
-            trampoline.callbacks.append(self._resume)
-            self.env._schedule(trampoline, URGENT, 0.0)
-            self._target = trampoline
+        callbacks = event.callbacks
+        if callbacks is None:
+            # Already processed: resume immediately at the current time via
+            # a lightweight carrier instead of a full trampoline Event.
+            resume = _Resume(event._value, event._exception, self._resume)
+            self.env._schedule(resume, URGENT, 0.0)
+            self._target = resume
         else:
-            event.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = event
 
 
 class ConditionEvent(Event):
     """Base for :class:`AnyOf` / :class:`AllOf` event composition."""
+
+    __slots__ = ("events", "_fired_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -268,12 +310,16 @@ class ConditionEvent(Event):
 class AnyOf(ConditionEvent):
     """Fires when *any* constituent event fires."""
 
+    __slots__ = ()
+
     def _condition_met(self) -> bool:
         return self._fired_count >= 1
 
 
 class AllOf(ConditionEvent):
     """Fires when *all* constituent events have fired."""
+
+    __slots__ = ()
 
     def _condition_met(self) -> bool:
         return self._fired_count >= len(self.events)
@@ -287,6 +333,8 @@ class Environment:
     initial_time:
         Starting value of the simulated clock (seconds).
     """
+
+    __slots__ = ("_now", "_queue", "_sequence", "_active_process")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -330,7 +378,7 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._sequence += 1
-        heapq.heappush(
+        heappush(
             self._queue, (self._now + delay, priority, self._sequence, event)
         )
 
@@ -342,10 +390,10 @@ class Environment:
         """Process exactly one event from the queue."""
         if not self._queue:
             raise SimulationError("step() on empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        self._now, _priority, _seq, event = heappop(self._queue)
         callbacks = event.callbacks
-        event._mark_processed()
+        event.callbacks = None
+        event._processed = True
         if callbacks:
             for callback in callbacks:
                 callback(event)
@@ -379,18 +427,22 @@ class Environment:
                 raise ValueError(
                     f"until={stop_at} is in the past (now={self._now})"
                 )
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        queue = self._queue
+        step = self.step
+        while queue:
+            if stop_event is not None and stop_event._processed:
                 break
-            if stop_at is not None and self.peek() > stop_at:
-                self._now = stop_at
-                return None
-            self.step()
+            if stop_at is not None and queue[0][0] > stop_at:
+                break
+            step()
         if stop_event is not None:
-            if not stop_event.triggered:
+            if not stop_event._triggered:
                 raise SimulationError("run(until=event) exhausted queue first")
             return stop_event.value
         if stop_at is not None:
+            # Single exit for the timed case: whether the queue drained or
+            # the next event lies beyond the horizon, the clock lands on
+            # exactly ``stop_at``.
             self._now = stop_at
         return None
 

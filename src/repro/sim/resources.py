@@ -23,6 +23,8 @@ from repro.sim.kernel import Environment, Event, SimulationError
 class Request(Event):
     """Pending claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource", "priority")
+
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.env)
         self.resource = resource
@@ -126,6 +128,8 @@ class PriorityResource(Resource):
 class StorePut(Event):
     """Pending insertion into a :class:`Store`."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -133,6 +137,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Pending retrieval from a :class:`Store`."""
+
+    __slots__ = ("predicate",)
 
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]):
         super().__init__(store.env)
@@ -220,12 +226,16 @@ class Store:
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         super().__init__(container.env)
         self.amount = amount
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         super().__init__(container.env)
         self.amount = amount

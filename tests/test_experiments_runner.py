@@ -1,0 +1,162 @@
+"""Tests for the shared experiment runner: run_map, caching, determinism."""
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments import fig4_vmsweep, scale_study
+from repro.experiments.runner import (
+    ResultCache,
+    code_fingerprint,
+    derive_seed,
+    run_map,
+    stable_hash,
+)
+
+
+@dataclass(frozen=True)
+class Task:
+    x: int
+    seed: int = 0
+
+
+def _square(task: Task) -> int:
+    return task.x * task.x
+
+
+def _square_and_mark(task: Task) -> int:
+    # Side channel observable from the parent even when run in a pool.
+    path = os.environ["RUNNER_TEST_MARK_DIR"]
+    with open(os.path.join(path, f"mark-{task.x}"), "w") as handle:
+        handle.write(str(task.x))
+    return task.x * task.x
+
+
+# -- stable hashing and seeds ------------------------------------------------
+
+
+def test_stable_hash_is_deterministic_and_content_based():
+    assert stable_hash(Task(3)) == stable_hash(Task(3))
+    assert stable_hash(Task(3)) != stable_hash(Task(4))
+    assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+    assert stable_hash((1.0,)) != stable_hash((1.0000000001,))
+
+
+def test_stable_hash_rejects_unhashable_types():
+    with pytest.raises(TypeError):
+        stable_hash(object())
+
+
+def test_derive_seed_deterministic_and_distinct():
+    assert derive_seed(1, "point", 4) == derive_seed(1, "point", 4)
+    assert derive_seed(1, "point", 4) != derive_seed(1, "point", 5)
+    assert derive_seed(1, "point", 4) != derive_seed(2, "point", 4)
+    assert 0 <= derive_seed(1, "x") < 2**63
+
+
+def test_code_fingerprint_stable_within_process():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+# -- run_map -----------------------------------------------------------------
+
+
+def test_run_map_serial_preserves_order(tmp_path):
+    tasks = [Task(x) for x in (5, 3, 1)]
+    assert run_map(tasks, _square, cache_dir=tmp_path) == [25, 9, 1]
+
+
+def test_run_map_parallel_matches_serial(tmp_path):
+    tasks = [Task(x) for x in range(6)]
+    serial = run_map(tasks, _square, jobs=1, cache=False)
+    parallel = run_map(tasks, _square, jobs=4, cache=False)
+    assert serial == parallel == [x * x for x in range(6)]
+
+
+def test_run_map_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        run_map([Task(1)], _square, jobs=0, cache=False)
+
+
+def test_run_map_warm_cache_skips_computation(tmp_path, monkeypatch):
+    mark_dir = tmp_path / "marks"
+    mark_dir.mkdir()
+    monkeypatch.setenv("RUNNER_TEST_MARK_DIR", str(mark_dir))
+    cache_dir = tmp_path / "cache"
+    tasks = [Task(x) for x in (1, 2)]
+
+    cold = run_map(tasks, _square_and_mark, cache_dir=cache_dir)
+    assert cold == [1, 4]
+    assert sorted(p.name for p in mark_dir.iterdir()) == ["mark-1", "mark-2"]
+
+    for mark in mark_dir.iterdir():
+        mark.unlink()
+    warm = run_map(tasks, _square_and_mark, cache_dir=cache_dir)
+    assert warm == cold
+    assert list(mark_dir.iterdir()) == []  # nothing recomputed
+
+    # A changed task spec is a miss; existing points stay cached.
+    mixed = run_map(
+        [Task(1), Task(9)], _square_and_mark, cache_dir=cache_dir
+    )
+    assert mixed == [1, 81]
+    assert [p.name for p in mark_dir.iterdir()] == ["mark-9"]
+
+
+def test_result_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cache.task_key(_square, Task(1))
+    cache.put(key, 123)
+    hit, value = cache.get(key)
+    assert hit and value == 123
+    # Different garbage makes pickle raise different exceptions
+    # (UnpicklingError, ValueError, EOFError...); all must be misses.
+    for garbage in (b"not a pickle", b"garbage\n", b"", b"\x80"):
+        cache._path(key).write_bytes(garbage)
+        hit, _ = cache.get(key)
+        assert not hit
+
+
+def test_result_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(cache.task_key(_square, Task(1)), 1)
+    cache.put(cache.task_key(_square, Task(2)), 4)
+    assert cache.clear() == 2
+    assert cache.clear() == 0
+
+
+# -- experiment determinism --------------------------------------------------
+
+
+FIG4_KWARGS = dict(
+    vm_counts=(1, 2), invocations_per_function=2, measure_microfaas=False
+)
+
+
+def test_fig4_parallel_and_cache_identical_to_serial(tmp_path):
+    serial = fig4_vmsweep.run(jobs=1, cache=False, **FIG4_KWARGS)
+    parallel = fig4_vmsweep.run(jobs=4, cache=False, **FIG4_KWARGS)
+    assert serial.points == parallel.points
+
+    cache_dir = tmp_path / "fig4"
+    cold = fig4_vmsweep.run(jobs=1, cache=True, cache_dir=cache_dir, **FIG4_KWARGS)
+    warm = fig4_vmsweep.run(jobs=4, cache=True, cache_dir=cache_dir, **FIG4_KWARGS)
+    assert cold.points == serial.points
+    assert warm.points == serial.points
+
+
+SCALE_KWARGS = dict(worker_counts=(10, 20), jobs_per_worker=1)
+
+
+def test_scale_study_parallel_and_cache_identical_to_serial(tmp_path):
+    serial = scale_study.run(jobs=1, cache=False, **SCALE_KWARGS)
+    parallel = scale_study.run(jobs=2, cache=False, **SCALE_KWARGS)
+    assert serial.points == parallel.points
+
+    cache_dir = tmp_path / "scale"
+    cold = scale_study.run(jobs=1, cache=True, cache_dir=cache_dir, **SCALE_KWARGS)
+    warm = scale_study.run(jobs=2, cache=True, cache_dir=cache_dir, **SCALE_KWARGS)
+    assert cold.points == serial.points
+    assert warm.points == serial.points

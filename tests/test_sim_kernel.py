@@ -144,6 +144,33 @@ def test_run_until_time_stops_clock_exactly():
     assert env.now == 7.5
 
 
+def test_run_until_time_with_empty_queue_lands_on_stop_time():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    env.process(proc())
+    # The queue drains at t=1 but the clock must still land on t=4.
+    env.run(until=4.0)
+    assert env.now == 4.0
+    assert env.peek() == float("inf")
+
+
+def test_run_until_time_with_pending_events_lands_on_stop_time():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10.0)
+
+    env.process(proc())
+    # Next event is at t=10, beyond the horizon: clock stops exactly at 3.5.
+    env.run(until=3.5)
+    assert env.now == 3.5
+    assert env.peek() == 10.0
+
+
 def test_run_until_event_returns_value():
     env = Environment()
     done = env.event()
