@@ -16,6 +16,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
+    fault_study,
     fig1_boot,
     fig3_runtime,
     fig4_vmsweep,
@@ -71,6 +72,16 @@ ARTIFACTS: Dict[str, tuple] = {
         "throughput match + the 5.6x energy headline",
         lambda n, jobs, cache: headline.render(
             headline.run(invocations_per_function=n, jobs=jobs, cache=cache)
+        ),
+    ),
+    "fault-study": (
+        "goodput/energy under escalating chaos; recovery stack (extension)",
+        lambda n, jobs, cache: fault_study.render(
+            fault_study.run(
+                invocations_per_function=max(2, n // 8),
+                jobs=jobs,
+                cache=cache,
+            )
         ),
     ),
     "hardware": (

@@ -18,6 +18,7 @@ from repro.cluster.worker import SbcWorker
 from repro.core.gpio import GpioBank
 from repro.core.lifecycle import RunToCompletionPolicy
 from repro.core.orchestrator import Orchestrator
+from repro.core.policies import RecoveryPolicy
 from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
 from repro.hardware.meter import PowerMeter
 from repro.hardware.sbc import SingleBoardComputer
@@ -52,6 +53,7 @@ class MicroFaaSCluster:
         profiles=None,
         control_plane=None,
         backend=None,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         if worker_count < 1:
             raise ValueError("need at least one worker")
@@ -87,7 +89,7 @@ class MicroFaaSCluster:
             Endpoint("backend", FAST_ETHERNET, "x86-bare"),
             self.switches[0].name,
         )
-        self.transfers = TransferModel(self.topology)
+        self.transfers = TransferModel(self.topology, clock=lambda: self.env.now)
 
         # Control plane.
         self.gpio = GpioBank()
@@ -97,6 +99,7 @@ class MicroFaaSCluster:
             if policy is not None
             else RandomSamplingPolicy(random.Random(seed)),
             gpio=self.gpio,
+            recovery=recovery,
         )
 
         # Worker boards.

@@ -120,6 +120,13 @@ class SbcWorker:
             self._pending_pop = pop_event
             job: Job = yield pop_event
             self._pending_pop = None
+            if job.is_finished or self.orchestrator.is_delivered(job.job_id):
+                # A stranded duplicate: the logical job already finished
+                # on another worker (hedge/retry won the race).  The
+                # idempotency-key check at claim time discards it without
+                # executing — release the queue slot and move on.
+                self.orchestrator.discard_stale_attempt(job)
+                continue
             self.current_job = job
             # Service (including the boot this job pays) starts now; the
             # queue wait ends at the pop.

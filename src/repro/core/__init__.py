@@ -14,6 +14,8 @@ in Sec. V is computed from.
 - :mod:`repro.core.lifecycle` — the run-to-completion worker policy
   (reboot between jobs, power off when idle).
 - :mod:`repro.core.telemetry` — data collection and aggregate metrics.
+- :mod:`repro.core.policies` — recovery policies (retry budgets,
+  hedging, per-worker circuit breakers) for at-least-once execution.
 - :mod:`repro.core.orchestrator` — the OP itself.
 """
 
@@ -21,6 +23,11 @@ from repro.core.gpio import GpioBank
 from repro.core.job import Job, JobStatus
 from repro.core.lifecycle import RunToCompletionPolicy
 from repro.core.orchestrator import Orchestrator
+from repro.core.policies import (
+    BreakerState,
+    RecoveryPolicy,
+    WorkerHealthTracker,
+)
 from repro.core.queue import WorkerQueue
 from repro.core.scheduler import (
     AssignmentPolicy,
@@ -35,6 +42,7 @@ from repro.core.warmpool import WarmPool
 
 __all__ = [
     "AssignmentPolicy",
+    "BreakerState",
     "GpioBank",
     "InvocationRecord",
     "Job",
@@ -43,9 +51,11 @@ __all__ = [
     "Orchestrator",
     "PackingPolicy",
     "RandomSamplingPolicy",
+    "RecoveryPolicy",
     "RoundRobinPolicy",
     "RunToCompletionPolicy",
     "TelemetryCollector",
+    "WorkerHealthTracker",
     "WorkerQueue",
     "make_policy",
 ]

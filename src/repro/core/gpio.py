@@ -35,6 +35,20 @@ class GpioBank:
             raise ValueError("actuation latency cannot be negative")
         self.actuation_s = actuation_s
         self._lines: Dict[int, GpioLine] = {}
+        #: Chaos state: lines whose pulses currently do nothing (a loose
+        #: jumper, a blown level shifter).
+        self._stuck: set = set()
+
+    def break_line(self, worker_id: int) -> None:
+        """Make a line's pulses ineffective until repaired."""
+        self.line(worker_id)  # validate
+        self._stuck.add(worker_id)
+
+    def repair_line(self, worker_id: int) -> None:
+        self._stuck.discard(worker_id)
+
+    def is_stuck(self, worker_id: int) -> bool:
+        return worker_id in self._stuck
 
     def connect(
         self,
@@ -68,6 +82,8 @@ class GpioBank:
         if line.is_powered():
             return False
         line.pulses += 1
+        if worker_id in self._stuck:
+            return False  # the pulse went nowhere
         line.power_on()
         return True
 
@@ -77,6 +93,8 @@ class GpioBank:
         if not line.is_powered():
             return False
         line.pulses += 1
+        if worker_id in self._stuck:
+            return False  # the pulse went nowhere
         line.power_off()
         return True
 

@@ -53,6 +53,10 @@ class Job:
     failure: Optional[str] = None
     #: How many times the job has been (re)assigned after worker faults.
     attempts: int = 0
+    #: At-least-once delivery: attempts of the same logical invocation
+    #: share one key, so the OP can suppress duplicate results.  Stamped
+    #: at submission; clones (hedges, timeout retries) inherit it.
+    idempotency_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.input_bytes < 0 or self.output_bytes < 0:
@@ -89,6 +93,39 @@ class Job:
         self.attempts += 1
         self.t_started = None
         self.worker_id = None
+
+    def spawn_attempt(self) -> "Job":
+        """Clone this job as a fresh attempt (hedge or timeout retry).
+
+        At-least-once execution on run-to-completion workers cannot
+        cancel an in-flight attempt, so a retry is a *new* Job object
+        with a fresh lifecycle, sharing the logical identity (job_id,
+        idempotency key, payload).  The OP keeps this object as the
+        canonical record and suppresses whichever result arrives second.
+        """
+        clone = Job(
+            job_id=self.job_id,
+            function=self.function,
+            input_bytes=self.input_bytes,
+            output_bytes=self.output_bytes,
+            payload=self.payload,
+            idempotency_key=self.idempotency_key,
+        )
+        clone.t_submit = self.t_submit
+        self.attempts += 1
+        return clone
+
+    def absorb_completion(self, now: float) -> None:
+        """Mark the canonical record done off a duplicate attempt's result.
+
+        The canonical object may sit QUEUED on a slow worker while its
+        hedge completes, so this bypasses the transition table: it is
+        only ever called by the orchestrator for the first result of a
+        logical job.
+        """
+        self.status = JobStatus.COMPLETED
+        if self.t_completed is None:
+            self.t_completed = now
 
     @property
     def is_finished(self) -> bool:

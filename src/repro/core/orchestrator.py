@@ -8,15 +8,25 @@ Job flow (Sec. IV-D): ``submit`` stamps the job, the policy picks a
 queue, the push triggers a GPIO power-on if that worker is sleeping, the
 worker boots/executes/reports, and ``wait_all`` lets experiments run the
 simulation until every submitted job has completed.
+
+Recovery (opt-in via a :class:`~repro.core.policies.RecoveryPolicy`):
+jobs carry idempotency keys and are executed *at least once* — crash
+resubmission, per-attempt timeouts with backoff, and straggler hedging
+may all launch duplicate attempts, and ``complete``/``fail`` deliver
+exactly the first result per logical job, suppressing the rest.  A
+:class:`~repro.core.policies.WorkerHealthTracker` circuit breaker
+quarantines flapping boards out of the scheduler's candidate set.
+Without a policy the orchestrator behaves exactly as before.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.core.gpio import GpioBank
 from repro.core.job import Job, JobStatus
+from repro.core.policies import RecoveryPolicy, WorkerHealthTracker
 from repro.core.queue import WorkerQueue
 from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
 from repro.core.telemetry import InvocationRecord, TelemetryCollector
@@ -32,19 +42,40 @@ class Orchestrator:
         env: Environment,
         policy: Optional[AssignmentPolicy] = None,
         gpio: Optional[GpioBank] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         self.env = env
         self.policy = policy if policy is not None else RandomSamplingPolicy()
         self.gpio = gpio if gpio is not None else GpioBank()
+        self.recovery = recovery
+        self.health: Optional[WorkerHealthTracker] = (
+            WorkerHealthTracker.from_policy(recovery)
+            if recovery is not None
+            else None
+        )
         self.telemetry = TelemetryCollector()
         self.queues: List[WorkerQueue] = []
         self.jobs: Dict[int, Job] = {}
         self.dead_workers: set = set()
         self.resubmissions = 0
+        #: Recovery counters (only move when a policy is installed).
+        self.duplicates_suppressed = 0
+        self.timeout_retries = 0
+        self.hedges = 0
+        self.jobs_lost = 0
         self._next_job_id = 0
         self._submitted = 0
         self._completed = 0
         self._drain_events: List[Event] = []
+        #: Logical jobs whose (first) result has been delivered.
+        self._done: Set[int] = set()
+        #: Attempts launched / last-launch time per logical job.
+        self._attempt_count: Dict[int, int] = {}
+        self._attempt_started: Dict[int, float] = {}
+        self._hedged: Set[int] = set()
+        #: When each worker's board was first seen off with work queued.
+        self._board_stuck_since: Dict[int, float] = {}
+        self._supervisor_running = False
 
     # -- workers ---------------------------------------------------------------
 
@@ -87,11 +118,46 @@ class Orchestrator:
         """A replaced/repaired worker rejoins the assignment pool."""
         self.dead_workers.discard(worker_id)
 
+    def note_worker_failure(self, worker_id: int) -> None:
+        """Feed one failure observation into the circuit breaker."""
+        if self.health is not None:
+            self.health.record_failure(worker_id, self.env.now)
+
+    def note_worker_recovered(self, worker_id: int) -> None:
+        """A repaired worker rejoins with a clean breaker."""
+        if self.health is not None:
+            self.health.reset(worker_id, self.env.now)
+
     def _alive_queues(self) -> List[WorkerQueue]:
         return [
             queue for queue in self.queues
             if queue.worker_id not in self.dead_workers
         ]
+
+    def _candidate_queues(self, exclude: Optional[int] = None) -> List[WorkerQueue]:
+        """Schedulable queues: alive, un-quarantined, optionally minus one.
+
+        Falls back one constraint at a time — the breaker never starves
+        the cluster: if every alive worker is quarantined we schedule on
+        alive workers anyway, and the ``exclude`` preference (avoid the
+        worker a retry/hedge is fleeing) yields when it would leave no
+        candidates.
+        """
+        alive = self._alive_queues()
+        candidates = alive
+        if self.health is not None:
+            now = self.env.now
+            healthy = [
+                queue for queue in alive
+                if self.health.is_available(queue.worker_id, now)
+            ]
+            if healthy:
+                candidates = healthy
+        if exclude is not None:
+            spread = [q for q in candidates if q.worker_id != exclude]
+            if spread:
+                candidates = spread
+        return candidates
 
     # -- job submission -----------------------------------------------------------
 
@@ -107,9 +173,9 @@ class Orchestrator:
         self._next_job_id += 1
         return job
 
-    def _assign(self, job: Job) -> None:
-        """Pick an alive queue via the policy and push the job."""
-        candidates = self._alive_queues()
+    def _assign(self, job: Job, exclude: Optional[int] = None) -> None:
+        """Pick a schedulable queue via the policy and push the job."""
+        candidates = self._candidate_queues(exclude)
         if not candidates:
             raise RuntimeError("no alive workers available")
         index = self.policy.select(job, candidates, self._is_powered)
@@ -126,8 +192,16 @@ class Orchestrator:
         if job.job_id in self.jobs:
             raise ValueError(f"job {job.job_id} already submitted")
         job.t_submit = self.env.now
+        if job.idempotency_key is None:
+            job.idempotency_key = f"{job.function}/{job.job_id}"
         self.jobs[job.job_id] = job
         self._submitted += 1
+        if self.recovery is not None:
+            self._attempt_count[job.job_id] = 1
+            self._attempt_started[job.job_id] = self.env.now
+            if not self._supervisor_running:
+                self._supervisor_running = True
+                self.env.process(self._supervise())
         self._assign(job)
         return job
 
@@ -143,6 +217,32 @@ class Orchestrator:
         self.resubmissions += 1
         self._assign(job)
         return job
+
+    def recover_job(self, job: Job) -> bool:
+        """Tolerant resubmission for chaos recovery paths.
+
+        Unlike :meth:`resubmit`, this accepts attempts salvaged from a
+        dead worker's queue whose logical job already finished elsewhere
+        (a hedge or an earlier attempt won the race): those release
+        their queue slot and are dropped.  Returns True when the attempt
+        was actually reassigned.
+        """
+        if job.worker_id is not None:
+            self.queues[job.worker_id].job_finished()
+        canonical = self.jobs.get(job.job_id)
+        if job.job_id in self._done or job.is_finished:
+            return False
+        if canonical is not None and canonical is not job and canonical.is_finished:
+            return False
+        job.reset_for_retry()
+        self.resubmissions += 1
+        if self.recovery is not None:
+            self._attempt_count[job.job_id] = (
+                self._attempt_count.get(job.job_id, 1) + 1
+            )
+            self._attempt_started[job.job_id] = self.env.now
+        self._assign(job)
+        return True
 
     def submit_function(self, function: str) -> Job:
         """Shorthand: build and submit one invocation of ``function``."""
@@ -185,33 +285,206 @@ class Orchestrator:
 
     # -- completion ---------------------------------------------------------------
 
-    def complete(self, job: Job, record: InvocationRecord) -> None:
-        """Worker callback: a job finished; record its telemetry."""
-        if job.job_id not in self.jobs:
-            raise KeyError(f"unknown job {job.job_id}")
-        job.transition(JobStatus.COMPLETED, self.env.now)
+    def is_delivered(self, job_id: int) -> bool:
+        """Whether the logical job's (first) result has been delivered.
+
+        Workers consult this at claim time — the idempotency-key check —
+        so a stranded duplicate attempt is discarded instead of executed.
+        """
+        return job_id in self._done
+
+    def discard_stale_attempt(self, job: Job) -> None:
+        """Release a popped attempt whose logical job already delivered."""
         if job.worker_id is not None:
             self.queues[job.worker_id].job_finished()
-        self.telemetry.record(record)
-        self._completed += 1
+        if self.recovery is not None:
+            self.duplicates_suppressed += 1
+
+    def _fire_drain_events(self) -> None:
         if self._completed == self._submitted:
             for event in self._drain_events:
                 if not event.triggered:
                     event.succeed(self._completed)
             self._drain_events.clear()
 
-    def fail(self, job: Job, reason: str) -> None:
-        """Worker callback: a job failed."""
-        job.failure = reason
-        job.transition(JobStatus.FAILED, self.env.now)
+    def complete(self, job: Job, record: InvocationRecord) -> None:
+        """Worker callback: an attempt finished; deliver at most one result.
+
+        The first result per logical job is recorded; later duplicates
+        (a hedge and its original both ran to completion — boards
+        cannot cancel in-flight work) release their queue slot and are
+        suppressed without touching telemetry or counters.
+        """
+        if job.job_id not in self.jobs:
+            raise KeyError(f"unknown job {job.job_id}")
+        now = self.env.now
         if job.worker_id is not None:
             self.queues[job.worker_id].job_finished()
+            if self.health is not None:
+                self.health.record_success(job.worker_id, now)
+        if self.recovery is not None and job.job_id in self._done:
+            self.duplicates_suppressed += 1
+            if not job.is_finished:
+                job.transition(JobStatus.COMPLETED, now)
+            return
+        self._done.add(job.job_id)
+        job.transition(JobStatus.COMPLETED, now)
+        canonical = self.jobs[job.job_id]
+        if canonical is not job and not canonical.is_finished:
+            canonical.absorb_completion(now)
+        self.telemetry.record(record)
         self._completed += 1
-        if self._completed == self._submitted:
-            for event in self._drain_events:
-                if not event.triggered:
-                    event.succeed(self._completed)
-            self._drain_events.clear()
+        self._fire_drain_events()
+
+    def fail(self, job: Job, reason: str) -> None:
+        """Worker callback: an attempt failed terminally."""
+        now = self.env.now
+        if job.worker_id is not None:
+            self.queues[job.worker_id].job_finished()
+            if self.health is not None:
+                self.health.record_failure(job.worker_id, now)
+        if self.recovery is not None and job.job_id in self._done:
+            self.duplicates_suppressed += 1
+            if not job.is_finished:
+                job.failure = reason
+                job.transition(JobStatus.FAILED, now)
+            return
+        self._done.add(job.job_id)
+        job.failure = reason
+        job.transition(JobStatus.FAILED, now)
+        canonical = self.jobs.get(job.job_id)
+        if canonical is not None and canonical is not job and not canonical.is_finished:
+            canonical.failure = reason
+            canonical.status = JobStatus.FAILED
+            canonical.t_completed = now
+        self._completed += 1
+        self._fire_drain_events()
+
+    # -- recovery supervision ------------------------------------------------------
+
+    def _supervise(self):
+        """Recovery supervisor: scan in-flight jobs every ``tick_s``.
+
+        Runs only when a :class:`RecoveryPolicy` is installed.  Draws no
+        random numbers (jitter is hashed from job ids), so its presence
+        never perturbs the simulation's RNG streams — a zero-fault run
+        with recovery enabled is bit-identical to one without.
+        """
+        policy = self.recovery
+        try:
+            while self.pending > 0:
+                yield self.env.timeout(policy.tick_s)
+                now = self.env.now
+                self._scan_jobs(policy, now)
+                self._scan_stuck_workers(policy, now)
+        finally:
+            # Re-armed by the next submit() if more work arrives.
+            self._supervisor_running = False
+
+    def _scan_jobs(self, policy: RecoveryPolicy, now: float) -> None:
+        for job_id, job in self.jobs.items():
+            if job_id in self._done or job.is_finished:
+                continue
+            if (
+                policy.job_deadline_s is not None
+                and job.t_submit is not None
+                and now - job.t_submit >= policy.job_deadline_s
+            ):
+                self._give_up(job, now)
+                continue
+            if job.t_started is None:
+                # Still queued: saturation makes long waits normal, and
+                # stranded queues are the stuck-worker scan's problem.
+                continue
+            launched = max(job.t_started, self._attempt_started.get(job_id, 0.0))
+            age = now - launched
+            count = self._attempt_count.get(job_id, 1)
+            if age >= policy.attempt_timeout_s and count < policy.max_attempts:
+                self._retry(job, count, now)
+            elif (
+                policy.hedge_after_s is not None
+                and job_id not in self._hedged
+                and age >= policy.hedge_after_s
+                and count < policy.max_attempts
+            ):
+                self._hedge(job)
+
+    def _give_up(self, job: Job, now: float) -> None:
+        """Deadline exceeded: abandon the job (the only loss path)."""
+        self._done.add(job.job_id)
+        job.failure = "deadline exceeded"
+        job.status = JobStatus.FAILED
+        job.t_completed = now
+        self.jobs_lost += 1
+        self._completed += 1
+        self._fire_drain_events()
+
+    def _retry(self, job: Job, count: int, now: float) -> None:
+        """The running attempt timed out: back off, then relaunch."""
+        self.timeout_retries += 1
+        self._attempt_count[job.job_id] = count + 1
+        if job.worker_id is not None:
+            self.note_worker_failure(job.worker_id)
+        delay = self.recovery.backoff_s(count, job.job_id)
+        # Stamp the launch time now (including the backoff) so the next
+        # tick does not fire a second retry for the same stall.
+        self._attempt_started[job.job_id] = now + delay
+        clone = job.spawn_attempt()
+        self.env.process(
+            self._launch_later(clone, delay, exclude=job.worker_id)
+        )
+
+    def _hedge(self, job: Job) -> None:
+        """Straggler detected: launch one duplicate on another worker."""
+        self.hedges += 1
+        self._hedged.add(job.job_id)
+        self._attempt_count[job.job_id] = (
+            self._attempt_count.get(job.job_id, 1) + 1
+        )
+        clone = job.spawn_attempt()
+        self._assign(clone, exclude=job.worker_id)
+
+    def _launch_later(self, clone: Job, delay: float, exclude: Optional[int]):
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if clone.job_id in self._done:
+            return
+        try:
+            self._assign(clone, exclude=exclude)
+        except RuntimeError:
+            # No alive workers right now; the next timeout retry (or a
+            # chaos repair) will try again.
+            pass
+
+    def _scan_stuck_workers(self, policy: RecoveryPolicy, now: float) -> None:
+        """Recover queues stranded on boards that are off but owe work.
+
+        A stuck GPIO line (or a boot that never completed) leaves a
+        powered-off board with a non-empty queue and no process able to
+        serve it.  After ``stuck_worker_grace_s`` of that state the
+        worker is declared dead and its queue recovered, exactly like a
+        crash detection.
+        """
+        for queue in self.queues:
+            wid = queue.worker_id
+            if wid in self.dead_workers:
+                self._board_stuck_since.pop(wid, None)
+                continue
+            if queue.outstanding > 0 and not self._is_powered(wid):
+                since = self._board_stuck_since.setdefault(wid, now)
+                if now - since >= policy.stuck_worker_grace_s:
+                    self._board_stuck_since.pop(wid, None)
+                    self._recover_stuck_worker(wid)
+            else:
+                self._board_stuck_since.pop(wid, None)
+
+    def _recover_stuck_worker(self, worker_id: int) -> None:
+        if len(self.dead_workers) + 1 >= len(self.queues):
+            return  # never kill the last alive worker from a scan
+        self.mark_worker_dead(worker_id)
+        self.note_worker_failure(worker_id)
+        for job in self.queues[worker_id].drain():
+            self.recover_job(job)
 
     @property
     def pending(self) -> int:

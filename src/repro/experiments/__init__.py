@@ -13,6 +13,8 @@ One module per paper artifact:
 - :mod:`repro.experiments.table2_tco` — the 5-year cost comparison.
 - :mod:`repro.experiments.headline` — the throughput match and the
   5.6x energy headline.
+- :mod:`repro.experiments.fault_study` — goodput, latency, and energy
+  under escalating chaos with the full recovery stack (extension).
 
 Every module exposes ``run(...)`` returning structured results and
 ``render(...)`` producing the text the benchmark harness prints.
@@ -24,6 +26,7 @@ content-addressed on-disk result cache.
 """
 
 from repro.experiments import (
+    fault_study,
     fig1_boot,
     fig2_testbed,
     fig3_runtime,
@@ -38,6 +41,7 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "fault_study",
     "fig1_boot",
     "fig2_testbed",
     "fig3_runtime",

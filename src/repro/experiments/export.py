@@ -12,6 +12,7 @@ import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import (
+    fault_study,
     fig1_boot,
     fig3_runtime,
     fig4_vmsweep,
@@ -133,6 +134,29 @@ def export_headline(directory: str, invocations_per_function: int = 30) -> str:
     )
 
 
+def export_fault_study(directory: str, invocations_per_function: int = 2) -> str:
+    """Recovery under chaos: one row per fault-rate point."""
+    result = fault_study.run(invocations_per_function=invocations_per_function)
+    rows = [
+        (p.fault_rate_scale, p.faults_injected, p.jobs_submitted,
+         p.jobs_delivered, p.jobs_lost, p.goodput_per_min, p.p99_latency_s,
+         p.mean_recovery_s if p.mean_recovery_s is not None else "",
+         p.resubmissions, p.timeout_retries, p.hedges,
+         p.duplicates_suppressed, p.boards_abandoned,
+         p.joules_per_function, result.energy_overhead(p))
+        for p in result.points
+    ]
+    return _write(
+        os.path.join(directory, "fault_study.csv"),
+        ["fault_rate_scale", "faults_injected", "jobs_submitted",
+         "jobs_delivered", "jobs_lost", "goodput_per_min", "p99_latency_s",
+         "mean_recovery_s", "resubmissions", "timeout_retries", "hedges",
+         "duplicates_suppressed", "boards_abandoned", "joules_per_function",
+         "energy_overhead"],
+        rows,
+    )
+
+
 def export_all(
     directory: str,
     invocations_per_function: int = 12,
@@ -146,11 +170,13 @@ def export_all(
         export_fig5(directory),
         export_table2(directory),
         export_headline(directory, invocations_per_function),
+        export_fault_study(directory, max(2, invocations_per_function // 6)),
     ]
 
 
 __all__ = [
     "export_all",
+    "export_fault_study",
     "export_fig1",
     "export_fig3",
     "export_fig4",

@@ -36,12 +36,32 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "ResultCache",
+    "TaskExecutionError",
     "code_fingerprint",
     "default_cache_dir",
     "derive_seed",
     "run_map",
     "stable_hash",
 ]
+
+
+class TaskExecutionError(RuntimeError):
+    """A :func:`run_map` worker raised; carries the originating task.
+
+    A traceback surfacing from a ``ProcessPoolExecutor`` names the
+    worker function but not which of the N task specs it was chewing
+    on — useless for a sweep where only one parameter combination
+    trips the bug.  The failing spec rides along as :attr:`task` (and
+    its position in the submitted list as :attr:`index`); the original
+    exception stays chained as ``__cause__``.
+    """
+
+    def __init__(self, task: Any, index: int, cause: BaseException):
+        super().__init__(
+            f"task {index} ({task!r}) failed: {type(cause).__name__}: {cause}"
+        )
+        self.task = task
+        self.index = index
 
 
 # -- stable task identity ----------------------------------------------------
@@ -269,11 +289,22 @@ def run_map(
                 max_workers=min(jobs, len(pending))
             ) as pool:
                 computed = pool.map(fn, [task_list[i] for i in pending])
-                for index, value in zip(pending, computed):
-                    results[index] = value
+                iterator = iter(computed)
+                for index in pending:
+                    try:
+                        results[index] = next(iterator)
+                    except Exception as exc:
+                        raise TaskExecutionError(
+                            task_list[index], index, exc
+                        ) from exc
         else:
             for index in pending:
-                results[index] = fn(task_list[index])
+                try:
+                    results[index] = fn(task_list[index])
+                except Exception as exc:
+                    raise TaskExecutionError(
+                        task_list[index], index, exc
+                    ) from exc
         if store is not None:
             for index in pending:
                 try:

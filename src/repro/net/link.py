@@ -80,6 +80,30 @@ class Link:
         self.rx = Resource(env, capacity=1) if env is not None else None
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Chaos state: the link is dropped until this simulated time
+        #: (frames buffer at the endpoints and flow once it recovers)...
+        self.down_until = 0.0
+        #: ...and/or degraded with extra one-way latency per message.
+        self.extra_latency_s = 0.0
+
+    def drop_until(self, until_s: float) -> None:
+        """Take the link down until ``until_s`` (idempotent, extends)."""
+        self.down_until = max(self.down_until, until_s)
+
+    def degrade(self, extra_latency_s: float) -> None:
+        """Add per-message latency (a flapping PHY, a saturated port)."""
+        if extra_latency_s < 0:
+            raise ValueError("extra latency cannot be negative")
+        self.extra_latency_s = extra_latency_s
+
+    def restore(self) -> None:
+        """Clear any degradation (outages expire on their own)."""
+        self.extra_latency_s = 0.0
+
+    def fault_delay_s(self, now: float) -> float:
+        """Extra one-way delay a message entering at ``now`` suffers."""
+        outage = max(0.0, self.down_until - now)
+        return outage + self.extra_latency_s
 
     @property
     def effective_bandwidth_bps(self) -> float:

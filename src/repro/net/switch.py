@@ -37,6 +37,17 @@ class Switch:
         self.links: Dict[str, Link] = {}
         self.trunks: set = set()
         self.trace = PowerTrace(initial_time=clock(), initial_watts=spec.watts)
+        #: Chaos state: the whole switch forwards nothing until this
+        #: simulated time (power blip, firmware crash).
+        self.down_until = 0.0
+
+    def fail_until(self, until_s: float) -> None:
+        """Take the switch down until ``until_s`` (idempotent, extends)."""
+        self.down_until = max(self.down_until, until_s)
+
+    def outage_remaining_s(self, now: float) -> float:
+        """How much longer a frame arriving at ``now`` must wait."""
+        return max(0.0, self.down_until - now)
 
     @property
     def ports_total(self) -> int:

@@ -19,6 +19,7 @@ ARM core than on x86.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.net.topology import NetworkTopology
 
@@ -37,17 +38,59 @@ class TransferEstimate:
     serialization_s: float
     latency_s: float
     session_s: float
+    #: Extra time waiting out network faults (down links/switches,
+    #: degraded latency); zero unless chaos injection is active.
+    fault_s: float = 0.0
 
     @property
     def total_s(self) -> float:
-        return self.serialization_s + self.latency_s + self.session_s
+        return self.serialization_s + self.latency_s + self.session_s + self.fault_s
 
 
 class TransferModel:
-    """Timing calculator bound to a :class:`NetworkTopology`."""
+    """Timing calculator bound to a :class:`NetworkTopology`.
 
-    def __init__(self, topology: NetworkTopology):
+    With a ``clock`` (and after :meth:`enable_chaos`), transfers also pay
+    for injected network faults: a message crossing a dropped link or a
+    dead switch waits out the remaining outage (frames buffer and flow
+    on recovery — the discrete-event simplification of TCP retransmit),
+    and degraded links add their extra latency.  Fault accounting is
+    gated on both so un-faulted simulations compute byte-identical
+    estimates to the pre-chaos code.
+    """
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         self.topology = topology
+        self.clock = clock
+        self._chaos = False
+
+    def enable_chaos(self) -> None:
+        """Turn on fault accounting (requires a clock)."""
+        if self.clock is None:
+            raise RuntimeError("chaos accounting needs a clock")
+        self._chaos = True
+
+    def _fault_s(self, src: str, dst: str) -> float:
+        """One-way fault penalty for a message entering the fabric now."""
+        if not self._chaos or self.clock is None:
+            return 0.0
+        now = self.clock()
+        outage = 0.0
+        extra = 0.0
+        for name in (src, dst):
+            link = self.topology.links.get(name)
+            if link is not None:
+                outage = max(outage, max(0.0, link.down_until - now))
+                extra += link.extra_latency_s
+        for node in self.topology.path(src, dst)[1:-1]:
+            switch = self.topology.switches.get(node)
+            if switch is not None:
+                outage = max(outage, switch.outage_remaining_s(now))
+        return outage + extra
 
     def one_way_latency_s(self, src: str, dst: str) -> float:
         """Small-message one-way latency: stacks plus switch hops."""
@@ -89,6 +132,7 @@ class TransferModel:
             serialization_s=serialization,
             latency_s=latency,
             session_s=session,
+            fault_s=self._fault_s(src, dst),
         )
 
     def transfer_s(self, src: str, dst: str, nbytes: int) -> float:

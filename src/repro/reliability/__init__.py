@@ -10,8 +10,19 @@ server-board MTBF) and the TCO model's "realistic" scenario assumes a
 - :mod:`repro.reliability.faults` — fault injection into the cluster
   simulation: workers die mid-job, the orchestrator detects the loss
   and resubmits, hot spares power on.
+- :mod:`repro.reliability.chaos` — the cluster-wide chaos engine:
+  boot failures with bounded power-cycle retries, stuck GPIO lines,
+  link/switch outages, and backend-service faults, all driven by one
+  deterministic sampled plan.
 """
 
+from repro.reliability.chaos import (
+    ChaosEngine,
+    ChaosEvent,
+    ChaosKind,
+    ChaosPlan,
+    ChaosProfile,
+)
 from repro.reliability.faults import FaultInjector, FaultPlan
 from repro.reliability.mtbf import (
     SBC_MTBF_HOURS,
@@ -23,6 +34,11 @@ from repro.reliability.mtbf import (
 )
 
 __all__ = [
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosKind",
+    "ChaosPlan",
+    "ChaosProfile",
     "FailureModel",
     "FaultInjector",
     "FaultPlan",

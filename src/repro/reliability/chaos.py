@@ -1,0 +1,484 @@
+"""The cluster-wide chaos engine.
+
+:mod:`repro.reliability.faults` injects one fault class — clean worker
+crashes.  This module generalises it to everything that actually goes
+wrong in a fleet of power-cycled SBCs (and that the orchestrator's
+recovery policies must absorb):
+
+- ``WORKER_CRASH``  — the board loses power mid-job (as before);
+- ``BOOT_FAILURE``  — the board crashes and then fails to come back up;
+  the OP power-cycles it a bounded number of times before declaring the
+  board dead;
+- ``GPIO_STUCK``    — the PWR_BUT line stops actuating, stranding the
+  board powered-off with work queued;
+- ``LINK_DOWN`` / ``LINK_DEGRADE`` — a worker's network link drops for
+  a window, or gains extra per-message latency;
+- ``SWITCH_OUTAGE`` — a whole ToR switch stops forwarding;
+- ``BACKEND_FAULT`` — one backend service box (Redis/PostgreSQL/MinIO/
+  Kafka) stops answering for a window.
+
+A :class:`ChaosProfile` holds per-kind rates (events per simulated hour,
+all scaled by one knob) and outage durations; :class:`ChaosPlan.sample`
+draws a deterministic renewal process per (kind, target) from named RNG
+streams; :class:`ChaosEngine` executes the plan against a running
+:class:`~repro.cluster.microfaas.MicroFaaSCluster` and records recovery
+times for MTTR reporting.
+
+Network and backend outages use the discrete-event simplification of
+"wait out the outage": a transfer or service request arriving during a
+window is delayed by the remaining outage instead of erroring — the
+timing consequence of TCP retransmit / client reconnect loops, without
+modelling the loops themselves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.services.backend import SERVICE_OF_OP
+from repro.sim.rng import RandomStreams
+
+
+class ChaosKind(enum.Enum):
+    """Every fault class the engine can inject."""
+
+    WORKER_CRASH = "worker-crash"
+    BOOT_FAILURE = "boot-failure"
+    GPIO_STUCK = "gpio-stuck"
+    LINK_DOWN = "link-down"
+    LINK_DEGRADE = "link-degrade"
+    SWITCH_OUTAGE = "switch-outage"
+    BACKEND_FAULT = "backend-fault"
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One planned fault.
+
+    ``target`` is a worker id for board/link faults, a switch index for
+    switch outages, and a service name for backend faults.
+    ``duration_s`` is the outage/degradation window (or the repair delay
+    for board faults); ``magnitude`` carries the kind-specific extra
+    (added latency for ``LINK_DEGRADE``, power-cycle attempts needed for
+    ``BOOT_FAILURE``).
+    """
+
+    kind: ChaosKind
+    time_s: float
+    target: object
+    duration_s: float
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("fault time cannot be negative")
+        if self.duration_s < 0:
+            raise ValueError("duration cannot be negative")
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Per-kind fault rates (events per simulated hour) and durations.
+
+    The default mix is calibrated for accelerated chaos studies on
+    90-second saturated runs: at ``scale=1.0`` a 8-worker cluster sees a
+    handful of faults per run; ``scale=0`` disables everything.
+    """
+
+    scale: float = 1.0
+    crash_per_hour: float = 60.0
+    crash_repair_s: float = 6.0
+    boot_failure_per_hour: float = 25.0
+    boot_retry_s: float = 4.0
+    gpio_stuck_per_hour: float = 20.0
+    gpio_repair_s: float = 5.0
+    link_down_per_hour: float = 30.0
+    link_down_s: float = 2.0
+    link_degrade_per_hour: float = 30.0
+    link_degrade_s: float = 5.0
+    link_extra_latency_s: float = 0.05
+    switch_outage_per_hour: float = 6.0
+    switch_outage_s: float = 1.5
+    backend_fault_per_hour: float = 15.0
+    backend_outage_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ValueError("scale cannot be negative")
+        for name in (
+            "crash_per_hour",
+            "boot_failure_per_hour",
+            "gpio_stuck_per_hour",
+            "link_down_per_hour",
+            "link_degrade_per_hour",
+            "switch_outage_per_hour",
+            "backend_fault_per_hour",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic schedule of chaos events, sorted by time."""
+
+    events: Tuple[ChaosEvent, ...]
+
+    def count(self, kind: ChaosKind) -> int:
+        return sum(1 for event in self.events if event.kind is kind)
+
+    @classmethod
+    def sample(
+        cls,
+        profile: ChaosProfile,
+        worker_count: int,
+        horizon_s: float,
+        streams: Optional[RandomStreams] = None,
+        switch_count: int = 1,
+    ) -> "ChaosPlan":
+        """Draw a plan: one renewal process per (kind, target).
+
+        Every inter-arrival comes from a dedicated named stream
+        (``chaos-<kind>-<target>-<i>``), so the plan is identical for a
+        given seed no matter what else the simulation draws.
+        """
+        if worker_count < 1:
+            raise ValueError("need at least one worker")
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        streams = streams if streams is not None else RandomStreams(0)
+        events: List[ChaosEvent] = []
+
+        def renewal(kind: ChaosKind, target, per_hour: float, duration_s: float, magnitude: float = 0.0):
+            rate = per_hour * profile.scale / 3600.0
+            if rate <= 0:
+                return
+            clock_s = 0.0
+            index = 0
+            while True:
+                gap = streams.expovariate(
+                    f"chaos-{kind.value}-{target}-{index}", rate
+                )
+                clock_s += gap
+                if clock_s >= horizon_s:
+                    return
+                events.append(
+                    ChaosEvent(kind, clock_s, target, duration_s, magnitude)
+                )
+                clock_s += duration_s  # quiet while the fault is active
+                index += 1
+
+        for worker_id in range(worker_count):
+            renewal(
+                ChaosKind.WORKER_CRASH,
+                worker_id,
+                profile.crash_per_hour,
+                profile.crash_repair_s,
+            )
+            renewal(
+                ChaosKind.BOOT_FAILURE,
+                worker_id,
+                profile.boot_failure_per_hour,
+                profile.crash_repair_s,
+                # Power cycles needed before the board comes up: 1-4
+                # (4 exceeds the OP's default retry budget of 3, so some
+                # boards are abandoned).
+                magnitude=streams.integers(
+                    f"chaos-boot-attempts-{worker_id}", 1, 4
+                ),
+            )
+            renewal(
+                ChaosKind.GPIO_STUCK,
+                worker_id,
+                profile.gpio_stuck_per_hour,
+                profile.gpio_repair_s,
+            )
+            renewal(
+                ChaosKind.LINK_DOWN,
+                worker_id,
+                profile.link_down_per_hour,
+                profile.link_down_s,
+            )
+            renewal(
+                ChaosKind.LINK_DEGRADE,
+                worker_id,
+                profile.link_degrade_per_hour,
+                profile.link_degrade_s,
+                magnitude=profile.link_extra_latency_s,
+            )
+        for switch_index in range(switch_count):
+            renewal(
+                ChaosKind.SWITCH_OUTAGE,
+                switch_index,
+                profile.switch_outage_per_hour,
+                profile.switch_outage_s,
+            )
+        for service in sorted(set(SERVICE_OF_OP.values())):
+            renewal(
+                ChaosKind.BACKEND_FAULT,
+                service,
+                profile.backend_fault_per_hour,
+                profile.backend_outage_s,
+            )
+        events.sort(key=lambda e: (e.time_s, e.kind.value, str(e.target)))
+        return cls(events=tuple(events))
+
+
+class ChaosEngine:
+    """Executes a :class:`ChaosPlan` against a MicroFaaS cluster.
+
+    Board-level faults follow the crash/detect/recover cycle of
+    :class:`~repro.reliability.faults.FaultInjector` (plus bounded
+    power-cycle retries for boot failures); fabric and backend faults
+    set the outage state the transfer/backend models consult.  The
+    engine records a recovery time per board fault for MTTR reporting
+    and never kills the cluster's last alive worker.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        detection_delay_s: float = 1.0,
+        max_power_cycles: int = 3,
+    ):
+        if detection_delay_s < 0:
+            raise ValueError("detection delay cannot be negative")
+        if max_power_cycles < 1:
+            raise ValueError("need at least one power cycle")
+        self.cluster = cluster
+        self.detection_delay_s = detection_delay_s
+        self.max_power_cycles = max_power_cycles
+        self.injected = 0
+        self.skipped_last_worker = 0
+        self.skipped_overlap = 0
+        self.recovered_jobs = 0
+        self.boards_abandoned = 0
+        #: (kind, detect_time, recover_time) per completed board repair.
+        self.recovery_times: List[Tuple[ChaosKind, float, float]] = []
+        #: Boards with a fault cycle in flight: overlapping board-level
+        #: events are skipped, not queued — a crashed board crashing
+        #: again mid-repair adds nothing to the model but interleaving
+        #: hazards (e.g. power-cycling a board another fault's repair
+        #: just revived).
+        self._board_busy: set = set()
+
+    def apply(self, plan: ChaosPlan) -> None:
+        """Schedule every event (call before running the simulation)."""
+        if plan.events and not self.cluster.transfers._chaos:
+            self.cluster.transfers.enable_chaos()
+        for index, event in enumerate(plan.events):
+            self.cluster.env.process(
+                self._dispatch(event),
+                name=f"chaos-{index}-{event.kind.value}",
+            )
+
+    @property
+    def mean_recovery_s(self) -> Optional[float]:
+        """Mean time from fault detection to the board rejoining."""
+        if not self.recovery_times:
+            return None
+        return sum(
+            recover - detect for _, detect, recover in self.recovery_times
+        ) / len(self.recovery_times)
+
+    # -- event execution -------------------------------------------------------
+
+    def _dispatch(self, event: ChaosEvent):
+        yield self.cluster.env.timeout(event.time_s)
+        handler = {
+            ChaosKind.WORKER_CRASH: self._board_fault,
+            ChaosKind.BOOT_FAILURE: self._board_fault,
+            ChaosKind.GPIO_STUCK: self._gpio_fault,
+            ChaosKind.LINK_DOWN: self._link_fault,
+            ChaosKind.LINK_DEGRADE: self._link_fault,
+            ChaosKind.SWITCH_OUTAGE: self._switch_fault,
+            ChaosKind.BACKEND_FAULT: self._backend_fault,
+        }[event.kind]
+        yield from handler(event)
+
+    def _alive_count(self) -> int:
+        # A board with a fault in flight is down (or about to be) even
+        # if the orchestrator hasn't detected it yet, so count it out —
+        # otherwise two near-simultaneous crashes could take the last
+        # two workers before either detection fires.
+        orchestrator = self.cluster.orchestrator
+        down = set(orchestrator.dead_workers) | self._board_busy
+        return len(orchestrator.queues) - len(down)
+
+    def _kill_board(self, worker_id: int) -> None:
+        """Cut power and the worker process (the crash itself)."""
+        worker = self.cluster.workers[worker_id]
+        sbc = self.cluster.sbcs[worker_id]
+        if worker.process.is_alive:
+            worker.process.interrupt("chaos: board fault")
+        if sbc.is_powered:
+            sbc.power_off()
+
+    def _detect_and_recover(self, worker_id: int) -> float:
+        """Mark the board dead and reassign everything it owed.
+
+        Returns the detection time (MTTR measurement starts here).
+        """
+        orchestrator = self.cluster.orchestrator
+        detect_time = self.cluster.env.now
+        if worker_id not in orchestrator.dead_workers:
+            orchestrator.mark_worker_dead(worker_id)
+        orchestrator.note_worker_failure(worker_id)
+        # An enqueue-time wake pulse may have raced the crash during the
+        # detection window, leaving the board powered with a dead worker
+        # process; the OP cuts power to the failed board.
+        sbc = self.cluster.sbcs[worker_id]
+        if sbc.is_powered:
+            sbc.power_off()
+        worker = self.cluster.workers[worker_id]
+        lost = []
+        if worker.current_job is not None and not worker.current_job.is_finished:
+            lost.append(worker.current_job)
+            worker.current_job = None
+        lost.extend(orchestrator.queues[worker_id].drain())
+        for job in lost:
+            if orchestrator.recover_job(job):
+                self.recovered_jobs += 1
+        return detect_time
+
+    def _revive_board(self, worker_id: int, kind: ChaosKind, detect_time: float) -> None:
+        """Bring a repaired board back into the assignment pool."""
+        orchestrator = self.cluster.orchestrator
+        if not self.cluster.workers[worker_id].process.is_alive:
+            self.cluster.respawn_worker(worker_id)
+        orchestrator.mark_worker_alive(worker_id)
+        orchestrator.note_worker_recovered(worker_id)
+        self.recovery_times.append((kind, detect_time, self.cluster.env.now))
+
+    def _board_fault(self, event: ChaosEvent):
+        """WORKER_CRASH and BOOT_FAILURE: crash, detect, maybe revive."""
+        env = self.cluster.env
+        worker_id = int(event.target)
+        orchestrator = self.cluster.orchestrator
+        if worker_id in self._board_busy:
+            self.skipped_overlap += 1
+            return
+        if (
+            self._alive_count() <= 1
+            and worker_id not in orchestrator.dead_workers
+        ):
+            # Chaos must degrade the cluster, not lose it: injecting
+            # into the last alive worker would strand every queued job.
+            self.skipped_last_worker += 1
+            return
+        self.injected += 1
+        self._board_busy.add(worker_id)
+        try:
+            self._kill_board(worker_id)
+            yield env.timeout(self.detection_delay_s)
+            detect_time = self._detect_and_recover(worker_id)
+            yield env.timeout(event.duration_s)
+            if event.kind is ChaosKind.BOOT_FAILURE:
+                # The board answers the first power cycles with silence;
+                # the OP retries up to its budget, each cycle burning a
+                # boot's worth of time and power.
+                attempts_needed = max(1, int(event.magnitude))
+                sbc = self.cluster.sbcs[worker_id]
+                worker = self.cluster.workers[worker_id]
+                failed_cycles = min(attempts_needed - 1, self.max_power_cycles)
+                for _ in range(failed_cycles):
+                    sbc.power_on()
+                    yield env.timeout(worker.boot_real_s)
+                    sbc.power_off()
+                if attempts_needed > self.max_power_cycles:
+                    # Budget exhausted: the board is pulled from the rack.
+                    self.boards_abandoned += 1
+                    return
+            self._revive_board(worker_id, event.kind, detect_time)
+        finally:
+            self._board_busy.discard(worker_id)
+
+    def _gpio_fault(self, event: ChaosEvent):
+        """GPIO_STUCK: the PWR_BUT line stops actuating for a window.
+
+        A powered-off board with a stuck line cannot be woken, so its
+        worker process is taken down too (the self-power fallback in
+        the worker loop models unwired boards, not broken lines).  A
+        powered-on board keeps running — the stuck line only matters at
+        the next wake — so the fault degrades silently.
+        """
+        env = self.cluster.env
+        worker_id = int(event.target)
+        gpio = self.cluster.gpio
+        orchestrator = self.cluster.orchestrator
+        sbc = self.cluster.sbcs[worker_id]
+        if worker_id in self._board_busy:
+            self.skipped_overlap += 1
+            return
+        if not sbc.is_powered:
+            if (
+                self._alive_count() <= 1
+                and worker_id not in orchestrator.dead_workers
+            ):
+                self.skipped_last_worker += 1
+                return
+            self.injected += 1
+            self._board_busy.add(worker_id)
+            try:
+                gpio.break_line(worker_id)
+                self._kill_board(worker_id)
+                yield env.timeout(self.detection_delay_s)
+                detect_time = self._detect_and_recover(worker_id)
+                yield env.timeout(event.duration_s)
+                gpio.repair_line(worker_id)
+                self._revive_board(worker_id, event.kind, detect_time)
+            finally:
+                self._board_busy.discard(worker_id)
+        else:
+            self.injected += 1
+            gpio.break_line(worker_id)
+            yield env.timeout(event.duration_s)
+            gpio.repair_line(worker_id)
+
+    def _link_fault(self, event: ChaosEvent):
+        """LINK_DOWN / LINK_DEGRADE on one worker's access link."""
+        env = self.cluster.env
+        link = self.cluster.topology.links.get(f"sbc-{int(event.target)}")
+        if link is None:
+            return
+        self.injected += 1
+        if event.kind is ChaosKind.LINK_DOWN:
+            link.drop_until(env.now + event.duration_s)
+            # The outage horizon clears itself; nothing to restore.
+        else:
+            link.degrade(event.magnitude)
+            yield env.timeout(event.duration_s)
+            link.restore()
+
+    def _switch_fault(self, event: ChaosEvent):
+        """SWITCH_OUTAGE: one ToR switch stops forwarding for a window."""
+        env = self.cluster.env
+        index = int(event.target)
+        if not 0 <= index < len(self.cluster.switches):
+            return
+        self.injected += 1
+        self.cluster.switches[index].fail_until(env.now + event.duration_s)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _backend_fault(self, event: ChaosEvent):
+        """BACKEND_FAULT: one service box stops answering for a window."""
+        env = self.cluster.env
+        backend = self.cluster.backend
+        if backend is None:
+            return
+        self.injected += 1
+        backend.fail_service(str(event.target), env.now + event.duration_s)
+        return
+        yield  # pragma: no cover - generator marker
+
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosKind",
+    "ChaosPlan",
+    "ChaosProfile",
+]

@@ -79,6 +79,11 @@ class FaultPlan:
         Real SBC MTBFs are measured in centuries, so experiments use an
         ``acceleration`` factor (>1 makes failures proportionally more
         frequent) to observe recovery behaviour in feasible runs.
+
+        Each worker's failures form a renewal process: after a failure
+        and its repair, the clock restarts and the worker can fail again
+        within the same run.  Without a repair delay a dead worker stays
+        dead, so at most one failure is drawn for it.
         """
         if worker_count < 1:
             raise ValueError("need at least one worker")
@@ -88,15 +93,26 @@ class FaultPlan:
             raise ValueError("acceleration must be positive")
         streams = streams if streams is not None else RandomStreams(0)
         events: List[FaultEvent] = []
-        rate_per_s = acceleration / (model.mtbf_hours * 3600.0)
         for worker_id in range(worker_count):
-            draw = streams.uniform(f"fault-{worker_id}", 1e-12, 1.0)
-            lifetime_s = model.sample_lifetime_hours(draw) * 3600.0 / acceleration
-            if lifetime_s < duration_s:
-                events.append(
-                    FaultEvent(lifetime_s, worker_id, repair_after_s)
+            clock_s = 0.0
+            failure_index = 0
+            while True:
+                draw = streams.uniform(
+                    f"fault-{worker_id}-{failure_index}", 1e-12, 1.0
                 )
-        _ = rate_per_s  # exposed for future multi-failure sampling
+                lifetime_s = (
+                    model.sample_lifetime_hours(draw) * 3600.0 / acceleration
+                )
+                clock_s += lifetime_s
+                if clock_s >= duration_s:
+                    break
+                events.append(
+                    FaultEvent(clock_s, worker_id, repair_after_s)
+                )
+                if repair_after_s is None:
+                    break  # dead stays dead: no further failures to draw
+                clock_s += repair_after_s
+                failure_index += 1
         return cls(events=tuple(sorted(events, key=lambda e: e.time_s)))
 
 
@@ -133,20 +149,31 @@ class FaultInjector:
             sbc.power_off()
         # Detection (heartbeat timeout) before recovery starts.
         yield env.timeout(self.detection_delay_s)
-        orchestrator.mark_worker_dead(event.worker_id)
+        # A second fault may land on a worker already marked dead (e.g.
+        # overlapping events before the repair) — marking is idempotent
+        # then, and the repair below must still run so the board comes
+        # back.
+        if event.worker_id not in orchestrator.dead_workers:
+            orchestrator.mark_worker_dead(event.worker_id)
+        orchestrator.note_worker_failure(event.worker_id)
+        # Re-read the worker: a repair from an earlier fault may have
+        # replaced the object while we waited out the detection delay.
+        worker = self.cluster.workers[event.worker_id]
         lost = []
         if worker.current_job is not None and not worker.current_job.is_finished:
             lost.append(worker.current_job)
             worker.current_job = None
         lost.extend(orchestrator.queues[event.worker_id].drain())
         for job in lost:
-            orchestrator.resubmit(job)
-        self.recovered_jobs += len(lost)
+            if orchestrator.recover_job(job):
+                self.recovered_jobs += 1
         # Optional repair: replacement board on the same port/queue.
         if event.repair_after_s is not None:
             yield env.timeout(event.repair_after_s)
-            self.cluster.respawn_worker(event.worker_id)
+            if not self.cluster.workers[event.worker_id].process.is_alive:
+                self.cluster.respawn_worker(event.worker_id)
             orchestrator.mark_worker_alive(event.worker_id)
+            orchestrator.note_worker_recovered(event.worker_id)
             self.repairs += 1
 
 

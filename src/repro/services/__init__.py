@@ -16,9 +16,12 @@ semantics:
   groups and offset commits.
 - :mod:`repro.services.latency` — calibrated per-operation service times
   used by the simulation layer.
+- :mod:`repro.services.chaos` — fault injection for the live services
+  (outage windows raising :class:`ServiceUnavailable` at entry points).
 """
 
 from repro.services.backend import BackendCapacityModel, BackendFleet
+from repro.services.chaos import ServiceFaultInjector, ServiceUnavailable
 from repro.services.kvstore import KeyValueStore, KvError
 from repro.services.latency import SERVICE_LATENCY, ServiceLatencyModel
 from repro.services.mq import MessageQueue, MqError
@@ -35,7 +38,9 @@ __all__ = [
     "ObjectStore",
     "ObjectStoreError",
     "SERVICE_LATENCY",
+    "ServiceFaultInjector",
     "ServiceLatencyModel",
+    "ServiceUnavailable",
     "SqlDatabase",
     "SqlError",
 ]

@@ -96,6 +96,25 @@ class BackendFleet:
         self.busy_seconds: Dict[str, float] = {
             service: 0.0 for service in model.concurrency
         }
+        #: Chaos state: per-service outage horizon.  A request arriving
+        #: while its service is down waits out the remainder (clients
+        #: block on reconnect; the work itself is not lost).
+        self.down_until: Dict[str, float] = {
+            service: 0.0 for service in model.concurrency
+        }
+        self.faults_injected: Dict[str, int] = {
+            service: 0 for service in model.concurrency
+        }
+
+    def fail_service(self, service: str, until_s: float) -> None:
+        """Take one backend box down until ``until_s`` (extends)."""
+        if service not in self.down_until:
+            raise KeyError(f"unknown service {service!r}")
+        self.down_until[service] = max(self.down_until[service], until_s)
+        self.faults_injected[service] += 1
+
+    def outage_remaining_s(self, service: str) -> float:
+        return max(0.0, self.down_until[service] - self.env.now)
 
     def serve(self, operation: str, io_wait_s: float):
         """Process helper: perform a function's backend I/O phase.
@@ -107,6 +126,11 @@ class BackendFleet:
         if io_wait_s < 0:
             raise ValueError("negative I/O wait")
         service = service_for(operation)
+        outage = self.outage_remaining_s(service)
+        if outage > 0:
+            # The box is down: the client blocks retrying until it
+            # answers again, then the operation proceeds normally.
+            yield self.env.timeout(outage)
         service_s = io_wait_s * SERVICE_SHARE[service]
         wire_s = io_wait_s - service_s
         if wire_s > 0:

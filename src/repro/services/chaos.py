@@ -1,0 +1,98 @@
+"""Backend-service fault injection.
+
+The live service implementations (:mod:`repro.services.kvstore`,
+:mod:`~repro.services.mq`, :mod:`~repro.services.sqldb`,
+:mod:`~repro.services.objectstore`) each expose a ``fault_gate``
+attribute: a callable invoked with the operation name at every wire
+entry point (``execute``, ``produce``/``poll``/``commit``, object CRUD).
+When no gate is installed the services behave exactly as before.
+
+:class:`ServiceFaultInjector` is the standard gate: a clock-driven
+outage window per service instance.  While a window is open every
+operation raises :class:`ServiceUnavailable` — the error a real client
+sees as a connection refused / request timeout — and callers exercise
+their retry paths.  The simulation-side
+:class:`~repro.services.backend.BackendFleet` models the *timing* of the
+same outages (requests wait out the remainder); this module models the
+*semantics* for code that talks to the live services directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["ServiceFaultInjector", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(RuntimeError):
+    """A backend service is down; the client should retry later."""
+
+    def __init__(self, service: str, operation: str, retry_after_s: float):
+        super().__init__(
+            f"{service} unavailable during {operation!r}; "
+            f"retry in {retry_after_s:.3f}s"
+        )
+        self.service = service
+        self.operation = operation
+        self.retry_after_s = retry_after_s
+
+
+class ServiceFaultInjector:
+    """Clock-driven outage windows for live service instances.
+
+    Usage::
+
+        injector = ServiceFaultInjector(clock=lambda: env.now)
+        injector.install("redis", kvstore)
+        injector.fail("redis", duration_s=2.0)
+        kvstore.execute(["GET", "k"])   # raises ServiceUnavailable
+    """
+
+    def __init__(self, clock: Callable[[], float]):
+        self.clock = clock
+        self._down_until: Dict[str, float] = {}
+        self._installed: Dict[str, object] = {}
+        #: (time, service, operation) per refused request.
+        self.refusals: List[Tuple[float, str, str]] = []
+
+    def install(self, service: str, instance: object) -> None:
+        """Attach this injector as ``instance.fault_gate``."""
+        if not hasattr(instance, "fault_gate"):
+            raise TypeError(
+                f"{type(instance).__name__} has no fault_gate attribute"
+            )
+        instance.fault_gate = self._gate_for(service)
+        self._installed[service] = instance
+
+    def uninstall(self, service: str) -> None:
+        instance = self._installed.pop(service, None)
+        if instance is not None:
+            instance.fault_gate = None
+        self._down_until.pop(service, None)
+
+    def fail(self, service: str, duration_s: float) -> None:
+        """Open (or extend) the outage window for ``service``."""
+        if duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        until = self.clock() + duration_s
+        self._down_until[service] = max(
+            self._down_until.get(service, 0.0), until
+        )
+
+    def restore(self, service: str) -> None:
+        self._down_until.pop(service, None)
+
+    def is_down(self, service: str) -> bool:
+        return self.outage_remaining_s(service) > 0
+
+    def outage_remaining_s(self, service: str) -> float:
+        return max(0.0, self._down_until.get(service, 0.0) - self.clock())
+
+    def _gate_for(self, service: str) -> Callable[[str], None]:
+        def gate(operation: str) -> None:
+            remaining = self.outage_remaining_s(service)
+            if remaining > 0:
+                self.refusals.append((self.clock(), service, operation))
+                raise ServiceUnavailable(service, operation, remaining)
+
+        return gate

@@ -46,6 +46,9 @@ class KeyValueStore:
         self._clock = clock
         self._data: Dict[str, _Entry] = {}
         self.ops_processed = 0
+        #: Chaos hook (see :mod:`repro.services.chaos`): called with the
+        #: operation name at the wire entry point; may raise.
+        self.fault_gate: Optional[Callable[[str], None]] = None
 
     # -- internals -------------------------------------------------------------
 
@@ -334,6 +337,8 @@ class KeyValueStore:
 
         This is the wire-level entry point the workload clients use.
         """
+        if self.fault_gate is not None:
+            self.fault_gate("execute")
         if not command:
             raise KvError("empty command")
         op = command[0].upper()

@@ -59,6 +59,9 @@ class MessageQueue:
         self._round_robin: Dict[str, int] = {}
         self.records_produced = 0
         self.records_consumed = 0
+        #: Chaos hook (see :mod:`repro.services.chaos`): called with the
+        #: operation name at each broker entry point; may raise.
+        self.fault_gate: Optional[Callable[[str], None]] = None
 
     # -- topics -----------------------------------------------------------------
 
@@ -107,6 +110,8 @@ class MessageQueue:
         self, topic: str, value: str, key: Optional[str] = None
     ) -> Record:
         """Append a record, returning it with its assigned offset."""
+        if self.fault_gate is not None:
+            self.fault_gate("produce")
         partition_index = self.partition_for_key(topic, key)
         partition = self._partitions(topic)[partition_index]
         record = Record(
@@ -139,6 +144,8 @@ class MessageQueue:
         Polling does not advance offsets; call :meth:`commit` after
         processing (at-least-once semantics, like Kafka's default).
         """
+        if self.fault_gate is not None:
+            self.fault_gate("poll")
         if max_records < 1:
             raise MqError(f"max_records must be >= 1, got {max_records}")
         partitions = self._partitions(topic)
@@ -157,6 +164,8 @@ class MessageQueue:
 
     def commit(self, group: str, record: Record) -> None:
         """Mark everything up to and including ``record`` as consumed."""
+        if self.fault_gate is not None:
+            self.fault_gate("commit")
         self._check_partition(record.topic, record.partition)
         key = (group, record.topic, record.partition)
         current = self._offsets.get(key, 0)

@@ -71,6 +71,13 @@ class ObjectStore:
         self._buckets: Dict[str, Dict[str, StoredObject]] = {}
         self.ops_processed = 0
         self.bytes_stored = 0
+        #: Chaos hook (see :mod:`repro.services.chaos`): called with the
+        #: operation name at each object entry point; may raise.
+        self.fault_gate: Optional[Callable[[str], None]] = None
+
+    def _gate(self, operation: str) -> None:
+        if self.fault_gate is not None:
+            self.fault_gate(operation)
 
     # -- buckets -----------------------------------------------------------------
 
@@ -115,6 +122,7 @@ class ObjectStore:
         (optimistic concurrency, as the COSPut workload uses for safe
         overwrites).
         """
+        self._gate("put_object")
         self.ops_processed += 1
         if not key:
             raise ObjectStoreError("object key cannot be empty")
@@ -143,6 +151,7 @@ class ObjectStore:
 
     def get_object(self, bucket: str, key: str) -> StoredObject:
         """Fetch an object (raises :class:`NoSuchKey` when absent)."""
+        self._gate("get_object")
         self.ops_processed += 1
         contents = self._bucket(bucket)
         if key not in contents:
@@ -163,6 +172,7 @@ class ObjectStore:
     def delete_object(self, bucket: str, key: str) -> bool:
         """Delete; returns whether the key existed (S3 deletes are
         idempotent and never 404)."""
+        self._gate("delete_object")
         self.ops_processed += 1
         contents = self._bucket(bucket)
         obj = contents.pop(key, None)
@@ -179,6 +189,7 @@ class ObjectStore:
         start_after: Optional[str] = None,
     ) -> List[str]:
         """Sorted keys matching ``prefix``, paginated via ``start_after``."""
+        self._gate("list_objects")
         self.ops_processed += 1
         if max_keys is not None and max_keys < 0:
             raise ObjectStoreError("max_keys must be non-negative")

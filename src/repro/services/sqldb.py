@@ -406,11 +406,16 @@ class SqlDatabase:
     def __init__(self):
         self.tables: Dict[str, Table] = {}
         self.statements_executed = 0
+        #: Chaos hook (see :mod:`repro.services.chaos`): called with the
+        #: operation name at the wire entry point; may raise.
+        self.fault_gate: Optional[Callable[[str], None]] = None
 
     # -- public API --------------------------------------------------------------
 
     def execute(self, sql: str) -> ResultSet:
         """Parse and run one SQL statement."""
+        if self.fault_gate is not None:
+            self.fault_gate("execute")
         self.statements_executed += 1
         tokens = tokenize(sql)
         if not tokens:

@@ -8,7 +8,7 @@ from repro.cli import ARTIFACTS, build_parser, main
 def test_every_artifact_has_description_and_runner():
     assert set(ARTIFACTS) == {
         "fig1", "fig3", "fig4", "fig5", "table1", "table2", "headline",
-        "scale", "hardware",
+        "scale", "hardware", "fault-study",
     }
     for description, runner in ARTIFACTS.values():
         assert description

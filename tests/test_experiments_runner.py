@@ -8,6 +8,7 @@ import pytest
 from repro.experiments import fig4_vmsweep, scale_study
 from repro.experiments.runner import (
     ResultCache,
+    TaskExecutionError,
     code_fingerprint,
     derive_seed,
     run_map,
@@ -22,6 +23,12 @@ class Task:
 
 
 def _square(task: Task) -> int:
+    return task.x * task.x
+
+
+def _square_unless_three(task: Task) -> int:
+    if task.x == 3:
+        raise ValueError(f"cannot square {task.x}")
     return task.x * task.x
 
 
@@ -73,6 +80,17 @@ def test_run_map_parallel_matches_serial(tmp_path):
     serial = run_map(tasks, _square, jobs=1, cache=False)
     parallel = run_map(tasks, _square, jobs=4, cache=False)
     assert serial == parallel == [x * x for x in range(6)]
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_run_map_failure_carries_originating_task(jobs):
+    tasks = [Task(x) for x in (1, 3, 5)]
+    with pytest.raises(TaskExecutionError) as info:
+        run_map(tasks, _square_unless_three, jobs=jobs, cache=False)
+    assert info.value.task == Task(3)
+    assert info.value.index == 1
+    assert isinstance(info.value.__cause__, ValueError)
+    assert "Task(x=3" in str(info.value)
 
 
 def test_run_map_rejects_bad_jobs():

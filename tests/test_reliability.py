@@ -229,6 +229,92 @@ def test_killing_every_worker_is_fatal():
         cluster.run_saturated(invocations_per_function=4)
 
 
+def test_double_fault_same_worker_with_repairs_completes():
+    # The same worker dies twice; each fault has a repair, so the board
+    # comes back both times and every job still completes exactly once.
+    plan = FaultPlan(
+        events=(
+            FaultEvent(6.0, 1, repair_after_s=5.0),
+            FaultEvent(20.0, 1, repair_after_s=5.0),
+        )
+    )
+    cluster, injector, result = run_with_faults(plan, per_function=6)
+    assert result.jobs_completed == 6 * 17
+    assert [worker_id for _, worker_id in injector.kills] == [1, 1]
+    assert injector.repairs == 2
+    assert 1 not in cluster.orchestrator.dead_workers
+
+
+def test_overlapping_faults_same_worker_repair_still_lands():
+    # The second fault fires while the first is still in its repair
+    # window: marking dead is idempotent and both repairs still run, so
+    # the worker ends the run alive.
+    plan = FaultPlan(
+        events=(
+            FaultEvent(6.0, 1, repair_after_s=10.0),
+            FaultEvent(8.0, 1, repair_after_s=10.0),
+        )
+    )
+    cluster, injector, result = run_with_faults(plan, per_function=6)
+    assert result.jobs_completed == 6 * 17
+    assert len(injector.kills) == 2
+    assert injector.repairs == 2
+    assert 1 not in cluster.orchestrator.dead_workers
+    assert cluster.workers[1].process.is_alive
+
+
+def test_fault_at_time_zero_recovers():
+    # A board that is dead on arrival: the fault fires before any job
+    # has been assigned, and the rest of the cluster absorbs the load.
+    plan = FaultPlan.single(time_s=0.0, worker_id=3)
+    cluster, injector, result = run_with_faults(plan)
+    assert result.jobs_completed == 4 * 17
+    assert injector.kills == [(0.0, 3)]
+    assert 3 in cluster.orchestrator.dead_workers
+
+
+def test_renewal_sampling_draws_repeat_failures_per_worker():
+    # With a repair delay the per-worker failure process renews: at a
+    # heavy acceleration one worker fails more than once in a run.
+    model = sbc_failure_model()
+    plan = FaultPlan.from_failure_model(
+        model,
+        worker_count=4,
+        duration_s=3600.0,
+        acceleration=sbc_failure_model().mtbf_hours * 4,
+        streams=RandomStreams(11),
+        repair_after_s=60.0,
+    )
+    per_worker = {}
+    for event in plan.events:
+        per_worker[event.worker_id] = per_worker.get(event.worker_id, 0) + 1
+    assert max(per_worker.values()) > 1
+    # Renewal spacing: consecutive failures of one worker are separated
+    # by at least the repair window.
+    by_worker = {}
+    for event in plan.events:
+        by_worker.setdefault(event.worker_id, []).append(event.time_s)
+    for times in by_worker.values():
+        for earlier, later in zip(times, times[1:]):
+            assert later - earlier >= 60.0
+
+
+def test_renewal_sampling_without_repair_draws_at_most_one():
+    model = sbc_failure_model()
+    plan = FaultPlan.from_failure_model(
+        model,
+        worker_count=6,
+        duration_s=3600.0,
+        acceleration=sbc_failure_model().mtbf_hours * 4,
+        streams=RandomStreams(11),
+        repair_after_s=None,
+    )
+    per_worker = {}
+    for event in plan.events:
+        per_worker[event.worker_id] = per_worker.get(event.worker_id, 0) + 1
+    assert per_worker and max(per_worker.values()) == 1
+
+
 def test_injector_validation():
     cluster = MicroFaaSCluster(worker_count=2)
     with pytest.raises(ValueError):

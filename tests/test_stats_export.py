@@ -111,7 +111,7 @@ def test_export_table2(tmp_path):
 def test_export_all_writes_every_artifact(tmp_path):
     target = os.path.join(str(tmp_path), "artifacts")
     paths = export_all(target, invocations_per_function=4)
-    assert len(paths) == 6
+    assert len(paths) == 7
     for path in paths:
         assert os.path.exists(path)
         assert len(read_csv(path)) >= 2  # header + data
@@ -119,4 +119,5 @@ def test_export_all_writes_every_artifact(tmp_path):
     assert names == {
         "fig1_boot.csv", "fig3_runtime.csv", "fig4_vmsweep.csv",
         "fig5_power.csv", "table2_tco.csv", "headline.csv",
+        "fault_study.csv",
     }
