@@ -1,0 +1,36 @@
+"""Benchmark: the megatrace fast-path replay (bounded-memory proof).
+
+Sized at 100k arrivals so the bench stays in tens of seconds; the
+full million-invocation run is the same code path scaled 10x (see
+``python -m repro megatrace --invocations 100``).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import megatrace
+
+INVOCATIONS = 100_000
+
+
+def test_bench_megatrace(benchmark):
+    result = benchmark.pedantic(
+        megatrace.run,
+        kwargs={"invocations": INVOCATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    emit(megatrace.render(result))
+    # A Poisson trace of the target duration delivers ~INVOCATIONS
+    # arrivals (the exact count is a random draw), all completed.
+    assert abs(result.invocations - INVOCATIONS) / INVOCATIONS < 0.02
+    # Fast-path wall-clock: ~12 s on a laptop core; 60 s is the
+    # regression trip-wire for slow CI machines.
+    assert result.wall_clock_s < 60.0
+    assert result.events_per_wall_s > 2_000
+    # Bounded memory: streaming telemetry retains no per-record state,
+    # the sketch stays within its log-bucket bound, and process RSS
+    # never approaches what 100k boxed records would cost.
+    assert result.records_retained == 0
+    assert result.sketch_buckets < 2_000
+    assert result.peak_rss_mib < 1024.0

@@ -12,6 +12,8 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import cProfile
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -23,6 +25,7 @@ from repro.experiments import (
     fig5_power,
     hardware_selection,
     headline,
+    megatrace,
     scale_study,
     table1_workloads,
     table2_tco,
@@ -101,6 +104,22 @@ ARTIFACTS: Dict[str, tuple] = {
             )
         ),
     ),
+    "scale-frontier": (
+        "the 2,000-5,000-worker streaming-telemetry sweep (extension)",
+        lambda n, jobs, cache: scale_study.render(
+            scale_study.run_frontier(
+                jobs_per_worker=max(2, n // 10),
+                jobs=jobs,
+                cache=cache,
+            )
+        ),
+    ),
+    "megatrace": (
+        "fast-path trace replay, 10,000 x --invocations arrivals (extension)",
+        lambda n, jobs, cache: megatrace.render(
+            megatrace.run(invocations=n * 10_000)
+        ),
+    ),
 }
 
 
@@ -132,7 +151,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute every point instead of reusing cached results",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each artifact under cProfile and write "
+        "profile_<artifact>.pstats into --export-dir",
+    )
+    parser.add_argument(
+        "--export-dir",
+        default="artifacts",
+        help="directory for CSV exports and --profile pstats output",
+    )
     return parser
+
+
+def _run_artifact(name: str, args, jobs: Optional[int]) -> int:
+    """Run one artifact, optionally under cProfile."""
+    runner = ARTIFACTS[name][1]
+    if not args.profile:
+        print(runner(args.invocations, jobs, not args.no_cache))
+        print()
+        return 0
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        text = runner(args.invocations, jobs, not args.no_cache)
+    finally:
+        profiler.disable()
+    print(text)
+    print()
+    os.makedirs(args.export_dir, exist_ok=True)
+    stats_path = os.path.join(
+        args.export_dir, f"profile_{name.replace('-', '_')}.pstats"
+    )
+    profiler.dump_stats(stats_path)
+    print(f"profile written to {stats_path}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -145,13 +199,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     jobs = args.jobs if args.jobs > 0 else None  # None -> cpu_count
     if args.artifact == "list":
+        width = max(len(name) for name in ARTIFACTS)
         for name in sorted(ARTIFACTS):
-            print(f"{name:9s} {ARTIFACTS[name][0]}")
+            print(f"{name:{width}s} {ARTIFACTS[name][0]}")
         return 0
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in names:
-        print(ARTIFACTS[name][1](args.invocations, jobs, not args.no_cache))
-        print()
+        _run_artifact(name, args, jobs)
     return 0
 
 

@@ -16,6 +16,7 @@ from repro.cluster.vmworker import VmWorker
 from repro.core.lifecycle import RunToCompletionPolicy
 from repro.core.orchestrator import Orchestrator
 from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
+from repro.core.telemetry import TelemetryCollector
 from repro.hardware.meter import PowerMeter
 from repro.hardware.rackserver import RackServer
 from repro.hardware.specs import (
@@ -51,6 +52,7 @@ class ConventionalCluster:
         seed: int = 0,
         jitter_sigma: float = 0.06,
         include_switch_power: bool = False,
+        telemetry_exact: bool = True,
     ):
         if vm_count < 1:
             raise ValueError("need at least one VM")
@@ -98,6 +100,7 @@ class ConventionalCluster:
             policy=policy
             if policy is not None
             else RandomSamplingPolicy(random.Random(seed)),
+            telemetry=TelemetryCollector(exact=telemetry_exact),
         )
 
         self.vms: List[MicroVm] = []

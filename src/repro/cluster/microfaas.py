@@ -19,6 +19,7 @@ from repro.core.gpio import GpioBank
 from repro.core.lifecycle import RunToCompletionPolicy
 from repro.core.orchestrator import Orchestrator
 from repro.core.policies import RecoveryPolicy
+from repro.core.telemetry import TelemetryCollector
 from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
 from repro.hardware.meter import PowerMeter
 from repro.hardware.sbc import SingleBoardComputer
@@ -54,6 +55,7 @@ class MicroFaaSCluster:
         control_plane=None,
         backend=None,
         recovery: Optional[RecoveryPolicy] = None,
+        telemetry_exact: bool = True,
     ):
         if worker_count < 1:
             raise ValueError("need at least one worker")
@@ -100,6 +102,7 @@ class MicroFaaSCluster:
             else RandomSamplingPolicy(random.Random(seed)),
             gpio=self.gpio,
             recovery=recovery,
+            telemetry=TelemetryCollector(exact=telemetry_exact),
         )
 
         # Worker boards.

@@ -2,17 +2,27 @@
 
 Duck-typed over :class:`~repro.cluster.microfaas.MicroFaaSCluster` and
 :class:`~repro.cluster.conventional.ConventionalCluster`: both expose
-``env``, ``orchestrator``, ``workers``, and ``energy_joules``.
+``env``, ``orchestrator``, ``workers``, and ``energy_joules``.  Traces
+are duck-typed too: anything with ``iter_pairs()``/``duration_s`` —
+an :class:`~repro.workloads.traces.ArrivalTrace` or the columnar
+representation megatrace-scale runs use — replays the same way.
 """
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.cluster.result import ClusterResult
-from repro.workloads.traces import ArrivalTrace
+from repro.workloads.traces import Trace
 
 
-def replay_trace(cluster, trace: ArrivalTrace) -> ClusterResult:
+def replay_trace(cluster, trace: Trace) -> ClusterResult:
     """Submit every trace event at its timestamp, then drain.
+
+    Arrivals sharing a timestamp are submitted as one batch behind a
+    single timeout event (they were already simultaneous — batching
+    changes the event count, not the submission order), so a dense
+    trace costs one scheduler event per distinct arrival time.
 
     The measurement window runs from t=0 to the later of the trace end
     and the last completion — idle stretches count against energy, which
@@ -24,11 +34,21 @@ def replay_trace(cluster, trace: ArrivalTrace) -> ClusterResult:
     orchestrator = cluster.orchestrator
 
     def submitter():
-        for event in trace.events:
-            delay = event.time_s - env.now
-            if delay > 0:
-                yield env.timeout(delay)
-            orchestrator.submit_function(event.function)
+        batch_time = None
+        batch: List[str] = []
+        for time_s, function in trace.iter_pairs():
+            if batch_time is not None and time_s != batch_time:
+                delay = batch_time - env.now
+                if delay > 0:
+                    yield env.timeout(delay)
+                orchestrator.submit_batch(batch)
+                batch = []
+            batch_time = time_s
+            batch.append(function)
+        delay = batch_time - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        orchestrator.submit_batch(batch)
 
     def runner():
         yield env.process(submitter(), name="trace-submitter")

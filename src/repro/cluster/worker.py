@@ -14,6 +14,7 @@ overhead bars.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.bootos.stages import optimized_sequence
@@ -23,7 +24,7 @@ from repro.core.orchestrator import Orchestrator
 from repro.core.queue import WorkerQueue
 from repro.core.telemetry import InvocationRecord
 from repro.hardware.sbc import SingleBoardComputer
-from repro.net.transfer import TransferModel
+from repro.net.transfer import SESSION_OVERHEAD_S, TransferModel
 from repro.services.latency import ServiceLatencyModel
 from repro.sim.kernel import Environment, Interrupt
 from repro.sim.rng import RandomStreams
@@ -91,8 +92,6 @@ class SbcWorker:
         """Mean-1 multiplicative jitter (lognormal, bias-corrected)."""
         if self.jitter_sigma == 0:
             return 1.0
-        import math
-
         raw = self.streams.lognormal_factor("jitter", self.jitter_sigma)
         return raw * math.exp(-self.jitter_sigma**2 / 2)
 
@@ -176,8 +175,6 @@ class SbcWorker:
         )
         yield self.env.timeout(inbound.total_s)
         # Session overhead: TCP setup + payload codec on the slow core.
-        from repro.net.transfer import SESSION_OVERHEAD_S
-
         session_s = SESSION_OVERHEAD_S["arm-bare"]
         yield self.env.timeout(session_s)
         inbound_overhead_s = self.env.now - inbound_start

@@ -24,14 +24,18 @@ class JobStatus(enum.Enum):
     FAILED = "failed"
 
     def can_transition_to(self, new: "JobStatus") -> bool:
-        allowed = {
-            JobStatus.SUBMITTED: {JobStatus.QUEUED},
-            JobStatus.QUEUED: {JobStatus.RUNNING},
-            JobStatus.RUNNING: {JobStatus.COMPLETED, JobStatus.FAILED},
-            JobStatus.COMPLETED: set(),
-            JobStatus.FAILED: set(),
-        }
-        return new in allowed[self]
+        return new in _ALLOWED_TRANSITIONS[self]
+
+
+#: Lifecycle DAG, built once — ``can_transition_to`` runs three times per
+#: job, so rebuilding this mapping per call dominated large replays.
+_ALLOWED_TRANSITIONS = {
+    JobStatus.SUBMITTED: frozenset({JobStatus.QUEUED}),
+    JobStatus.QUEUED: frozenset({JobStatus.RUNNING}),
+    JobStatus.RUNNING: frozenset({JobStatus.COMPLETED, JobStatus.FAILED}),
+    JobStatus.COMPLETED: frozenset(),
+    JobStatus.FAILED: frozenset(),
+}
 
 
 @dataclass

@@ -43,6 +43,7 @@ class Orchestrator:
         policy: Optional[AssignmentPolicy] = None,
         gpio: Optional[GpioBank] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        telemetry: Optional[TelemetryCollector] = None,
     ):
         self.env = env
         self.policy = policy if policy is not None else RandomSamplingPolicy()
@@ -53,7 +54,19 @@ class Orchestrator:
             if recovery is not None
             else None
         )
-        self.telemetry = TelemetryCollector()
+        # Callers running at megatrace scale pass a streaming collector
+        # (``TelemetryCollector(exact=False)``); the default retains
+        # every record, as before.
+        self.telemetry = (
+            telemetry if telemetry is not None else TelemetryCollector()
+        )
+        #: When True, finished jobs are dropped from :attr:`jobs` (and
+        #: the delivered-id set) as their results arrive, keeping OP
+        #: memory O(in-flight) instead of O(all-time).  Only safe
+        #: without a recovery policy — duplicate suppression and retry
+        #: bookkeeping need the full history — so megatrace-scale runs
+        #: opt in explicitly.
+        self.evict_finished = False
         self.queues: List[WorkerQueue] = []
         self.jobs: Dict[int, Job] = {}
         self.dead_workers: set = set()
@@ -129,6 +142,10 @@ class Orchestrator:
             self.health.reset(worker_id, self.env.now)
 
     def _alive_queues(self) -> List[WorkerQueue]:
+        if not self.dead_workers:
+            # Fast path for healthy clusters: no per-submit list copy.
+            # Callers only read/index the candidate list, never mutate.
+            return self.queues
         return [
             queue for queue in self.queues
             if queue.worker_id not in self.dead_workers
@@ -268,19 +285,29 @@ class Orchestrator:
         Functions are drawn round-robin from ``functions`` so every
         function gets an equal share (the Sec. V experiments issue 1,000
         invocations of each).
+
+        The whole schedule is pre-sampled before the clock moves: the
+        process then just submits one batch per interval, so each
+        interval costs one timeout event regardless of batch size, and
+        the submission order (hence every downstream draw) matches the
+        old per-job loop exactly.
         """
         if jobs_per_interval < 1:
             raise ValueError("jobs_per_interval must be >= 1")
         if interval_s <= 0:
             raise ValueError("interval must be positive")
-        rng = rng if rng is not None else random.Random(1)
-        issued = 0
-        while issued < total_jobs:
-            batch = min(jobs_per_interval, total_jobs - issued)
-            for _ in range(batch):
-                function = functions[issued % len(functions)]
-                self.submit_function(function)
-                issued += 1
+        count = len(functions)
+        batches = [
+            [
+                functions[issued % count]
+                for issued in range(
+                    first, min(first + jobs_per_interval, total_jobs)
+                )
+            ]
+            for first in range(0, total_jobs, jobs_per_interval)
+        ]
+        for batch in batches:
+            self.submit_batch(batch)
             yield self.env.timeout(interval_s)
 
     # -- completion ---------------------------------------------------------------
@@ -334,6 +361,9 @@ class Orchestrator:
             canonical.absorb_completion(now)
         self.telemetry.record(record)
         self._completed += 1
+        if self.evict_finished and self.recovery is None:
+            del self.jobs[job.job_id]
+            self._done.discard(job.job_id)
         self._fire_drain_events()
 
     def fail(self, job: Job, reason: str) -> None:

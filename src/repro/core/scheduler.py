@@ -75,9 +75,13 @@ class LeastLoadedPolicy(AssignmentPolicy):
     def select(self, job, queues, is_powered) -> int:
         if not queues:
             raise ValueError("no worker queues")
-        return min(
-            range(len(queues)), key=lambda i: (queues[i].outstanding, i)
-        )
+        # list.index(min(...)) runs the scan at C speed and returns the
+        # first (= lowest-index) minimum — the same tie-break as the
+        # old min-with-key-lambda, at a fraction of the cost.  This is
+        # the hottest line of a large scale_study run: it executes once
+        # per submission over every candidate queue.
+        loads = [queue.outstanding for queue in queues]
+        return loads.index(min(loads))
 
 
 class PackingPolicy(AssignmentPolicy):

@@ -6,13 +6,45 @@ body incl. backend waits), and *Overhead* (input/result transfer plus
 session).  The collector computes the aggregates Sec. V reports —
 throughput in func/min, per-function means, and the working/overhead
 split of Fig. 3.
+
+Two collection modes share one API:
+
+- **exact** (the default, and the original behaviour): every record is
+  retained, percentiles are computed from fully sorted data, and memory
+  grows O(N) with completed jobs.  Small runs — everything up to the
+  10-SBC testbed experiments — use this.
+- **streaming** (``TelemetryCollector(exact=False)``): records are *not*
+  retained.  The collector maintains per-function running accumulators
+  (count / sum / sum-of-squares for working, overhead, runtime, and
+  queue wait), running min/max for the measurement window, a
+  log-bucketed :class:`QuantileSketch` per latency metric for p95/p99,
+  and a bounded :class:`ReservoirSample` of records for exact-mode
+  cross-checks.  Memory is O(1) per completed job, which is what lets
+  the megatrace experiment replay millions of invocations.
+
+Means are **bit-identical** between the modes: both accumulate the same
+left-to-right float additions (``sum(list)`` and a running ``total +=``
+perform the same IEEE operations in the same order).  Quantiles in
+streaming mode carry the sketch's documented relative-error bound
+(:attr:`QuantileSketch.relative_error_bound`) instead of being exact.
+
+Sorting discipline: every exact-mode percentile routes through one
+internal sorting site with a per-metric cache, so an aggregate pass over
+a frozen collector sorts each series exactly once no matter how many
+percentiles are requested (see :data:`SORT_COUNT`).
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Module-level counter of full sorts performed by exact-mode percentile
+#: paths.  Tests use it to assert the sort-once discipline; it carries no
+#: semantic meaning.
+SORT_COUNT = 0
 
 
 @dataclass(frozen=True)
@@ -58,12 +90,19 @@ def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
-def _percentile(values: Sequence[float], p: float) -> float:
-    if not values:
+def _sorted_once(values: Sequence[float]) -> List[float]:
+    """The single sorting site for exact percentile paths."""
+    global SORT_COUNT
+    SORT_COUNT += 1
+    return sorted(values)
+
+
+def _percentile_of_sorted(ordered: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sequence."""
+    if not ordered:
         raise ValueError("no values")
     if not 0 <= p <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (p / 100) * (len(ordered) - 1)
@@ -73,6 +112,247 @@ def _percentile(values: Sequence[float], p: float) -> float:
         return ordered[low]
     frac = rank - low
     return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def _percentile(values: Sequence[float], p: float) -> float:
+    if not values:
+        raise ValueError("no values")
+    return _percentile_of_sorted(_sorted_once(values), p)
+
+
+def _nearest_rank_of_sorted(ordered: Sequence[float], p: float) -> float:
+    """Rounded-rank percentile (the fault study's historical convention)."""
+    if not ordered:
+        raise ValueError("no values")
+    index = min(
+        len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1))))
+    )
+    return ordered[index]
+
+
+def percentiles(
+    values: Sequence[float], ps: Sequence[float], method: str = "linear"
+) -> List[float]:
+    """Several percentiles of ``values`` with exactly one sort.
+
+    The sort-once companion to :func:`_percentile` for callers (e.g. the
+    fault study's tail metrics) that need one or more quantiles of the
+    same series.  ``method`` is ``"linear"`` (interpolated, the
+    collector's convention) or ``"nearest"`` (rounded rank).
+    """
+    if not values:
+        raise ValueError("no values")
+    if method == "linear":
+        pick = _percentile_of_sorted
+    elif method == "nearest":
+        pick = _nearest_rank_of_sorted
+    else:
+        raise ValueError(f"unknown percentile method {method!r}")
+    ordered = _sorted_once(values)
+    return [pick(ordered, p) for p in ps]
+
+
+class QuantileSketch:
+    """Log-bucketed streaming quantile estimator with a hard error bound.
+
+    Values are hashed into geometric buckets ``[gamma^i, gamma^(i+1))``;
+    a quantile query walks the cumulative bucket counts to the target
+    rank and returns the geometric midpoint of the bucket holding it.
+    The returned estimate ``q`` therefore satisfies
+
+        q / sqrt(gamma)  <=  true nearest-rank quantile  <=  q * sqrt(gamma)
+
+    i.e. a relative error of at most ``sqrt(gamma) - 1`` (~1 % at the
+    default ``gamma = 1.02``).  Memory is bounded by the number of
+    occupied buckets, itself bounded by the dynamic range: values are
+    clamped into ``[min_value, max_value]``, giving at most
+    ``log(max/min)/log(gamma)`` buckets (~1,400 at the defaults) no
+    matter how many samples are added.
+
+    This is the DDSketch/HDR-histogram family rather than P²: unlike P²
+    it answers *any* quantile after the fact and its error bound is a
+    provable invariant, which is what the property tests pin down.
+    """
+
+    __slots__ = ("gamma", "min_value", "max_value", "_log_gamma",
+                 "_buckets", "_zero_count", "count")
+
+    def __init__(
+        self,
+        gamma: float = 1.02,
+        min_value: float = 1e-6,
+        max_value: float = 1e6,
+    ):
+        if gamma <= 1.0:
+            raise ValueError(f"gamma must be > 1, got {gamma}")
+        if not 0 < min_value < max_value:
+            raise ValueError("need 0 < min_value < max_value")
+        self.gamma = gamma
+        self.min_value = min_value
+        self.max_value = max_value
+        self._log_gamma = math.log(gamma)
+        self._buckets: Dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+
+    @property
+    def relative_error_bound(self) -> float:
+        """Worst-case relative error for values inside the clamp range."""
+        return math.sqrt(self.gamma) - 1.0
+
+    @property
+    def bucket_count(self) -> int:
+        """Occupied buckets — the sketch's whole memory footprint."""
+        return len(self._buckets)
+
+    def add(self, value: float) -> None:
+        """Record one sample (non-positive values count as zero)."""
+        self.count += 1
+        if value <= self.min_value:
+            # Zeros and sub-resolution values share one underflow bucket;
+            # they are reported as ``min_value`` by quantile queries.
+            self._zero_count += 1
+            return
+        clamped = min(value, self.max_value)
+        # floor, not int(): truncation-toward-zero would shift sub-1
+        # values (negative logs) one bucket up and break the bound.
+        index = math.floor(math.log(clamped) / self._log_gamma)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def quantile(self, p: float) -> float:
+        """Nearest-rank p-th percentile estimate (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            raise ValueError("no values")
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        if rank <= self._zero_count:
+            return self.min_value
+        seen = self._zero_count
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                return math.exp((index + 0.5) * self._log_gamma)
+        # Float slack on the last bucket: return its midpoint.
+        index = max(self._buckets)
+        return math.exp((index + 0.5) * self._log_gamma)
+
+    def fraction_at_or_below(self, threshold: float) -> float:
+        """Estimated CDF at ``threshold`` (error: one bucket's width)."""
+        if self.count == 0:
+            raise ValueError("no values")
+        if threshold <= self.min_value:
+            return self._zero_count / self.count
+        boundary = math.floor(math.log(min(threshold, self.max_value))
+                              / self._log_gamma)
+        below = self._zero_count + sum(
+            count for index, count in self._buckets.items()
+            if index <= boundary
+        )
+        return below / self.count
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch of identical geometry into this one."""
+        if (other.gamma, other.min_value, other.max_value) != (
+            self.gamma, self.min_value, self.max_value
+        ):
+            raise ValueError("cannot merge sketches of differing geometry")
+        self.count += other.count
+        self._zero_count += other._zero_count
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+
+
+class ReservoirSample:
+    """Bounded uniform sample of a stream (Vitter's Algorithm R).
+
+    Streaming mode keeps a reservoir of :class:`InvocationRecord` so
+    exact-mode cross-checks (and debugging) can inspect representative
+    raw records without unbounded growth.  Deterministic: the internal
+    RNG is seeded from the capacity, not global state.
+    """
+
+    __slots__ = ("capacity", "items", "seen", "_rng")
+
+    def __init__(self, capacity: int = 2048, seed: int = 0x5EED):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        self.items: List = []
+        self.seen = 0
+        self._rng = random.Random(seed ^ capacity)
+
+    def add(self, item) -> None:
+        self.seen += 1
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self.items[slot] = item
+
+
+class _RunningStat:
+    """Count / sum / sum-of-squares / min / max of one metric stream.
+
+    The running ``total`` performs the same left-to-right additions as
+    ``sum()`` over the equivalent list, so means computed here are
+    bit-identical to the exact-mode list path.
+    """
+
+    __slots__ = ("count", "total", "sum_sq", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.sum_sq += value * value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no values")
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance from the running moments."""
+        if self.count == 0:
+            raise ValueError("no values")
+        mean = self.total / self.count
+        return max(0.0, self.sum_sq / self.count - mean * mean)
+
+
+class _FunctionAccumulator:
+    """Streaming per-function aggregates (one Fig. 3 bar group)."""
+
+    __slots__ = ("working", "overhead", "runtime", "queue_wait",
+                 "runtime_sketch")
+
+    def __init__(self, gamma: float):
+        self.working = _RunningStat()
+        self.overhead = _RunningStat()
+        self.runtime = _RunningStat()
+        self.queue_wait = _RunningStat()
+        self.runtime_sketch = QuantileSketch(gamma=gamma)
+
+    def add(self, record: InvocationRecord) -> None:
+        runtime = record.runtime_s
+        self.working.add(record.working_s)
+        self.overhead.add(record.overhead_s)
+        self.runtime.add(runtime)
+        self.queue_wait.add(record.queue_wait_s)
+        self.runtime_sketch.add(runtime)
 
 
 @dataclass(frozen=True)
@@ -88,95 +368,246 @@ class FunctionStats:
 
 
 class TelemetryCollector:
-    """Accumulates invocation records and computes Sec. V aggregates."""
+    """Accumulates invocation records and computes Sec. V aggregates.
 
-    def __init__(self):
+    Parameters
+    ----------
+    exact:
+        ``True`` (default) retains every record and computes exact
+        percentiles; ``False`` runs in streaming mode with O(1) memory
+        per completed job (see the module docstring for the contract).
+    sketch_gamma:
+        Bucket growth factor of the streaming quantile sketches.
+    reservoir_capacity:
+        Size of the streaming-mode record reservoir.
+    """
+
+    def __init__(
+        self,
+        exact: bool = True,
+        sketch_gamma: float = 1.02,
+        reservoir_capacity: int = 2048,
+    ):
+        self.exact = exact
+        self.sketch_gamma = sketch_gamma
         self.records: List[InvocationRecord] = []
+        self.reservoir: Optional[ReservoirSample] = (
+            None if exact else ReservoirSample(reservoir_capacity)
+        )
+        # Running aggregates are maintained in *both* modes: they make
+        # first_start/last_completion/mean_* O(1) in exact mode too, and
+        # they are what the streaming==exact property tests compare.
+        self._functions: Dict[str, _FunctionAccumulator] = {}
+        self._cycle = _RunningStat()
+        self._queue_wait = _RunningStat()
+        self._latency = _RunningStat()
+        self._queue_wait_sketch = QuantileSketch(gamma=sketch_gamma)
+        self._latency_sketch = QuantileSketch(gamma=sketch_gamma)
+        self._count = 0
+        self._first_start = math.inf
+        self._last_completion = -math.inf
+        # Exact-mode sorted-series cache: metric key -> (version, sorted
+        # values).  Invalidated by version bump on record(); guarantees
+        # one sort per metric per aggregate pass.
+        self._sorted_cache: Dict[str, Tuple[int, List[float]]] = {}
+        self._version = 0
 
     def record(self, record: InvocationRecord) -> None:
-        self.records.append(record)
+        self._count += 1
+        self._version += 1
+        if record.t_started < self._first_start:
+            self._first_start = record.t_started
+        if record.t_completed > self._last_completion:
+            self._last_completion = record.t_completed
+        accumulator = self._functions.get(record.function)
+        if accumulator is None:
+            accumulator = _FunctionAccumulator(self.sketch_gamma)
+            self._functions[record.function] = accumulator
+        accumulator.add(record)
+        self._cycle.add(record.cycle_s)
+        queue_wait = record.queue_wait_s
+        latency = record.t_completed - record.t_queued
+        self._queue_wait.add(queue_wait)
+        self._latency.add(latency)
+        self._queue_wait_sketch.add(queue_wait)
+        self._latency_sketch.add(latency)
+        if self.exact:
+            self.records.append(record)
+        else:
+            self.reservoir.add(record)
 
     @property
     def count(self) -> int:
-        return len(self.records)
+        return self._count
+
+    @property
+    def functions_seen(self) -> List[str]:
+        return sorted(self._functions)
+
+    def _require_records(self) -> None:
+        if self._count == 0:
+            raise ValueError("no records")
+
+    def _require_exact(self, what: str) -> None:
+        if not self.exact:
+            raise RuntimeError(
+                f"{what} needs per-record data; this collector runs in "
+                "streaming mode (construct with exact=True for small runs)"
+            )
+
+    def _sorted_series(self, key: str, values_fn) -> List[float]:
+        """Sorted copy of one exact-mode series, cached per version."""
+        cached = self._sorted_cache.get(key)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        ordered = _sorted_once(values_fn())
+        self._sorted_cache[key] = (self._version, ordered)
+        return ordered
+
+    # -- measurement window ---------------------------------------------------
 
     def first_start(self) -> float:
-        if not self.records:
-            raise ValueError("no records")
-        return min(r.t_started for r in self.records)
+        """Earliest service start (running minimum — no scan)."""
+        self._require_records()
+        return self._first_start
 
     def last_completion(self) -> float:
-        if not self.records:
-            raise ValueError("no records")
-        return max(r.t_completed for r in self.records)
+        """Latest completion (running maximum — no scan)."""
+        self._require_records()
+        return self._last_completion
 
     def throughput_per_min(
         self,
         start: Optional[float] = None,
         end: Optional[float] = None,
     ) -> float:
-        """Completed functions per minute over the measured window."""
-        if not self.records:
-            raise ValueError("no records")
-        start = self.first_start() if start is None else start
-        end = self.last_completion() if end is None else end
+        """Completed functions per minute over the measured window.
+
+        With default bounds this is O(1) in both modes: every record
+        completes inside ``[first_start, last_completion]`` by
+        construction.  Explicit sub-windows need the per-record
+        completion times and are exact-mode only.
+        """
+        self._require_records()
+        full_window = start is None and end is None
+        start = self._first_start if start is None else start
+        end = self._last_completion if end is None else end
         window = end - start
         if window <= 0:
             raise ValueError("empty measurement window")
-        completed = sum(
-            1 for r in self.records if start <= r.t_completed <= end
-        )
+        if full_window:
+            completed = self._count
+        else:
+            self._require_exact("windowed throughput")
+            completed = sum(
+                1 for r in self.records if start <= r.t_completed <= end
+            )
         return completed * 60.0 / window
+
+    # -- per-function aggregates ----------------------------------------------
 
     def function_stats(self, function: str) -> FunctionStats:
         """Per-function aggregate (one Fig. 3 bar group)."""
-        matching = [r for r in self.records if r.function == function]
-        if not matching:
+        accumulator = self._functions.get(function)
+        if accumulator is None:
             raise KeyError(f"no records for function {function!r}")
-        runtimes = [r.runtime_s for r in matching]
+        if self.exact:
+            ordered = self._sorted_series(
+                f"runtime:{function}",
+                lambda: [
+                    r.runtime_s for r in self.records
+                    if r.function == function
+                ],
+            )
+            p95 = _percentile_of_sorted(ordered, 95)
+        else:
+            p95 = accumulator.runtime_sketch.quantile(95)
         return FunctionStats(
             function=function,
-            count=len(matching),
-            mean_working_s=_mean([r.working_s for r in matching]),
-            mean_overhead_s=_mean([r.overhead_s for r in matching]),
-            mean_runtime_s=_mean(runtimes),
-            p95_runtime_s=_percentile(runtimes, 95),
+            count=accumulator.runtime.count,
+            mean_working_s=accumulator.working.mean,
+            mean_overhead_s=accumulator.overhead.mean,
+            mean_runtime_s=accumulator.runtime.mean,
+            p95_runtime_s=p95,
         )
 
     def all_function_stats(self) -> Dict[str, FunctionStats]:
         """Stats for every function seen."""
         return {
             name: self.function_stats(name)
-            for name in sorted({r.function for r in self.records})
+            for name in sorted(self._functions)
         }
+
+    # -- cluster-level aggregates ---------------------------------------------
 
     def mean_cycle_s(self) -> float:
         """Mean full worker occupancy per job."""
-        if not self.records:
-            raise ValueError("no records")
-        return _mean([r.cycle_s for r in self.records])
+        self._require_records()
+        return self._cycle.mean
 
     def mean_queue_wait_s(self) -> float:
-        if not self.records:
-            raise ValueError("no records")
-        return _mean([r.queue_wait_s for r in self.records])
+        self._require_records()
+        return self._queue_wait.mean
 
     def percentile_queue_wait_s(self, p: float) -> float:
-        return _percentile([r.queue_wait_s for r in self.records], p)
+        self._require_records()
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.exact:
+            ordered = self._sorted_series(
+                "queue_wait", lambda: [r.queue_wait_s for r in self.records]
+            )
+            return _percentile_of_sorted(ordered, p)
+        return self._queue_wait_sketch.quantile(p)
+
+    def mean_latency_s(self) -> float:
+        """Mean submission-to-completion latency."""
+        self._require_records()
+        return self._latency.mean
+
+    def percentile_latency_s(self, p: float) -> float:
+        """End-to-end latency percentile (exact or sketch-estimated)."""
+        self._require_records()
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.exact:
+            ordered = self._sorted_series(
+                "latency",
+                lambda: [r.t_completed - r.t_queued for r in self.records],
+            )
+            return _percentile_of_sorted(ordered, p)
+        return self._latency_sketch.quantile(p)
 
     def end_to_end_latencies_s(self) -> List[float]:
-        """Per-job submission-to-completion latencies."""
+        """Per-job submission-to-completion latencies (exact mode)."""
+        self._require_exact("per-job latency series")
         return [r.t_completed - r.t_queued for r in self.records]
 
     def slo_attainment(self, threshold_s: float) -> float:
         """Fraction of jobs completing within ``threshold_s`` of
-        submission (the latency-SLO view of a trace replay)."""
+        submission (the latency-SLO view of a trace replay).
+
+        Streaming mode answers from the latency sketch; the estimate is
+        off by at most the mass of the one bucket straddling the
+        threshold.
+        """
         if threshold_s <= 0:
             raise ValueError("threshold must be positive")
-        latencies = self.end_to_end_latencies_s()
-        if not latencies:
-            raise ValueError("no records")
-        return sum(1 for l in latencies if l <= threshold_s) / len(latencies)
+        self._require_records()
+        if self.exact:
+            latencies = self.end_to_end_latencies_s()
+            return sum(1 for l in latencies if l <= threshold_s) / len(
+                latencies
+            )
+        return self._latency_sketch.fraction_at_or_below(threshold_s)
 
 
-__all__ = ["FunctionStats", "InvocationRecord", "TelemetryCollector"]
+__all__ = [
+    "FunctionStats",
+    "InvocationRecord",
+    "QuantileSketch",
+    "ReservoirSample",
+    "SORT_COUNT",
+    "TelemetryCollector",
+    "percentiles",
+]

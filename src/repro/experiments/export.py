@@ -18,6 +18,8 @@ from repro.experiments import (
     fig4_vmsweep,
     fig5_power,
     headline,
+    megatrace,
+    scale_study,
     table2_tco,
 )
 from repro.workloads import ALL_FUNCTION_NAMES
@@ -157,11 +159,61 @@ def export_fault_study(directory: str, invocations_per_function: int = 2) -> str
     )
 
 
+def export_scale_study(
+    directory: str,
+    worker_counts: Sequence[int] = (10, 100, 400),
+    jobs_per_worker: int = 2,
+) -> str:
+    """Cluster-size sweep: one row per scale point."""
+    result = scale_study.run(
+        worker_counts=worker_counts, jobs_per_worker=jobs_per_worker
+    )
+    rows = [
+        (p.worker_count, p.switch_count, p.throughput_per_min,
+         p.unconstrained_per_min, p.scaling_efficiency,
+         p.control_plane_utilization,
+         result.op_link_utilization(p.throughput_per_min))
+        for p in result.points
+    ]
+    return _write(
+        os.path.join(directory, "scale_study.csv"),
+        ["workers", "switches", "func_per_min", "free_op_func_per_min",
+         "scaling_efficiency", "op_utilization", "op_link_utilization"],
+        rows,
+    )
+
+
+def export_megatrace(directory: str, invocations: int = 1_000_000) -> str:
+    """The megatrace replay's operator metrics, one row per run."""
+    result = megatrace.run(invocations=invocations)
+    rows = [
+        (result.invocations, result.worker_count, result.rate_per_s,
+         result.sim_duration_s, result.throughput_per_min,
+         result.mean_latency_s, result.p99_latency_s,
+         result.joules_per_function, result.wall_clock_s,
+         result.peak_rss_mib, result.records_retained,
+         result.sketch_buckets)
+    ]
+    return _write(
+        os.path.join(directory, "megatrace.csv"),
+        ["invocations", "workers", "rate_per_s", "sim_duration_s",
+         "func_per_min", "mean_latency_s", "p99_latency_s",
+         "joules_per_function", "wall_clock_s", "peak_rss_mib",
+         "records_retained", "sketch_buckets"],
+        rows,
+    )
+
+
 def export_all(
     directory: str,
     invocations_per_function: int = 12,
 ) -> List[str]:
-    """Write every artifact's CSV into ``directory`` (created if needed)."""
+    """Write every artifact's CSV into ``directory`` (created if needed).
+
+    The megatrace export is not included — a cache-defeating
+    million-invocation run is its own deliberate act
+    (:func:`export_megatrace`).
+    """
     os.makedirs(directory, exist_ok=True)
     return [
         export_fig1(directory),
@@ -171,6 +223,7 @@ def export_all(
         export_table2(directory),
         export_headline(directory, invocations_per_function),
         export_fault_study(directory, max(2, invocations_per_function // 6)),
+        export_scale_study(directory),
     ]
 
 
@@ -182,5 +235,7 @@ __all__ = [
     "export_fig4",
     "export_fig5",
     "export_headline",
+    "export_megatrace",
+    "export_scale_study",
     "export_table2",
 ]

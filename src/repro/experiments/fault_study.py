@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 
 from repro.cluster import MicroFaaSCluster
 from repro.core.policies import RecoveryPolicy
+from repro.core.telemetry import percentiles
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_map
@@ -99,11 +100,10 @@ class FaultStudyResult:
 
 
 def _percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile via the shared sort-once helper."""
     if not values:
         return 0.0
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
-    return ordered[index]
+    return percentiles(values, [p], method="nearest")[0]
 
 
 def _run_fault_point(task: FaultStudyTask) -> FaultStudyPoint:

@@ -21,6 +21,12 @@ from repro.core.controlplane import ControlPlaneModel
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_map
+from repro.workloads.profiles import PROFILES
+
+#: The frontier sweep: cluster sizes from two racks up to five times the
+#: TCO analysis's 989-SBC rack.  Points this large run with streaming
+#: telemetry (see :func:`run`'s ``streaming_threshold``).
+FRONTIER_WORKER_COUNTS = (2000, 3000, 4000, 5000)
 
 
 @dataclass(frozen=True)
@@ -61,8 +67,6 @@ class ScaleStudyResult:
         contrast with Gand et al.'s network-bound Docker-Swarm cluster
         that Sec. II cites.
         """
-        from repro.workloads.profiles import PROFILES
-
         mean_payload = sum(
             p.input_bytes + p.output_bytes for p in PROFILES.values()
         ) / len(PROFILES)
@@ -78,20 +82,28 @@ class ScaleTask:
     jobs_per_worker: int
     seed: int
     control_plane: ControlPlaneModel
+    #: Use the streaming telemetry collector (frontier-scale points;
+    #: value-identical to exact mode for everything a ScalePoint needs).
+    streaming_telemetry: bool = False
 
 
 def _run_scale_point(task: ScaleTask) -> ScalePoint:
     """Worker: one cluster size, measured with and without the OP."""
     per_function = max(1, (task.jobs_per_worker * task.worker_count) // 17)
+    exact = not task.streaming_telemetry
     constrained = MicroFaaSCluster(
         worker_count=task.worker_count,
         seed=task.seed,
         policy=LeastLoadedPolicy(),
         control_plane=task.control_plane,
+        telemetry_exact=exact,
     )
     result = constrained.run_saturated(invocations_per_function=per_function)
     free = MicroFaaSCluster(
-        worker_count=task.worker_count, seed=task.seed, policy=LeastLoadedPolicy()
+        worker_count=task.worker_count,
+        seed=task.seed,
+        policy=LeastLoadedPolicy(),
+        telemetry_exact=exact,
     )
     baseline = free.run_saturated(invocations_per_function=per_function)
     return ScalePoint(
@@ -113,23 +125,53 @@ def run(
     jobs: int = 1,
     cache: bool = True,
     cache_dir=None,
+    streaming_threshold: int = 1000,
 ) -> ScaleStudyResult:
     """Sweep cluster sizes under the single-SBC control plane.
 
     Each size is an independent task spec (seed included), so the sweep
     parallelizes across ``jobs`` processes and caches per-point without
-    changing any value.
+    changing any value.  Points at or above ``streaming_threshold``
+    workers collect telemetry in streaming mode so their memory stays
+    bounded (throughput and OP utilization are mode-independent).
     """
     if jobs_per_worker < 1:
         raise ValueError("jobs_per_worker must be >= 1")
     tasks = [
-        ScaleTask(count, jobs_per_worker, seed, control_plane)
+        ScaleTask(
+            count,
+            jobs_per_worker,
+            seed,
+            control_plane,
+            streaming_telemetry=count >= streaming_threshold,
+        )
         for count in worker_counts
     ]
     points = run_map(
         tasks, _run_scale_point, jobs=jobs, cache=cache, cache_dir=cache_dir
     )
     return ScaleStudyResult(points=points, control_plane=control_plane)
+
+
+def run_frontier(
+    jobs_per_worker: int = 3,
+    control_plane: ControlPlaneModel = ControlPlaneModel(),
+    seed: int = 1,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir=None,
+) -> ScaleStudyResult:
+    """The 2,000–5,000-worker sweep (always streaming telemetry)."""
+    return run(
+        worker_counts=FRONTIER_WORKER_COUNTS,
+        jobs_per_worker=jobs_per_worker,
+        control_plane=control_plane,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        streaming_threshold=0,
+    )
 
 
 def render(result: ScaleStudyResult) -> str:

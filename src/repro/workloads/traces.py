@@ -8,20 +8,43 @@ energy-proportionality advantage at low utilization becomes visible in
 end-to-end runs).
 
 All generators are deterministic given a :class:`RandomStreams` and
-return an :class:`ArrivalTrace` — a time-sorted sequence of
-``(time, function)`` events replayable against either cluster via
-:func:`repro.cluster.replay.replay_trace`.
+return a time-sorted trace replayable against either cluster via
+:func:`repro.cluster.replay.replay_trace`.  Two representations share
+one replay interface (``iter_pairs``):
+
+- :class:`ArrivalTrace` — a tuple of :class:`TraceEvent` objects; the
+  original representation, right for small traces that tests inspect
+  event by event.
+- :class:`ColumnarTrace` (``columnar=True`` on any generator) — a numpy
+  time array plus function-index array.  At ~16 bytes/event instead of
+  a boxed object each, this is what lets the megatrace experiment hold
+  millions of arrivals.
+
+Sampling is pre-batched: gaps are drawn in chunks through
+:meth:`RandomStreams.expovariate_batch` and accumulated with
+``np.cumsum`` seeded by the running offset, which performs the same
+left-to-right float additions as the scalar ``t += gap`` loop — so for
+a given seed, batched traces are **bit-identical** to the pre-batching
+scalar generators, and ``columnar=True`` yields the same times and
+functions as ``columnar=False``.
 """
 
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.sim.rng import RandomStreams
 from repro.workloads.base import ALL_FUNCTION_NAMES
+
+#: Gap draws per sampling chunk.  Big enough to amortize per-batch
+#: overhead, small enough that over-drawing past the trace end is cheap.
+_CHUNK = 8192
 
 
 @dataclass(frozen=True)
@@ -43,17 +66,54 @@ class FunctionMix:
     ) -> "FunctionMix":
         return cls(weights={name: 1.0 for name in functions})
 
+    @cached_property
+    def names(self) -> Tuple[str, ...]:
+        """Mix members in draw order (sorted for seed stability)."""
+        return tuple(sorted(self.weights))
+
+    @cached_property
+    def _cumulative(self) -> List[float]:
+        """Running weight sums in ``names`` order (the draw thresholds)."""
+        thresholds: List[float] = []
+        accumulated = 0.0
+        for name in self.names:
+            accumulated += self.weights[name]
+            thresholds.append(accumulated)
+        return thresholds
+
+    @cached_property
+    def _cumulative_array(self) -> np.ndarray:
+        return np.asarray(self._cumulative)
+
     def sample(self, streams: RandomStreams, name: str = "mix") -> str:
         """One weighted draw."""
-        names = sorted(self.weights)
-        total = sum(self.weights[n] for n in names)
+        total = self._cumulative[-1]
         point = streams.uniform(name, 0.0, total)
-        accumulated = 0.0
-        for candidate in names:
-            accumulated += self.weights[candidate]
-            if point <= accumulated:
-                return candidate
-        return names[-1]
+        index = bisect_left(self._cumulative, point)
+        if index >= len(self.names):  # float slack past the last threshold
+            index = len(self.names) - 1
+        return self.names[index]
+
+    def sample_indices(
+        self, streams: RandomStreams, n: int, name: str = "mix"
+    ) -> np.ndarray:
+        """``n`` weighted draws as indices into :attr:`names`.
+
+        Vectorized (one ``searchsorted`` over the cumulative thresholds)
+        and bit-identical to ``n`` scalar :meth:`sample` calls: the same
+        uniforms map through the same thresholds.
+        """
+        total = self._cumulative[-1]
+        points = streams.uniform_batch(name, 0.0, total, n)
+        indices = np.searchsorted(self._cumulative_array, points, side="left")
+        return np.minimum(indices, len(self.names) - 1)
+
+    def sample_batch(
+        self, streams: RandomStreams, n: int, name: str = "mix"
+    ) -> List[str]:
+        """``n`` weighted draws as names (see :meth:`sample_indices`)."""
+        names = self.names
+        return [names[i] for i in self.sample_indices(streams, n, name)]
 
 
 @dataclass(frozen=True)
@@ -87,6 +147,11 @@ class ArrivalTrace:
     def __len__(self) -> int:
         return len(self.events)
 
+    @cached_property
+    def _times(self) -> np.ndarray:
+        """Sorted arrival times, materialized once per trace."""
+        return np.asarray([e.time_s for e in self.events])
+
     @property
     def mean_rate_per_s(self) -> float:
         return len(self.events) / self.duration_s
@@ -95,8 +160,11 @@ class ArrivalTrace:
         """Events with ``start <= time < end``."""
         if end < start:
             raise ValueError("window end before start")
-        times = [e.time_s for e in self.events]
-        return bisect_left(times, end) - bisect_left(times, start)
+        times = self._times
+        return int(
+            np.searchsorted(times, end, side="left")
+            - np.searchsorted(times, start, side="left")
+        )
 
     def function_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -104,14 +172,134 @@ class ArrivalTrace:
             counts[event.function] = counts.get(event.function, 0) + 1
         return counts
 
+    def iter_pairs(self) -> Iterator[Tuple[float, str]]:
+        """Yield ``(time_s, function)`` in arrival order."""
+        for event in self.events:
+            yield event.time_s, event.function
 
-def _draw_functions(
-    times: List[float],
+
+@dataclass(frozen=True)
+class ColumnarTrace:
+    """A time-sorted invocation trace in columnar form.
+
+    ``times[i]`` pairs with ``functions[function_ids[i]]``.  Sixteen
+    bytes per event regardless of trace length; replay and window
+    queries go through the same ``iter_pairs``/``arrivals_in`` interface
+    as :class:`ArrivalTrace`.
+    """
+
+    times: np.ndarray
+    function_ids: np.ndarray
+    functions: Tuple[str, ...]
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if len(self.times) != len(self.function_ids):
+            raise ValueError("times and function_ids length mismatch")
+        if len(self.times):
+            if float(self.times[0]) < 0:
+                raise ValueError("negative arrival time")
+            if np.any(np.diff(self.times) < 0):
+                raise ValueError("trace events out of order")
+            if float(self.times[-1]) > self.duration_s:
+                raise ValueError("event beyond trace duration")
+            low, high = int(self.function_ids.min()), int(self.function_ids.max())
+            if low < 0 or high >= len(self.functions):
+                raise ValueError("function id out of range")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        return len(self.times) / self.duration_s
+
+    def arrivals_in(self, start: float, end: float) -> int:
+        """Events with ``start <= time < end``."""
+        if end < start:
+            raise ValueError("window end before start")
+        return int(
+            np.searchsorted(self.times, end, side="left")
+            - np.searchsorted(self.times, start, side="left")
+        )
+
+    def function_counts(self) -> Dict[str, int]:
+        counts = np.bincount(self.function_ids, minlength=len(self.functions))
+        return {
+            name: int(count)
+            for name, count in zip(self.functions, counts)
+            if count
+        }
+
+    def iter_pairs(self) -> Iterator[Tuple[float, str]]:
+        """Yield ``(time_s, function)`` in arrival order."""
+        functions = self.functions
+        times = self.times
+        ids = self.function_ids
+        for i in range(len(times)):
+            yield float(times[i]), functions[ids[i]]
+
+    def to_events(self) -> ArrivalTrace:
+        """Materialize as an :class:`ArrivalTrace` (small traces only)."""
+        return ArrivalTrace(
+            events=tuple(
+                TraceEvent(time_s=t, function=f) for t, f in self.iter_pairs()
+            ),
+            duration_s=self.duration_s,
+        )
+
+
+Trace = Union[ArrivalTrace, ColumnarTrace]
+
+
+def _accumulate_gaps(
+    streams: RandomStreams, name: str, rate: float, limit: float
+) -> List[float]:
+    """Arrival times of a homogeneous Poisson process on ``(0, limit]``.
+
+    Gaps are drawn in chunks of :data:`_CHUNK`; each chunk's running sum
+    is seeded with the previous chunk's last time as the cumsum's first
+    element, so the additions happen in the exact order of the scalar
+    ``t += expovariate()`` loop and the times are bit-identical to it.
+    """
+    times: List[float] = []
+    t = 0.0
+    while True:
+        gaps = streams.expovariate_batch(name, rate, _CHUNK)
+        cumulative = np.cumsum([t] + gaps)
+        cut = int(np.searchsorted(cumulative, limit, side="right"))
+        if cut < len(cumulative):
+            times.extend(cumulative[1:cut].tolist())
+            return times
+        times.extend(cumulative[1:].tolist())
+        t = float(cumulative[-1])
+
+
+def _assemble(
+    times: Sequence[float],
     mix: FunctionMix,
     streams: RandomStreams,
-) -> Tuple[TraceEvent, ...]:
-    return tuple(
-        TraceEvent(time_s=t, function=mix.sample(streams)) for t in times
+    duration_s: float,
+    columnar: bool,
+) -> Trace:
+    """Draw one function per arrival and pack the chosen representation."""
+    ids = mix.sample_indices(streams, len(times))
+    if columnar:
+        return ColumnarTrace(
+            times=np.asarray(times),
+            function_ids=ids,
+            functions=mix.names,
+            duration_s=duration_s,
+        )
+    names = mix.names
+    return ArrivalTrace(
+        events=tuple(
+            TraceEvent(time_s=t, function=names[i])
+            for t, i in zip(times, ids)
+        ),
+        duration_s=duration_s,
     )
 
 
@@ -120,21 +308,27 @@ def constant_rate_trace(
     duration_s: float,
     mix: Optional[FunctionMix] = None,
     streams: Optional[RandomStreams] = None,
-) -> ArrivalTrace:
+    columnar: bool = False,
+) -> Trace:
     """Evenly spaced arrivals at a fixed rate."""
     if rate_per_s <= 0 or duration_s <= 0:
         raise ValueError("rate and duration must be positive")
     mix = mix if mix is not None else FunctionMix.uniform()
     streams = streams if streams is not None else RandomStreams(0)
     interval = 1.0 / rate_per_s
-    times = []
-    t = interval
-    while t <= duration_s:
-        times.append(t)
-        t += interval
-    return ArrivalTrace(
-        events=_draw_functions(times, mix, streams), duration_s=duration_s
-    )
+    times: List[float] = []
+    t = 0.0
+    while True:
+        # Repeated addition (not k * interval): matches the scalar loop's
+        # accumulated float error so existing traces stay bit-identical.
+        cumulative = np.cumsum([t] + [interval] * _CHUNK)
+        cut = int(np.searchsorted(cumulative, duration_s, side="right"))
+        if cut < len(cumulative):
+            times.extend(cumulative[1:cut].tolist())
+            break
+        times.extend(cumulative[1:].tolist())
+        t = float(cumulative[-1])
+    return _assemble(times, mix, streams, duration_s, columnar)
 
 
 def poisson_trace(
@@ -142,22 +336,15 @@ def poisson_trace(
     duration_s: float,
     mix: Optional[FunctionMix] = None,
     streams: Optional[RandomStreams] = None,
-) -> ArrivalTrace:
+    columnar: bool = False,
+) -> Trace:
     """Homogeneous Poisson arrivals (exponential inter-arrival gaps)."""
     if rate_per_s <= 0 or duration_s <= 0:
         raise ValueError("rate and duration must be positive")
     mix = mix if mix is not None else FunctionMix.uniform()
     streams = streams if streams is not None else RandomStreams(0)
-    times: List[float] = []
-    t = 0.0
-    while True:
-        t += streams.expovariate("poisson", rate_per_s)
-        if t > duration_s:
-            break
-        times.append(t)
-    return ArrivalTrace(
-        events=_draw_functions(times, mix, streams), duration_s=duration_s
-    )
+    times = _accumulate_gaps(streams, "poisson", rate_per_s, duration_s)
+    return _assemble(times, mix, streams, duration_s, columnar)
 
 
 def diurnal_trace(
@@ -167,11 +354,14 @@ def diurnal_trace(
     duration_s: float,
     mix: Optional[FunctionMix] = None,
     streams: Optional[RandomStreams] = None,
-) -> ArrivalTrace:
+    columnar: bool = False,
+) -> Trace:
     """Non-homogeneous Poisson with a sinusoidal day/night rate.
 
     Generated by thinning: candidates at the peak rate are kept with
-    probability ``rate(t)/peak``.
+    probability ``rate(t)/peak``.  The candidate and thinning draws come
+    from separate named streams, so batching one never perturbs the
+    other.
     """
     if not 0 < trough_rate_per_s <= peak_rate_per_s:
         raise ValueError("need 0 < trough <= peak rate")
@@ -181,18 +371,20 @@ def diurnal_trace(
     streams = streams if streams is not None else RandomStreams(0)
     mid = (peak_rate_per_s + trough_rate_per_s) / 2
     amplitude = (peak_rate_per_s - trough_rate_per_s) / 2
-    times: List[float] = []
-    t = 0.0
-    while True:
-        t += streams.expovariate("diurnal", peak_rate_per_s)
-        if t > duration_s:
-            break
-        rate = mid + amplitude * math.sin(2 * math.pi * t / period_s)
-        if streams.uniform("thin", 0.0, 1.0) <= rate / peak_rate_per_s:
-            times.append(t)
-    return ArrivalTrace(
-        events=_draw_functions(times, mix, streams), duration_s=duration_s
+    candidates = _accumulate_gaps(
+        streams, "diurnal", peak_rate_per_s, duration_s
     )
+    keep = streams.uniform_batch("thin", 0.0, 1.0, len(candidates))
+    sin = math.sin
+    two_pi = 2 * math.pi
+    # Keep the rate expression exactly as the scalar loop evaluated it
+    # ((2*pi)*t)/period — reassociating would move results by an ulp.
+    times = [
+        t
+        for t, u in zip(candidates, keep)
+        if u <= (mid + amplitude * sin(two_pi * t / period_s)) / peak_rate_per_s
+    ]
+    return _assemble(times, mix, streams, duration_s, columnar)
 
 
 def bursty_trace(
@@ -203,37 +395,48 @@ def bursty_trace(
     duration_s: float,
     mix: Optional[FunctionMix] = None,
     streams: Optional[RandomStreams] = None,
-) -> ArrivalTrace:
+    columnar: bool = False,
+) -> Trace:
     """On/off (interrupted Poisson) arrivals: quiet spells punctuated by
     bursts — the short-lived, bursty nature Sec. II attributes to
-    serverless functions."""
+    serverless functions.
+
+    The gap rate depends on the phase the previous arrival landed in, so
+    this one keeps the scalar state machine; only the per-draw stream
+    lookups are hoisted.
+    """
     if not 0 < idle_rate_per_s <= burst_rate_per_s:
         raise ValueError("need 0 < idle rate <= burst rate")
     if mean_burst_s <= 0 or mean_idle_s <= 0 or duration_s <= 0:
         raise ValueError("durations must be positive")
     mix = mix if mix is not None else FunctionMix.uniform()
     streams = streams if streams is not None else RandomStreams(0)
+    arrivals_random = streams.stream("arrivals").random
+    phase_random = streams.stream("phase").random
+    log = math.log
     times: List[float] = []
     t = 0.0
     bursting = False
-    phase_end = streams.expovariate("phase", 1.0 / mean_idle_s)
+    # Phase lengths are drawn as expovariate(1/mean) — keep the division
+    # by the reciprocal rate (not "* mean"): same floats as before.
+    phase_end = -log(1.0 - phase_random()) / (1.0 / mean_idle_s)
     while t < duration_s:
         rate = burst_rate_per_s if bursting else idle_rate_per_s
-        t += streams.expovariate("arrivals", rate)
+        t += -log(1.0 - arrivals_random()) / rate
         while t > phase_end and phase_end < duration_s:
             bursting = not bursting
             mean = mean_burst_s if bursting else mean_idle_s
-            phase_end += streams.expovariate("phase", 1.0 / mean)
+            phase_end += -log(1.0 - phase_random()) / (1.0 / mean)
         if t <= duration_s:
             times.append(t)
-    return ArrivalTrace(
-        events=_draw_functions(times, mix, streams), duration_s=duration_s
-    )
+    return _assemble(times, mix, streams, duration_s, columnar)
 
 
 __all__ = [
     "ArrivalTrace",
+    "ColumnarTrace",
     "FunctionMix",
+    "Trace",
     "TraceEvent",
     "bursty_trace",
     "constant_rate_trace",

@@ -1,5 +1,7 @@
 """Tests for the CLI harness."""
 
+import pstats
+
 import pytest
 
 from repro.cli import ARTIFACTS, build_parser, main
@@ -8,7 +10,7 @@ from repro.cli import ARTIFACTS, build_parser, main
 def test_every_artifact_has_description_and_runner():
     assert set(ARTIFACTS) == {
         "fig1", "fig3", "fig4", "fig5", "table1", "table2", "headline",
-        "scale", "hardware", "fault-study",
+        "scale", "scale-frontier", "megatrace", "hardware", "fault-study",
     }
     for description, runner in ARTIFACTS.values():
         assert description
@@ -38,6 +40,16 @@ def test_headline_command_with_invocations(capsys):
     assert main(["headline", "--invocations", "8"]) == 0
     out = capsys.readouterr().out
     assert "energy-efficiency ratio" in out
+
+
+def test_profile_flag_writes_pstats(tmp_path, capsys):
+    assert main(["fig1", "--profile", "--export-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1.51" in out  # the artifact still renders under the profiler
+    stats_path = tmp_path / "profile_fig1.pstats"
+    assert stats_path.exists()
+    stats = pstats.Stats(str(stats_path))
+    assert stats.total_calls > 0
 
 
 def test_invalid_invocations_rejected(capsys):

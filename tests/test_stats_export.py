@@ -8,6 +8,7 @@ import pytest
 from repro.experiments.export import (
     export_all,
     export_fig1,
+    export_megatrace,
     export_table2,
 )
 from repro.experiments.stats import (
@@ -108,10 +109,20 @@ def test_export_table2(tmp_path):
     assert totals[("ideal", "conventional")] == 124_701
 
 
+def test_export_megatrace(tmp_path):
+    path = export_megatrace(str(tmp_path), invocations=500)
+    rows = read_csv(path)
+    assert rows[0][0] == "invocations"
+    assert len(rows) == 2
+    record = dict(zip(rows[0], rows[1]))
+    assert int(record["records_retained"]) == 0
+    assert float(record["peak_rss_mib"]) > 0
+
+
 def test_export_all_writes_every_artifact(tmp_path):
     target = os.path.join(str(tmp_path), "artifacts")
     paths = export_all(target, invocations_per_function=4)
-    assert len(paths) == 7
+    assert len(paths) == 8
     for path in paths:
         assert os.path.exists(path)
         assert len(read_csv(path)) >= 2  # header + data
@@ -119,5 +130,5 @@ def test_export_all_writes_every_artifact(tmp_path):
     assert names == {
         "fig1_boot.csv", "fig3_runtime.csv", "fig4_vmsweep.csv",
         "fig5_power.csv", "table2_tco.csv", "headline.csv",
-        "fault_study.csv",
+        "fault_study.csv", "scale_study.csv",
     }
