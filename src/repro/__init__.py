@@ -27,6 +27,7 @@ __all__ = [
     "experiments",
     "hardware",
     "net",
+    "obs",
     "runtime",
     "services",
     "sim",

@@ -31,29 +31,30 @@ from repro.experiments import (
     table2_tco,
 )
 
-#: artifact name -> (description, runner(invocations, jobs, cache) -> text)
-#: ``jobs``/``cache`` reach the experiments ported onto
-#: :mod:`repro.experiments.runner`; the rest ignore them.
+#: artifact name -> (description, runner(invocations, jobs, cache, trace)
+#: -> text).  ``jobs``/``cache`` reach the experiments ported onto
+#: :mod:`repro.experiments.runner`; ``trace`` is the ``--trace`` export
+#: path and only reaches the artifacts in :data:`TRACEABLE`.
 ARTIFACTS: Dict[str, tuple] = {
     "fig1": (
         "worker-OS boot-time trajectory (1.51 s ARM / 0.96 s x86)",
-        lambda n, jobs, cache: fig1_boot.render(fig1_boot.run()),
+        lambda n, jobs, cache, trace: fig1_boot.render(fig1_boot.run()),
     ),
     "table1": (
         "the 17-function workload suite, executed live",
-        lambda n, jobs, cache: table1_workloads.render(
+        lambda n, jobs, cache, trace: table1_workloads.render(
             table1_workloads.run(scale=0.05, jobs=jobs, cache=cache)
         ),
     ),
     "fig3": (
         "per-function Working/Overhead split on both clusters",
-        lambda n, jobs, cache: fig3_runtime.render(
+        lambda n, jobs, cache, trace: fig3_runtime.render(
             fig3_runtime.run(invocations_per_function=n)
         ),
     ),
     "fig4": (
         "energy efficiency & throughput vs VM count",
-        lambda n, jobs, cache: fig4_vmsweep.render(
+        lambda n, jobs, cache, trace: fig4_vmsweep.render(
             fig4_vmsweep.run(
                 invocations_per_function=max(4, n // 3),
                 jobs=jobs,
@@ -63,39 +64,45 @@ ARTIFACTS: Dict[str, tuple] = {
     ),
     "fig5": (
         "power vs active workers (energy proportionality)",
-        lambda n, jobs, cache: fig5_power.render(
+        lambda n, jobs, cache, trace: fig5_power.render(
             fig5_power.run(invocations=max(3, n // 4))
         ),
     ),
     "table2": (
         "5-year TCO comparison (exact to the dollar)",
-        lambda n, jobs, cache: table2_tco.render(table2_tco.run()),
+        lambda n, jobs, cache, trace: table2_tco.render(table2_tco.run()),
     ),
     "headline": (
         "throughput match + the 5.6x energy headline",
-        lambda n, jobs, cache: headline.render(
-            headline.run(invocations_per_function=n, jobs=jobs, cache=cache)
+        lambda n, jobs, cache, trace: headline.render(
+            headline.run(
+                invocations_per_function=n,
+                jobs=jobs,
+                cache=cache,
+                trace_path=trace,
+            )
         ),
     ),
     "fault-study": (
         "goodput/energy under escalating chaos; recovery stack (extension)",
-        lambda n, jobs, cache: fault_study.render(
+        lambda n, jobs, cache, trace: fault_study.render(
             fault_study.run(
                 invocations_per_function=max(2, n // 8),
                 jobs=jobs,
                 cache=cache,
+                trace_path=trace,
             )
         ),
     ),
     "hardware": (
         "candidate worker boards compared (extension)",
-        lambda n, jobs, cache: hardware_selection.render(
+        lambda n, jobs, cache, trace: hardware_selection.render(
             hardware_selection.run(invocations_per_function=n)
         ),
     ),
     "scale": (
         "the prototype architecture at fleet scale (extension)",
-        lambda n, jobs, cache: scale_study.render(
+        lambda n, jobs, cache, trace: scale_study.render(
             scale_study.run(
                 worker_counts=(10, 100, 400, 800),
                 jobs_per_worker=max(2, n // 8),
@@ -106,7 +113,7 @@ ARTIFACTS: Dict[str, tuple] = {
     ),
     "scale-frontier": (
         "the 2,000-5,000-worker streaming-telemetry sweep (extension)",
-        lambda n, jobs, cache: scale_study.render(
+        lambda n, jobs, cache, trace: scale_study.render(
             scale_study.run_frontier(
                 jobs_per_worker=max(2, n // 10),
                 jobs=jobs,
@@ -116,11 +123,14 @@ ARTIFACTS: Dict[str, tuple] = {
     ),
     "megatrace": (
         "fast-path trace replay, 10,000 x --invocations arrivals (extension)",
-        lambda n, jobs, cache: megatrace.render(
-            megatrace.run(invocations=n * 10_000)
+        lambda n, jobs, cache, trace: megatrace.render(
+            megatrace.run(invocations=n * 10_000, trace_path=trace)
         ),
     ),
 }
+
+#: Artifacts that honour ``--trace`` (the rest would silently ignore it).
+TRACEABLE = frozenset({"headline", "fault-study", "megatrace"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,6 +162,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every point instead of reusing cached results",
     )
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write per-invocation span trees to PATH (Chrome trace-event "
+        "JSON; JSONL if PATH ends in .jsonl) — headline, fault-study and "
+        "megatrace only",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run each artifact under cProfile and write "
@@ -168,14 +186,17 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_artifact(name: str, args, jobs: Optional[int]) -> int:
     """Run one artifact, optionally under cProfile."""
     runner = ARTIFACTS[name][1]
+    trace = args.trace if name in TRACEABLE else None
     if not args.profile:
-        print(runner(args.invocations, jobs, not args.no_cache))
+        print(runner(args.invocations, jobs, not args.no_cache, trace))
         print()
+        if trace is not None:
+            print(f"trace written to {trace}", file=sys.stderr)
         return 0
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        text = runner(args.invocations, jobs, not args.no_cache)
+        text = runner(args.invocations, jobs, not args.no_cache, trace)
     finally:
         profiler.disable()
     print(text)
@@ -198,6 +219,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --jobs must be >= 0", file=sys.stderr)
         return 2
     jobs = args.jobs if args.jobs > 0 else None  # None -> cpu_count
+    if args.trace is not None and args.artifact not in TRACEABLE:
+        print(
+            "error: --trace applies to "
+            + "/".join(sorted(TRACEABLE))
+            + " only",
+            file=sys.stderr,
+        )
+        return 2
     if args.artifact == "list":
         width = max(len(name) for name in ARTIFACTS)
         for name in sorted(ARTIFACTS):

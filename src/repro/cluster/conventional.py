@@ -30,6 +30,7 @@ from repro.net.link import Endpoint
 from repro.net.switch import Switch
 from repro.net.topology import NetworkTopology
 from repro.net.transfer import TransferModel
+from repro.obs.trace import TraceConfig, TraceRecorder
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
 from repro.virt.hypervisor import Hypervisor
@@ -53,12 +54,22 @@ class ConventionalCluster:
         jitter_sigma: float = 0.06,
         include_switch_power: bool = False,
         telemetry_exact: bool = True,
+        trace: Optional[TraceConfig] = None,
     ):
         if vm_count < 1:
             raise ValueError("need at least one VM")
         self.env = Environment()
         self.streams = RandomStreams(seed)
         self.include_switch_power = include_switch_power
+        self.tracer = (
+            TraceRecorder(
+                config=trace,
+                streams=self.streams.spawn("obs"),
+                label="conventional",
+            )
+            if trace is not None
+            else None
+        )
 
         self.server = RackServer(lambda: self.env.now, server_spec)
         self.hypervisor = Hypervisor(
@@ -101,6 +112,7 @@ class ConventionalCluster:
             if policy is not None
             else RandomSamplingPolicy(random.Random(seed)),
             telemetry=TelemetryCollector(exact=telemetry_exact),
+            tracer=self.tracer,
         )
 
         self.vms: List[MicroVm] = []
@@ -147,6 +159,13 @@ class ConventionalCluster:
         if self.include_switch_power:
             total += self.switch.trace.energy_joules(start, end)
         return total
+
+    def finished_traces(self):
+        """Sealed traces (draining in-flight stragglers first)."""
+        if self.tracer is None:
+            return []
+        self.tracer.drain()
+        return self.tracer.traces()
 
     # -- experiment entry points ---------------------------------------------------------
 

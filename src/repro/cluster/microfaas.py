@@ -34,6 +34,7 @@ from repro.net.link import Endpoint
 from repro.net.switch import Switch
 from repro.net.topology import NetworkTopology
 from repro.net.transfer import TransferModel
+from repro.obs.trace import TraceConfig, TraceRecorder
 from repro.sim.kernel import Environment
 from repro.sim.rng import RandomStreams
 from repro.workloads.base import ALL_FUNCTION_NAMES
@@ -56,11 +57,24 @@ class MicroFaaSCluster:
         backend=None,
         recovery: Optional[RecoveryPolicy] = None,
         telemetry_exact: bool = True,
+        trace: Optional[TraceConfig] = None,
     ):
         if worker_count < 1:
             raise ValueError("need at least one worker")
         self.env = Environment()
         self.streams = RandomStreams(seed)
+        # Tracing (opt-in): the recorder samples from its own spawned
+        # stream family, so enabling it draws nothing from any stream
+        # the simulation consumes — traced runs stay bit-identical.
+        self.tracer = (
+            TraceRecorder(
+                config=trace,
+                streams=self.streams.spawn("obs"),
+                label="microfaas",
+            )
+            if trace is not None
+            else None
+        )
         self.include_switch_power = include_switch_power
         self.worker_policy = worker_policy
         self.jitter_sigma = jitter_sigma
@@ -103,6 +117,7 @@ class MicroFaaSCluster:
             gpio=self.gpio,
             recovery=recovery,
             telemetry=TelemetryCollector(exact=telemetry_exact),
+            tracer=self.tracer,
         )
 
         # Worker boards.
@@ -216,6 +231,13 @@ class MicroFaaSCluster:
 
     def powered_worker_count(self) -> int:
         return sum(1 for sbc in self.sbcs if sbc.is_powered)
+
+    def finished_traces(self):
+        """Sealed traces (draining in-flight stragglers first)."""
+        if self.tracer is None:
+            return []
+        self.tracer.drain()
+        return self.tracer.traces()
 
     # -- experiment entry points ---------------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.core.job import Job, JobStatus
 from repro.core.lifecycle import RunToCompletionPolicy
+from repro.obs import trace as obs
 from repro.core.orchestrator import Orchestrator
 from repro.core.queue import WorkerQueue
 from repro.core.telemetry import InvocationRecord
@@ -76,35 +77,92 @@ class VmWorker:
         while True:
             job: Job = yield self.queue.pop()
             job.transition(JobStatus.RUNNING, self.env.now)
+            if job.trace_id is not None:
+                tracer = self.orchestrator.tracer
+                job.trace_attempt = tracer.begin_attempt(
+                    job.trace_id, self.env.now, self.vm.vm_id,
+                    attrs={"attempt": job.attempts + 1},
+                )
+                tracer.span(
+                    job.trace_id, obs.QUEUE_WAIT, job.t_queued,
+                    self.env.now, worker_id=self.vm.vm_id,
+                    attrs={"attempt_span": job.trace_attempt},
+                )
             boot_s = 0.0
             if not first_job and self.policy.reboot_between_jobs:
                 start = self.env.now
                 yield from self.vm.boot()
                 boot_s = self.env.now - start
+                if job.trace_id is not None:
+                    self.orchestrator.tracer.span(
+                        job.trace_id, obs.BOOT, start, self.env.now,
+                        parent_id=job.trace_attempt,
+                        worker_id=self.vm.vm_id,
+                        attrs={"kind": "guest-reboot"},
+                    )
             elif first_job:
+                # The initial guest boot ran before this claim, so it
+                # cannot be a child interval of the attempt; record it
+                # as a zero-duration marker carrying the charged cost.
                 boot_s = self.vm.boot_real_s
+                if job.trace_id is not None:
+                    self.orchestrator.tracer.span(
+                        job.trace_id, obs.BOOT, self.env.now,
+                        self.env.now, parent_id=job.trace_attempt,
+                        worker_id=self.vm.vm_id,
+                        attrs={"kind": "initial", "charged_s": boot_s},
+                    )
             first_job = False
             record = yield from self._execute(job, boot_s)
             self.orchestrator.complete(job, record)
+            if job.trace_id is not None and job.trace_attempt is not None:
+                self.orchestrator.tracer.end_attempt(
+                    job.trace_id, job.trace_attempt, self.env.now,
+                    attrs={"outcome": "completed"},
+                )
+                job.trace_attempt = None
 
     def _execute(self, job: Job, boot_s: float):
         profile = self.profiles[job.function]
+        inbound_start = self.env.now
         inbound = self.transfers.transfer(
             self.orchestrator_endpoint, self.endpoint, job.input_bytes
         )
         yield self.env.timeout(inbound.total_s)
         session_s = SESSION_OVERHEAD_S["x86-virtio"]
         yield self.env.timeout(session_s)
+        if job.trace_id is not None:
+            self.orchestrator.tracer.span(
+                job.trace_id, obs.INPUT_TRANSFER, inbound_start,
+                self.env.now, parent_id=job.trace_attempt,
+                worker_id=self.vm.vm_id,
+                attrs={"bytes": job.input_bytes, **inbound.as_attrs(),
+                       "session_s": session_s},
+            )
         work_s = profile.work_x86_s * self._jitter()
         cpu_s = work_s * profile.cpu_fraction_x86
         io_s = work_s - cpu_s
         working_start = self.env.now
         yield from self.vm.execute(cpu_s=cpu_s, io_s=io_s)
         working_s = self.env.now - working_start
+        if job.trace_id is not None:
+            self.orchestrator.tracer.span(
+                job.trace_id, obs.EXECUTE, working_start, self.env.now,
+                parent_id=job.trace_attempt, worker_id=self.vm.vm_id,
+                attrs={"cpu_s": cpu_s, "io_s": io_s},
+            )
+        outbound_start = self.env.now
         outbound = self.transfers.transfer(
             self.endpoint, self.orchestrator_endpoint, job.output_bytes
         )
         yield self.env.timeout(outbound.total_s)
+        if job.trace_id is not None:
+            self.orchestrator.tracer.span(
+                job.trace_id, obs.RESULT_TRANSFER, outbound_start,
+                self.env.now, parent_id=job.trace_attempt,
+                worker_id=self.vm.vm_id,
+                attrs={"bytes": job.output_bytes, **outbound.as_attrs()},
+            )
         overhead_s = inbound.total_s + session_s + outbound.total_s
         return InvocationRecord(
             job_id=job.job_id,

@@ -18,7 +18,9 @@ import math
 from typing import Optional
 
 from repro.bootos.stages import optimized_sequence
+from repro.bootos.timeline import scaled_stage_intervals
 from repro.core.job import Job, JobStatus
+from repro.obs import trace as obs
 from repro.core.lifecycle import RunToCompletionPolicy
 from repro.core.orchestrator import Orchestrator
 from repro.core.queue import WorkerQueue
@@ -100,6 +102,31 @@ class SbcWorker:
         yield self.env.timeout(self.boot_real_s)
         self.sbc.boot_complete()
 
+    def _trace_boot(self, job: Job, start: float, name: str,
+                    kind: str) -> None:
+        """Attach a boot/reboot span (with per-stage children) to the
+        job's open attempt."""
+        tracer = self.orchestrator.tracer
+        boot_id = tracer.span(
+            job.trace_id, name, start, self.env.now,
+            parent_id=job.trace_attempt, worker_id=self.sbc.node_id,
+            attrs={"kind": kind},
+        )
+        config = getattr(tracer, "config", None)
+        if boot_id is None or config is None or not config.boot_stages:
+            return
+        for interval in scaled_stage_intervals(
+            optimized_sequence("arm"), start, self.sbc.spec.boot_time_scale
+        ):
+            tracer.span(
+                job.trace_id,
+                obs.BOOT_STAGE_PREFIX + interval.stage.value,
+                interval.start_s,
+                interval.end_s,
+                parent_id=boot_id,
+                worker_id=self.sbc.node_id,
+            )
+
     # -- the worker loop --------------------------------------------------------------
 
     def _run(self):
@@ -130,6 +157,19 @@ class SbcWorker:
             # Service (including the boot this job pays) starts now; the
             # queue wait ends at the pop.
             job.transition(JobStatus.RUNNING, self.env.now)
+            if job.trace_id is not None:
+                tracer = self.orchestrator.tracer
+                job.trace_attempt = tracer.begin_attempt(
+                    job.trace_id, self.env.now, self.sbc.node_id,
+                    attrs={"attempt": job.attempts + 1},
+                )
+                # Same subtraction endpoints as the telemetry record's
+                # queue_wait_s: t_queued to the claim.
+                tracer.span(
+                    job.trace_id, obs.QUEUE_WAIT, job.t_queued,
+                    self.env.now, worker_id=self.sbc.node_id,
+                    attrs={"attempt_span": job.trace_attempt},
+                )
             boot_s = 0.0
             # The OP's GPIO hook powers us on at enqueue; if this worker
             # was built without a wired line, wake up now.
@@ -139,6 +179,8 @@ class SbcWorker:
                 start = self.env.now
                 yield from self._boot()
                 boot_s = self.env.now - start
+                if job.trace_id is not None:
+                    self._trace_boot(job, start, obs.BOOT, "cold")
             elif self.policy.reboot_between_jobs and not self.sbc.clean:
                 # Clean-state reboot before touching the next tenant's
                 # job.  A pre-booted (warm, still-clean) board skips
@@ -147,6 +189,8 @@ class SbcWorker:
                 start = self.env.now
                 yield from self._boot()
                 boot_s = self.env.now - start
+                if job.trace_id is not None:
+                    self._trace_boot(job, start, obs.BOOT, "clean-reboot")
             record = yield from self._execute(job, boot_s)
             self.orchestrator.complete(job, record)
             self.current_job = None
@@ -155,12 +199,29 @@ class SbcWorker:
                     # Pre-boot now so the next tenant sees a clean,
                     # already-booted board (cold-start masking).
                     self.sbc.begin_reboot()
+                    start = self.env.now
                     yield from self._boot()
+                    if job.trace_id is not None:
+                        self._trace_boot(job, start, obs.REBOOT, "pre-boot")
             elif self.queue.depth == 0 and self.policy.power_off_when_idle:
                 if self.policy.idle_grace_s > 0:
                     yield self.env.timeout(self.policy.idle_grace_s)
                 if self.queue.depth == 0 and not self.keep_warm:
                     self.sbc.power_off()
+                    if job.trace_id is not None:
+                        self.orchestrator.tracer.annotate(
+                            job.trace_id, obs.SHUTDOWN, self.env.now,
+                            worker_id=self.sbc.node_id,
+                        )
+            if job.trace_id is not None and job.trace_attempt is not None:
+                # Post-job housekeeping (reboot/grace/shutdown) belongs
+                # to this attempt's window; close the span — and, once
+                # no attempt is open, the trace — only now.
+                self.orchestrator.tracer.end_attempt(
+                    job.trace_id, job.trace_attempt, self.env.now,
+                    attrs={"outcome": "completed"},
+                )
+                job.trace_attempt = None
 
     def _execute(self, job: Job, boot_s: float):
         profile = self.profiles[job.function]
@@ -178,6 +239,14 @@ class SbcWorker:
         session_s = SESSION_OVERHEAD_S["arm-bare"]
         yield self.env.timeout(session_s)
         inbound_overhead_s = self.env.now - inbound_start
+        if job.trace_id is not None:
+            self.orchestrator.tracer.span(
+                job.trace_id, obs.INPUT_TRANSFER, inbound_start,
+                self.env.now, parent_id=job.trace_attempt,
+                worker_id=self.sbc.node_id,
+                attrs={"bytes": job.input_bytes, **inbound.as_attrs(),
+                       "session_s": session_s},
+            )
         # Execute the function body: CPU phase, then backend I/O phase.
         # A faster board shrinks only the CPU phase — backend waits are
         # the services' problem, not the worker's.
@@ -196,6 +265,15 @@ class SbcWorker:
             else:
                 yield self.env.timeout(io_s)
         working_s = self.env.now - working_start
+        if job.trace_id is not None:
+            # The execute span's duration IS working_s (same endpoints),
+            # which is what lets the critical-path analyzer reconcile
+            # with TelemetryCollector exactly.
+            self.orchestrator.tracer.span(
+                job.trace_id, obs.EXECUTE, working_start, self.env.now,
+                parent_id=job.trace_attempt, worker_id=self.sbc.node_id,
+                attrs={"cpu_s": cpu_s, "io_s": io_s},
+            )
         # Return the result (overhead); the OP must ingest it.
         outbound_start = self.env.now
         self.sbc.start_io_wait()
@@ -207,6 +285,13 @@ class SbcWorker:
             yield from self.control_plane.collect()
         self.sbc.finish_job()
         overhead_s = inbound_overhead_s + (self.env.now - outbound_start)
+        if job.trace_id is not None:
+            self.orchestrator.tracer.span(
+                job.trace_id, obs.RESULT_TRANSFER, outbound_start,
+                self.env.now, parent_id=job.trace_attempt,
+                worker_id=self.sbc.node_id,
+                attrs={"bytes": job.output_bytes, **outbound.as_attrs()},
+            )
         return InvocationRecord(
             job_id=job.job_id,
             function=job.function,

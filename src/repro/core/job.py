@@ -61,6 +61,15 @@ class Job:
     #: share one key, so the OP can suppress duplicate results.  Stamped
     #: at submission; clones (hedges, timeout retries) inherit it.
     idempotency_key: Optional[str] = None
+    #: Tracing (see :mod:`repro.obs`): the trace this invocation belongs
+    #: to, set at submission iff an enabled recorder sampled it — None
+    #: is the "not traced" fast path every hot-path guard checks.
+    #: Clones inherit it, so all attempts land in one trace.
+    trace_id: Optional[int] = None
+    #: The open attempt span this Job object is currently executing
+    #: under (a recorder span id); owned by whichever worker claimed
+    #: the attempt, cleared when the span closes.
+    trace_attempt: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.input_bytes < 0 or self.output_bytes < 0:
@@ -97,6 +106,7 @@ class Job:
         self.attempts += 1
         self.t_started = None
         self.worker_id = None
+        self.trace_attempt = None
 
     def spawn_attempt(self) -> "Job":
         """Clone this job as a fresh attempt (hedge or timeout retry).
@@ -116,6 +126,7 @@ class Job:
             idempotency_key=self.idempotency_key,
         )
         clone.t_submit = self.t_submit
+        clone.trace_id = self.trace_id
         self.attempts += 1
         return clone
 

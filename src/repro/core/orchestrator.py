@@ -30,6 +30,8 @@ from repro.core.policies import RecoveryPolicy, WorkerHealthTracker
 from repro.core.queue import WorkerQueue
 from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
 from repro.core.telemetry import InvocationRecord, TelemetryCollector
+from repro.obs import trace as obs
+from repro.obs.trace import NULL_RECORDER
 from repro.sim.kernel import Environment, Event
 from repro.workloads.profiles import profile_for
 
@@ -44,10 +46,15 @@ class Orchestrator:
         gpio: Optional[GpioBank] = None,
         recovery: Optional[RecoveryPolicy] = None,
         telemetry: Optional[TelemetryCollector] = None,
+        tracer=None,
     ):
         self.env = env
         self.policy = policy if policy is not None else RandomSamplingPolicy()
         self.gpio = gpio if gpio is not None else GpioBank()
+        #: Span recorder (see :mod:`repro.obs`).  The default no-op
+        #: recorder never samples, so ``job.trace_id`` stays None and
+        #: every tracing hook below short-circuits on one comparison.
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
         self.recovery = recovery
         self.health: Optional[WorkerHealthTracker] = (
             WorkerHealthTracker.from_policy(recovery)
@@ -95,7 +102,7 @@ class Orchestrator:
     def add_worker(self) -> WorkerQueue:
         """Create the queue for a new worker, returning it."""
         queue = WorkerQueue(self.env, worker_id=len(self.queues))
-        queue.on_enqueue(lambda _job, wid=queue.worker_id: self._wake(wid))
+        queue.on_enqueue(lambda job, wid=queue.worker_id: self._wake(wid, job))
         self.queues.append(queue)
         return queue
 
@@ -103,13 +110,18 @@ class Orchestrator:
     def worker_count(self) -> int:
         return len(self.queues)
 
-    def _wake(self, worker_id: int) -> None:
+    def _wake(self, worker_id: int, job: Optional[Job] = None) -> None:
         """Power on a sleeping worker when a job lands in its queue."""
         try:
             self.gpio.line(worker_id)
         except KeyError:
             return  # worker manages its own power (e.g. microVM host)
-        self.gpio.assert_power_on(worker_id)
+        pulsed = self.gpio.assert_power_on(worker_id)
+        if pulsed and job is not None and job.trace_id is not None:
+            self.tracer.annotate(
+                job.trace_id, obs.POWER_ON, self.env.now,
+                worker_id=worker_id,
+            )
 
     def _is_powered(self, worker_id: int) -> bool:
         try:
@@ -200,6 +212,15 @@ class Orchestrator:
             raise RuntimeError(
                 f"policy {self.policy.name!r} chose invalid queue {index}"
             )
+        if job.trace_id is not None:
+            self.tracer.annotate(
+                job.trace_id, obs.ASSIGN, self.env.now,
+                worker_id=candidates[index].worker_id,
+                attrs={
+                    "policy": self.policy.name,
+                    "candidates": len(candidates),
+                },
+            )
         candidates[index].push(job)
 
     def submit(self, job: Job) -> Job:
@@ -211,6 +232,15 @@ class Orchestrator:
         job.t_submit = self.env.now
         if job.idempotency_key is None:
             job.idempotency_key = f"{job.function}/{job.job_id}"
+        # Head-based sampling: one decision per logical job, made here
+        # so hedges and retries (clones) inherit the trace.
+        if self.tracer.enabled and self.tracer.sample(job.job_id):
+            job.trace_id = job.job_id
+            self.tracer.begin_trace(
+                job.trace_id, self.env.now, job.function,
+                attrs={"idempotency_key": job.idempotency_key},
+            )
+            self.tracer.annotate(job.trace_id, obs.SUBMIT, self.env.now)
         self.jobs[job.job_id] = job
         self._submitted += 1
         if self.recovery is not None:
@@ -230,6 +260,12 @@ class Orchestrator:
             raise ValueError(f"job {job.job_id} already finished")
         if job.worker_id is not None:
             self.queues[job.worker_id].job_finished()
+        if job.trace_id is not None:
+            self._trace_attempt_lost(job, "crashed")
+            self.tracer.annotate(
+                job.trace_id, obs.RESUBMIT, self.env.now,
+                worker_id=job.worker_id,
+            )
         job.reset_for_retry()
         self.resubmissions += 1
         self._assign(job)
@@ -248,9 +284,17 @@ class Orchestrator:
             self.queues[job.worker_id].job_finished()
         canonical = self.jobs.get(job.job_id)
         if job.job_id in self._done or job.is_finished:
+            self._trace_drop_attempt(job)
             return False
         if canonical is not None and canonical is not job and canonical.is_finished:
+            self._trace_drop_attempt(job)
             return False
+        if job.trace_id is not None:
+            self._trace_attempt_lost(job, "crashed")
+            self.tracer.annotate(
+                job.trace_id, obs.RESUBMIT, self.env.now,
+                worker_id=job.worker_id,
+            )
         job.reset_for_retry()
         self.resubmissions += 1
         if self.recovery is not None:
@@ -320,12 +364,32 @@ class Orchestrator:
         """
         return job_id in self._done
 
+    def _trace_attempt_lost(self, job: Job, outcome: str) -> None:
+        """Close a traced job's open attempt span (crash/loss paths)."""
+        if job.trace_attempt is not None:
+            self.tracer.end_attempt(
+                job.trace_id, job.trace_attempt, self.env.now,
+                attrs={"outcome": outcome},
+            )
+            job.trace_attempt = None
+
+    def _trace_drop_attempt(self, job: Job) -> None:
+        """A salvaged attempt turned out stale: mark it discarded."""
+        if job.trace_id is None:
+            return
+        self._trace_attempt_lost(job, "discarded")
+        self.tracer.annotate(
+            job.trace_id, obs.DISCARDED, self.env.now,
+            worker_id=job.worker_id,
+        )
+
     def discard_stale_attempt(self, job: Job) -> None:
         """Release a popped attempt whose logical job already delivered."""
         if job.worker_id is not None:
             self.queues[job.worker_id].job_finished()
         if self.recovery is not None:
             self.duplicates_suppressed += 1
+        self._trace_drop_attempt(job)
 
     def _fire_drain_events(self) -> None:
         if self._completed == self._submitted:
@@ -359,6 +423,14 @@ class Orchestrator:
         canonical = self.jobs[job.job_id]
         if canonical is not job and not canonical.is_finished:
             canonical.absorb_completion(now)
+        if job.trace_id is not None:
+            # The delivering attempt span is still open (the worker
+            # closes it after post-job housekeeping), so the trace
+            # seals only once its reboot/shutdown spans are in.
+            self.tracer.mark_delivered(
+                job.trace_id, now, status="completed",
+                attempt_id=job.trace_attempt,
+            )
         self.telemetry.record(record)
         self._completed += 1
         if self.evict_finished and self.recovery is None:
@@ -382,6 +454,11 @@ class Orchestrator:
         self._done.add(job.job_id)
         job.failure = reason
         job.transition(JobStatus.FAILED, now)
+        if job.trace_id is not None:
+            self.tracer.mark_delivered(
+                job.trace_id, now, status="failed",
+                attempt_id=job.trace_attempt,
+            )
         canonical = self.jobs.get(job.job_id)
         if canonical is not None and canonical is not job and not canonical.is_finished:
             canonical.failure = reason
@@ -445,6 +522,8 @@ class Orchestrator:
         job.failure = "deadline exceeded"
         job.status = JobStatus.FAILED
         job.t_completed = now
+        if job.trace_id is not None:
+            self.tracer.mark_delivered(job.trace_id, now, status="lost")
         self.jobs_lost += 1
         self._completed += 1
         self._fire_drain_events()
@@ -459,6 +538,11 @@ class Orchestrator:
         # Stamp the launch time now (including the backoff) so the next
         # tick does not fire a second retry for the same stall.
         self._attempt_started[job.job_id] = now + delay
+        if job.trace_id is not None:
+            self.tracer.annotate(
+                job.trace_id, obs.RETRY, now, worker_id=job.worker_id,
+                attrs={"attempt": count + 1, "backoff_s": delay},
+            )
         clone = job.spawn_attempt()
         self.env.process(
             self._launch_later(clone, delay, exclude=job.worker_id)
@@ -471,6 +555,11 @@ class Orchestrator:
         self._attempt_count[job.job_id] = (
             self._attempt_count.get(job.job_id, 1) + 1
         )
+        if job.trace_id is not None:
+            self.tracer.annotate(
+                job.trace_id, obs.HEDGE, self.env.now,
+                worker_id=job.worker_id,
+            )
         clone = job.spawn_attempt()
         self._assign(clone, exclude=job.worker_id)
 

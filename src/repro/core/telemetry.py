@@ -332,6 +332,16 @@ class _RunningStat:
         mean = self.total / self.count
         return max(0.0, self.sum_sq / self.count - mean * mean)
 
+    def merge(self, other: "_RunningStat") -> None:
+        """Fold another stat's moments into this one."""
+        self.count += other.count
+        self.total += other.total
+        self.sum_sq += other.sum_sq
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
 
 class _FunctionAccumulator:
     """Streaming per-function aggregates (one Fig. 3 bar group)."""
@@ -353,6 +363,13 @@ class _FunctionAccumulator:
         self.runtime.add(runtime)
         self.queue_wait.add(record.queue_wait_s)
         self.runtime_sketch.add(runtime)
+
+    def merge(self, other: "_FunctionAccumulator") -> None:
+        self.working.merge(other.working)
+        self.overhead.merge(other.overhead)
+        self.runtime.merge(other.runtime)
+        self.queue_wait.merge(other.queue_wait)
+        self.runtime_sketch.merge(other.runtime_sketch)
 
 
 @dataclass(frozen=True)
@@ -443,6 +460,61 @@ class TelemetryCollector:
     @property
     def functions_seen(self) -> List[str]:
         return sorted(self._functions)
+
+    def merge(self, other: "TelemetryCollector") -> None:
+        """Fold another collector's state into this one.
+
+        The shard-combining primitive for ``run_map``-style parallel
+        experiments: each shard collects independently, then the
+        results merge without replaying records.
+
+        Mode rules:
+
+        - exact ← exact: record lists concatenate, so every exact-mode
+          query (percentiles, windowed throughput) stays exact.
+        - streaming ← anything: running moments and sketches add
+          (sketch bucket counts are integers, so merged quantiles are
+          identical to single-pass streaming); the reservoir absorbs
+          the other side's retained/reservoir records.
+        - exact ← streaming: raises — the streaming side's records are
+          gone, so the merged collector could not honour its exactness
+          contract.
+
+        Means merge exactly (sums and counts add); the *sequence* of
+        additions differs from single-collector order, so merged means
+        agree with a replay to float-addition noise, not bit-for-bit.
+        Sketch geometries must match (``sketch_gamma``).
+        """
+        if self.exact and not other.exact:
+            raise RuntimeError(
+                "cannot merge a streaming collector into an exact one: "
+                "its per-record data was never retained"
+            )
+        if other._count == 0:
+            return
+        for name, accumulator in other._functions.items():
+            mine = self._functions.get(name)
+            if mine is None:
+                mine = _FunctionAccumulator(self.sketch_gamma)
+                self._functions[name] = mine
+            mine.merge(accumulator)
+        self._cycle.merge(other._cycle)
+        self._queue_wait.merge(other._queue_wait)
+        self._latency.merge(other._latency)
+        self._queue_wait_sketch.merge(other._queue_wait_sketch)
+        self._latency_sketch.merge(other._latency_sketch)
+        self._count += other._count
+        if other._first_start < self._first_start:
+            self._first_start = other._first_start
+        if other._last_completion > self._last_completion:
+            self._last_completion = other._last_completion
+        self._version += 1
+        if self.exact:
+            self.records.extend(other.records)
+        else:
+            source = other.records if other.exact else other.reservoir.items
+            for record in source:
+                self.reservoir.add(record)
 
     def _require_records(self) -> None:
         if self._count == 0:

@@ -204,6 +204,20 @@ def export_megatrace(directory: str, invocations: int = 1_000_000) -> str:
     )
 
 
+def export_trace(directory: str, invocations_per_function: int = 12) -> str:
+    """Perfetto-ready span trees from a traced headline run.
+
+    Unlike the CSV exporters this is not tabular data: it is the Chrome
+    trace-event JSON of every invocation's span tree on both clusters,
+    ready to load at https://ui.perfetto.dev.
+    """
+    path = os.path.join(directory, "headline_trace.json")
+    headline.run(
+        invocations_per_function=invocations_per_function, trace_path=path
+    )
+    return path
+
+
 def export_all(
     directory: str,
     invocations_per_function: int = 12,
@@ -224,6 +238,7 @@ def export_all(
         export_headline(directory, invocations_per_function),
         export_fault_study(directory, max(2, invocations_per_function // 6)),
         export_scale_study(directory),
+        export_trace(directory, invocations_per_function),
     ]
 
 
@@ -238,4 +253,5 @@ __all__ = [
     "export_megatrace",
     "export_scale_study",
     "export_table2",
+    "export_trace",
 ]

@@ -24,7 +24,7 @@ bit-identical at any ``--jobs`` and caches per point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster import MicroFaaSCluster
 from repro.core.policies import RecoveryPolicy
@@ -32,6 +32,8 @@ from repro.core.telemetry import percentiles
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_map
+from repro.obs.export import write_trace_file
+from repro.obs.trace import TraceConfig
 from repro.reliability.chaos import ChaosEngine, ChaosPlan, ChaosProfile
 from repro.services.backend import BackendCapacityModel
 
@@ -106,14 +108,21 @@ def _percentile(values: Sequence[float], p: float) -> float:
     return percentiles(values, [p], method="nearest")[0]
 
 
-def _run_fault_point(task: FaultStudyTask) -> FaultStudyPoint:
-    """Worker: one saturated run under one chaos rate scale."""
+def _build_point_cluster(
+    task: FaultStudyTask, trace: Optional[TraceConfig] = None
+) -> Tuple[MicroFaaSCluster, ChaosEngine]:
+    """A seeded cluster with this point's chaos plan armed.
+
+    Shared between the cached sweep workers and the inline traced
+    re-run, so a traced point sees the exact same fault schedule.
+    """
     cluster = MicroFaaSCluster(
         worker_count=task.worker_count,
         seed=task.seed,
         policy=LeastLoadedPolicy(),
         backend=BackendCapacityModel(),
         recovery=RecoveryPolicy(),
+        trace=trace,
     )
     plan = ChaosPlan.sample(
         ChaosProfile(scale=task.fault_rate_scale),
@@ -124,6 +133,12 @@ def _run_fault_point(task: FaultStudyTask) -> FaultStudyPoint:
     )
     engine = ChaosEngine(cluster)
     engine.apply(plan)
+    return cluster, engine
+
+
+def _run_fault_point(task: FaultStudyTask) -> FaultStudyPoint:
+    """Worker: one saturated run under one chaos rate scale."""
+    cluster, engine = _build_point_cluster(task)
     result = cluster.run_saturated(
         invocations_per_function=task.invocations_per_function
     )
@@ -163,6 +178,21 @@ def _run_fault_point(task: FaultStudyTask) -> FaultStudyPoint:
     )
 
 
+def _trace_point(task: FaultStudyTask, trace_path: str) -> None:
+    """Re-run one point inline with span recording and export it.
+
+    The sweep itself stays on the cached ``run_map`` path; the traced
+    re-run is a separate cluster with the same seed and chaos plan, so
+    the exported spans (including ``chaos_event`` annotations and the
+    linked crashed/retried attempt spans) match the reported numbers.
+    """
+    cluster, _ = _build_point_cluster(task, trace=TraceConfig())
+    cluster.run_saturated(
+        invocations_per_function=task.invocations_per_function
+    )
+    write_trace_file(cluster.finished_traces(), trace_path)
+
+
 def run(
     fault_rate_scales: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
     worker_count: int = 8,
@@ -171,8 +201,14 @@ def run(
     jobs: int = 1,
     cache: bool = True,
     cache_dir=None,
+    trace_path: Optional[str] = None,
 ) -> FaultStudyResult:
-    """Sweep chaos rate scales over independent seeded cluster runs."""
+    """Sweep chaos rate scales over independent seeded cluster runs.
+
+    With ``trace_path`` set, the highest-rate point is re-run inline
+    with tracing enabled and its span trees written to that path — the
+    most fault-dense point is the one worth looking at in Perfetto.
+    """
     if worker_count < 2:
         raise ValueError("the fault study needs at least two workers")
     if invocations_per_function < 1:
@@ -184,6 +220,10 @@ def run(
     points = run_map(
         tasks, _run_fault_point, jobs=jobs, cache=cache, cache_dir=cache_dir
     )
+    if trace_path is not None:
+        _trace_point(
+            max(tasks, key=lambda t: t.fault_rate_scale), trace_path
+        )
     return FaultStudyResult(points=points)
 
 

@@ -12,11 +12,14 @@ reports the four numbers the abstract leads with:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cluster import ClusterResult, ConventionalCluster, MicroFaaSCluster
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_map
+from repro.obs.export import write_trace_file
+from repro.obs.trace import TraceConfig, merge_traces
 
 PAPER = {
     "microfaas_fpm": 200.6,
@@ -71,12 +74,47 @@ def _run_cluster(task: HeadlineTask) -> ClusterResult:
     )
 
 
+def _run_traced(
+    invocations_per_function: int,
+    seed: int,
+    trace_path: str,
+    trace: TraceConfig,
+) -> HeadlineResult:
+    """Inline traced run: both clusters in-process, one merged export.
+
+    The span recorders live inside the cluster objects, so traced runs
+    cannot go through :func:`run_map` (a cache hit would return numbers
+    without spans, and subprocess fan-out would strand the recorders in
+    the workers).  Tracing draws from its own spawned RNG stream, so
+    these numbers are bit-identical to the cached ``run_map`` path.
+    """
+    mf_cluster = MicroFaaSCluster(
+        worker_count=10, seed=seed, policy=LeastLoadedPolicy(), trace=trace
+    )
+    mf_result = mf_cluster.run_saturated(
+        invocations_per_function=invocations_per_function
+    )
+    cv_cluster = ConventionalCluster(
+        vm_count=6, seed=seed, policy=LeastLoadedPolicy(), trace=trace
+    )
+    cv_result = cv_cluster.run_saturated(
+        invocations_per_function=invocations_per_function
+    )
+    mf_cluster.finished_traces()
+    cv_cluster.finished_traces()
+    traces = merge_traces([mf_cluster.tracer, cv_cluster.tracer])
+    write_trace_file(traces, trace_path)
+    return HeadlineResult(microfaas=mf_result, conventional=cv_result)
+
+
 def run(
     invocations_per_function: int = 30,
     seed: int = 1,
     jobs: int = 1,
     cache: bool = True,
     cache_dir=None,
+    trace_path: Optional[str] = None,
+    trace: Optional[TraceConfig] = None,
 ) -> HeadlineResult:
     """Run the headline comparison.
 
@@ -85,7 +123,19 @@ def run(
     numbers at the paper's 1,000 invocations per function, but leaves
     straggler tails at smaller counts).  The two clusters are
     independent simulations, so they fan out and cache like any sweep.
+
+    With ``trace_path`` set, both clusters run inline with per
+    -invocation span recording and the merged span trees are written to
+    that path (Chrome trace-event JSON, or JSONL if the path ends in
+    ``.jsonl``); the headline numbers are unchanged.
     """
+    if trace_path is not None:
+        return _run_traced(
+            invocations_per_function,
+            seed,
+            trace_path,
+            trace if trace is not None else TraceConfig(),
+        )
     mf_result, cv_result = run_map(
         [
             HeadlineTask("microfaas", invocations_per_function, seed),

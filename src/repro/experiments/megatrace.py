@@ -22,11 +22,14 @@ from __future__ import annotations
 import resource
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cluster.microfaas import MicroFaaSCluster
 from repro.cluster.replay import replay_trace
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.experiments.report import format_table
+from repro.obs.export import write_trace_file
+from repro.obs.trace import TraceConfig
 from repro.sim.rng import RandomStreams
 from repro.workloads.traces import poisson_trace
 
@@ -58,6 +61,12 @@ class MegatraceResult:
     #: Collector state after the run — the bounded-memory evidence.
     records_retained: int
     sketch_buckets: int
+    #: Tracing counters (zero when the recorder is off): sampled traces
+    #: that sealed, sealed traces evicted by the ring buffer, and the
+    #: bounded number actually retained for export.
+    traces_finished: int = 0
+    traces_dropped: int = 0
+    traces_exported: int = 0
 
     @property
     def events_per_wall_s(self) -> float:
@@ -70,12 +79,22 @@ def run(
     worker_count: int = 128,
     utilization: float = 0.85,
     seed: int = 1,
+    trace_path: Optional[str] = None,
+    trace_sample_rate: float = 0.001,
+    trace_max: int = 2048,
 ) -> MegatraceResult:
     """Replay ``invocations`` Poisson arrivals at ``utilization`` of the
     cluster's sustained capacity.
 
     Runs serially and uncached on purpose: the run *is* the measurement
     (wall-clock and RSS would be meaningless from a cache hit).
+
+    With ``trace_path`` set, the span recorder rides along under the
+    same bounded-memory discipline as the rest of the fast path:
+    head-based sampling keeps recording off most invocations, and the
+    ``trace_max`` ring buffer caps retained traces no matter how many
+    are sampled.  Boot-stage sub-spans are disabled to keep sampled
+    traces lean at this scale.
     """
     if invocations < 1:
         raise ValueError("invocations must be >= 1")
@@ -85,6 +104,15 @@ def run(
         raise ValueError("utilization must be in (0, 1)")
     rate = worker_count * WORKER_JOBS_PER_S * utilization
     duration = invocations / rate
+    trace_config = (
+        TraceConfig(
+            sample_rate=trace_sample_rate,
+            max_traces=trace_max,
+            boot_stages=False,
+        )
+        if trace_path is not None
+        else None
+    )
     start = time.perf_counter()
     trace = poisson_trace(
         rate, duration, streams=RandomStreams(seed), columnar=True
@@ -94,11 +122,19 @@ def run(
         seed=seed,
         policy=LeastLoadedPolicy(),
         telemetry_exact=False,
+        trace=trace_config,
     )
     cluster.orchestrator.evict_finished = True
     result = replay_trace(cluster, trace)
     wall = time.perf_counter() - start
     telemetry = cluster.orchestrator.telemetry
+    traces_finished = traces_dropped = traces_exported = 0
+    if trace_path is not None:
+        finished = cluster.finished_traces()
+        write_trace_file(finished, trace_path)
+        traces_finished = cluster.tracer.traces_finished
+        traces_dropped = cluster.tracer.traces_dropped
+        traces_exported = len(finished)
     return MegatraceResult(
         invocations=result.jobs_completed,
         worker_count=worker_count,
@@ -112,6 +148,9 @@ def run(
         joules_per_function=result.joules_per_function,
         records_retained=len(telemetry.records),
         sketch_buckets=telemetry._latency_sketch.bucket_count,
+        traces_finished=traces_finished,
+        traces_dropped=traces_dropped,
+        traces_exported=traces_exported,
     )
 
 
@@ -138,6 +177,15 @@ def render(result: MegatraceResult) -> str:
             f"(streaming; {result.sketch_buckets} sketch buckets)",
         ),
     ]
+    if result.traces_finished or result.traces_exported:
+        rows.append(
+            (
+                "traces sampled",
+                f"{result.traces_finished:,} sealed, "
+                f"{result.traces_exported} exported "
+                f"({result.traces_dropped:,} evicted by ring)",
+            )
+        )
     return format_table(
         ["metric", "value"],
         rows,

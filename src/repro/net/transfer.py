@@ -46,6 +46,15 @@ class TransferEstimate:
     def total_s(self) -> float:
         return self.serialization_s + self.latency_s + self.session_s + self.fault_s
 
+    def as_attrs(self) -> dict:
+        """Flat dict form, for tracing span attributes."""
+        return {
+            "serialization_s": self.serialization_s,
+            "latency_s": self.latency_s,
+            "session_s": self.session_s,
+            "fault_s": self.fault_s,
+        }
+
 
 class TransferModel:
     """Timing calculator bound to a :class:`NetworkTopology`.

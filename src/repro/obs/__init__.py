@@ -1,0 +1,30 @@
+"""Observability: per-invocation tracing, critical paths, span energy.
+
+- :mod:`repro.obs.trace` — span model, recorders, sampling, ring buffer
+- :mod:`repro.obs.critical_path` — latency decomposition + telemetry
+  reconciliation
+- :mod:`repro.obs.energy` — per-span energy attribution against
+  :mod:`repro.hardware.power` traces
+- :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON and JSONL
+  exporters, plus the CI schema validator
+"""
+
+from repro.obs.trace import (
+    FinishedTrace,
+    NULL_RECORDER,
+    NullTraceRecorder,
+    Span,
+    TraceConfig,
+    TraceRecorder,
+    merge_traces,
+)
+
+__all__ = [
+    "FinishedTrace",
+    "NULL_RECORDER",
+    "NullTraceRecorder",
+    "Span",
+    "TraceConfig",
+    "TraceRecorder",
+    "merge_traces",
+]

@@ -1,0 +1,239 @@
+"""Trace exporters: Chrome/Perfetto trace-event JSON and JSONL.
+
+Two formats, one source of truth (:class:`FinishedTrace`):
+
+- **Chrome trace-event JSON** (``write_chrome_trace``) — the
+  ``{"traceEvents": [...]}`` object format.  Load it in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Spans become
+  ``"X"`` complete events (``ts``/``dur`` in microseconds); zero
+  -duration annotations become ``"i"`` instant events.  Processes
+  (``pid``) are recorder labels (e.g. the headline's ``microfaas`` vs
+  ``conventional`` clusters), threads (``tid``) are worker ids, with
+  ``-1`` for orchestrator-side spans so queueing is its own lane.
+- **JSONL span log** (``write_jsonl``) — one JSON object per span,
+  trace metadata (label/function/status) denormalised onto every row
+  so the file greps and streams without an index.
+
+``validate_chrome_trace`` is the schema check the CI smoke job runs on
+emitted traces: required fields, non-negative and monotonic
+timestamps, and parent-span containment.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import FinishedTrace, Span
+
+#: tid used for spans not pinned to a worker (submit/assign/queue_wait).
+ORCHESTRATOR_TID = -1
+
+#: Containment slack in microseconds — covers float seconds→µs rounding.
+_CONTAINMENT_EPSILON_US = 1e-3
+
+
+def _event_args(trace: FinishedTrace, span: Span) -> dict:
+    args = {
+        "trace_id": trace.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "function": trace.function,
+        "status": trace.status,
+    }
+    if span.attrs:
+        args.update(span.attrs)
+    return args
+
+
+def chrome_trace_events(
+    traces: Iterable[FinishedTrace],
+) -> List[dict]:
+    """Flatten finished traces into trace-event dicts."""
+    events: List[dict] = []
+    labels: Dict[str, int] = {}
+    for trace in traces:
+        pid = labels.setdefault(trace.label or "trace", len(labels))
+        for span in trace.spans:
+            tid = (
+                span.worker_id
+                if span.worker_id is not None else ORCHESTRATOR_TID
+            )
+            ts = span.start_s * 1e6
+            if span.duration_s == 0.0 and span.parent_id is not None:
+                events.append({
+                    "name": span.name,
+                    "cat": trace.function,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": _event_args(trace, span),
+                })
+            else:
+                events.append({
+                    "name": span.name,
+                    "cat": trace.function,
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": span.duration_s * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": _event_args(trace, span),
+                })
+    # Emit in global timestamp order: viewers don't need it, but it
+    # makes "monotonic timestamps" a checkable invariant of the file.
+    events.sort(key=lambda e: (e["ts"], e["args"]["span_id"]))
+    for label, pid in labels.items():
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+    return events
+
+
+def write_chrome_trace(
+    traces: Iterable[FinishedTrace],
+    path: str,
+) -> int:
+    """Write the trace-event JSON object format; returns event count."""
+    events = chrome_trace_events(traces)
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return len(events)
+
+
+def write_jsonl(
+    traces: Iterable[FinishedTrace],
+    path: str,
+) -> int:
+    """One JSON object per span; returns the row count."""
+    rows = 0
+    with open(path, "w") as handle:
+        for trace in traces:
+            for span in trace.spans:
+                row = span.as_dict()
+                row["label"] = trace.label
+                row["function"] = trace.function
+                row["status"] = trace.status
+                handle.write(json.dumps(row))
+                handle.write("\n")
+                rows += 1
+    return rows
+
+
+def write_trace_file(
+    traces: Iterable[FinishedTrace],
+    path: str,
+) -> int:
+    """Dispatch on suffix: ``.jsonl`` → span log, else Chrome JSON."""
+    if str(path).endswith(".jsonl"):
+        return write_jsonl(traces, path)
+    return write_chrome_trace(traces, path)
+
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(document: dict) -> List[str]:
+    """Schema-check a trace-event document; returns problem strings.
+
+    Checks per event: required fields present, ``ts >= 0``, complete
+    events carry ``dur >= 0``.  Checks globally: span events appear in
+    non-decreasing timestamp order (the exporter's emission contract).
+    Checks per trace (via ``args``): every child span lies inside its
+    parent's interval.
+    """
+    problems: List[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list traceEvents"]
+    # (pid, trace_id, span_id) -> interval; for containment.
+    intervals: Dict[Tuple[int, int, int], Tuple[float, float]] = {}
+    spans: List[Tuple[int, dict]] = []
+    previous_ts: Optional[float] = None
+    for index, event in enumerate(events):
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                problems.append(f"event {index}: missing {key!r}")
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        ts = event.get("ts", 0.0)
+        if ts < 0:
+            problems.append(f"event {index}: negative ts {ts}")
+        if previous_ts is not None and ts < previous_ts:
+            problems.append(
+                f"event {index}: ts {ts} breaks monotonic order "
+                f"(previous span event at {previous_ts})"
+            )
+        previous_ts = ts
+        if phase == "X":
+            dur = event.get("dur")
+            if dur is None:
+                problems.append(f"event {index}: complete event missing dur")
+            elif dur < 0:
+                problems.append(f"event {index}: negative dur {dur}")
+        elif phase != "i":
+            problems.append(f"event {index}: unexpected phase {phase!r}")
+        args = event.get("args") or {}
+        trace_id = args.get("trace_id")
+        span_id = args.get("span_id")
+        if trace_id is None or span_id is None:
+            problems.append(
+                f"event {index}: args missing trace_id/span_id"
+            )
+            continue
+        key = (event.get("pid", 0), trace_id, span_id)
+        intervals[key] = (ts, ts + event.get("dur", 0.0))
+        spans.append((index, event))
+    for index, event in spans:
+        args = event["args"]
+        pid = event.get("pid", 0)
+        span_id = args["span_id"]
+        parent_id = args.get("parent_id")
+        if parent_id is None:
+            continue
+        parent = intervals.get((pid, args["trace_id"], parent_id))
+        if parent is None:
+            problems.append(
+                f"event {index}: parent span {parent_id} not found in "
+                f"trace {args['trace_id']}"
+            )
+            continue
+        start, end = intervals[(pid, args["trace_id"], span_id)]
+        if (start + _CONTAINMENT_EPSILON_US < parent[0]
+                or end - _CONTAINMENT_EPSILON_US > parent[1]):
+            problems.append(
+                f"event {index}: span {span_id} [{start}, {end}] escapes "
+                f"parent {parent_id} [{parent[0]}, {parent[1]}] in trace "
+                f"{args['trace_id']}"
+            )
+    return problems
+
+
+def validate_chrome_trace_file(path: str) -> List[str]:
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            return [f"invalid JSON: {error}"]
+    return validate_chrome_trace(document)
+
+
+__all__ = [
+    "ORCHESTRATOR_TID",
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace_file",
+]

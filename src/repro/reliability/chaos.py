@@ -37,6 +37,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs import trace as obs
 from repro.services.backend import SERVICE_OF_OP
 from repro.sim.rng import RandomStreams
 
@@ -307,10 +308,18 @@ class ChaosEngine:
         down = set(orchestrator.dead_workers) | self._board_busy
         return len(orchestrator.queues) - len(down)
 
-    def _kill_board(self, worker_id: int) -> None:
+    def _kill_board(self, worker_id: int, kind: str = "board-fault") -> None:
         """Cut power and the worker process (the crash itself)."""
         worker = self.cluster.workers[worker_id]
         sbc = self.cluster.sbcs[worker_id]
+        victim = worker.current_job
+        if victim is not None and victim.trace_id is not None:
+            # Stamp the fault on the in-flight invocation's trace; the
+            # recovery path (recover_job) closes its attempt span.
+            self.cluster.orchestrator.tracer.annotate(
+                victim.trace_id, obs.CHAOS_EVENT, self.cluster.env.now,
+                worker_id=worker_id, attrs={"kind": kind},
+            )
         if worker.process.is_alive:
             worker.process.interrupt("chaos: board fault")
         if sbc.is_powered:
@@ -371,7 +380,7 @@ class ChaosEngine:
         self.injected += 1
         self._board_busy.add(worker_id)
         try:
-            self._kill_board(worker_id)
+            self._kill_board(worker_id, kind=event.kind.value)
             yield env.timeout(self.detection_delay_s)
             detect_time = self._detect_and_recover(worker_id)
             yield env.timeout(event.duration_s)
@@ -423,7 +432,7 @@ class ChaosEngine:
             self._board_busy.add(worker_id)
             try:
                 gpio.break_line(worker_id)
-                self._kill_board(worker_id)
+                self._kill_board(worker_id, kind=event.kind.value)
                 yield env.timeout(self.detection_delay_s)
                 detect_time = self._detect_and_recover(worker_id)
                 yield env.timeout(event.duration_s)

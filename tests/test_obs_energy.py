@@ -1,0 +1,211 @@
+"""Per-span energy attribution reconciled with the energy accounting.
+
+Two ground truths, one per claim:
+
+- The per-function sums of delivered attempts' active joules (boot +
+  transfers + execute, integrated from span intervals) must equal
+  :func:`repro.energy.accounting.per_function_active_joules`, which
+  integrates the same boards over the telemetry records' service
+  windows.
+- Under chaos, attempts of the same logical job run on disjoint time
+  windows, so retried/hedged invocations never double-count a joule:
+  summing attempt energies equals integrating the union of their
+  windows.
+"""
+
+from repro.cluster import MicroFaaSCluster
+from repro.core.policies import RecoveryPolicy
+from repro.core.scheduler import LeastLoadedPolicy
+from repro.energy.accounting import per_function_active_joules
+from repro.obs import trace as obs
+from repro.obs.energy import (
+    attribute,
+    attribute_all,
+    cluster_power_traces,
+    per_function_energy,
+)
+from repro.obs.trace import TraceConfig
+from repro.reliability import ChaosEngine, ChaosPlan, ChaosProfile
+from repro.services.backend import BackendCapacityModel
+
+TOLERANCE_J = 1e-9
+
+
+def traced_cluster(worker_count=4, seed=7, recovery=None, trace=None):
+    return MicroFaaSCluster(
+        worker_count=worker_count,
+        seed=seed,
+        policy=LeastLoadedPolicy(),
+        backend=BackendCapacityModel() if recovery else None,
+        recovery=recovery,
+        trace=trace if trace is not None else TraceConfig(),
+    )
+
+
+def span_side_active_joules(traces, powers):
+    """Per-function sums of delivered attempts' active joules."""
+    totals = {}
+    for energy in attribute_all(traces, powers):
+        totals[energy.function] = (
+            totals.get(energy.function, 0.0) + energy.delivered_active_j
+        )
+    return totals
+
+
+def test_fault_free_energy_reconciles_with_accounting():
+    cluster = traced_cluster()
+    cluster.run_saturated(invocations_per_function=3)
+    traces = cluster.finished_traces()
+    powers = cluster_power_traces(cluster)
+    span_side = span_side_active_joules(traces, powers)
+    ground_truth = per_function_active_joules(
+        cluster.orchestrator.telemetry.records, cluster.sbcs
+    )
+    assert set(span_side) == set(ground_truth)
+    for function, joules in ground_truth.items():
+        assert abs(span_side[function] - joules) < TOLERANCE_J
+
+
+def test_phase_energies_tile_the_attempt_window():
+    cluster = traced_cluster()
+    cluster.run_saturated(invocations_per_function=2)
+    powers = cluster_power_traces(cluster)
+    for trace in cluster.finished_traces():
+        energy = attribute(trace, powers)
+        for attempt in energy.attempts:
+            assert attempt.total_j > 0
+            # Phases never claim more than the window holds.
+            assert attempt.idle_j >= -TOLERANCE_J
+            # phase_totals includes the idle residual and adds up.
+        totals = energy.phase_totals()
+        assert abs(sum(totals.values()) - energy.total_j) < TOLERANCE_J
+        assert totals[obs.EXECUTE] > 0
+
+
+def test_per_function_energy_summary():
+    cluster = traced_cluster()
+    cluster.run_saturated(invocations_per_function=2)
+    powers = cluster_power_traces(cluster)
+    energies = attribute_all(cluster.finished_traces(), powers)
+    summary = per_function_energy(energies)
+    assert len(summary) == 17
+    for stats in summary.values():
+        assert stats.count == 2
+        assert stats.mean_total_j >= stats.mean_active_j - TOLERANCE_J
+        assert stats.mean_active_j > 0
+        assert stats.mean_wasted_j == 0.0  # fault-free: nothing wasted
+
+
+def test_unknown_worker_attributes_zero_not_crash():
+    cluster = traced_cluster()
+    cluster.run_saturated(invocations_per_function=1)
+    (first, *_) = cluster.finished_traces()
+    energy = attribute(first, {})  # no boards known
+    assert energy.total_j == 0.0
+    assert energy.attempts
+
+
+# ---------------------------------------------------------------------------
+# Under chaos: linked attempts, no double-counted energy
+# ---------------------------------------------------------------------------
+
+
+def chaos_run(scale=4.0, seed=7, invocations_per_function=3):
+    cluster = traced_cluster(
+        worker_count=4,
+        seed=seed,
+        recovery=RecoveryPolicy(),
+        trace=TraceConfig(boot_stages=False),
+    )
+    plan = ChaosPlan.sample(
+        ChaosProfile(scale=scale),
+        worker_count=4,
+        horizon_s=120.0,
+        streams=cluster.streams.spawn("chaos"),
+        switch_count=len(cluster.switches),
+    )
+    ChaosEngine(cluster).apply(plan)
+    cluster.run_saturated(
+        invocations_per_function=invocations_per_function
+    )
+    return cluster
+
+
+def test_chaos_links_extra_attempts_into_one_trace():
+    cluster = chaos_run()
+    traces = cluster.finished_traces()
+    submitted = len(cluster.orchestrator.jobs)
+    # Every logical job still produced exactly one sealed trace.
+    assert len(traces) == submitted
+    retried = [t for t in traces if len(t.attempts()) > 1]
+    assert retried, "chaos at scale 4 should force at least one retry"
+    for trace in retried:
+        # The delivered attempt is one of the linked attempts...
+        attempt_ids = {a.span_id for a in trace.attempts()}
+        assert trace.delivered_attempt in attempt_ids
+        # ...and the non-delivering ones closed with a recorded outcome.
+        for attempt in trace.attempts():
+            if attempt.span_id != trace.delivered_attempt:
+                assert (attempt.attrs or {}).get("outcome") in {
+                    "crashed", "discarded", "completed"
+                }
+
+
+def test_chaos_attempt_windows_are_disjoint_per_board():
+    """A board runs one job at a time, so no two attempts overlap on
+    the same worker — the structural reason energy cannot double-count."""
+    cluster = chaos_run()
+    by_worker = {}
+    for trace in cluster.finished_traces():
+        for attempt in trace.attempts():
+            by_worker.setdefault(attempt.worker_id, []).append(
+                (attempt.start_s, attempt.end_s)
+            )
+    for windows in by_worker.values():
+        windows.sort()
+        for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+            assert next_start >= prev_end - 1e-9
+
+
+def test_chaos_energy_still_reconciles_and_waste_is_positive():
+    cluster = chaos_run()
+    traces = cluster.finished_traces()
+    powers = cluster_power_traces(cluster)
+    span_side = span_side_active_joules(traces, powers)
+    ground_truth = per_function_active_joules(
+        cluster.orchestrator.telemetry.records, cluster.sbcs
+    )
+    # Delivered attempts reconcile with the record-level accounting
+    # even when crashed attempts are interleaved on the same boards.
+    for function, joules in ground_truth.items():
+        assert abs(span_side[function] - joules) < TOLERANCE_J
+    # Crashed attempts burned real, separately-billed joules.
+    energies = attribute_all(traces, powers)
+    wasted = sum(e.wasted_j for e in energies)
+    retried = [e for e in energies if len(e.attempts) > 1]
+    assert retried and wasted > 0
+    for energy in retried:
+        # No double counting: total is exactly the sum of its
+        # (disjoint) attempts, and waste is total minus delivered.
+        assert abs(
+            energy.total_j - sum(a.total_j for a in energy.attempts)
+        ) < TOLERANCE_J
+        delivered = sum(
+            a.total_j for a in energy.attempts if a.delivered
+        )
+        assert abs(
+            energy.wasted_j - (energy.total_j - delivered)
+        ) < TOLERANCE_J
+
+
+def test_chaos_events_are_annotated_on_affected_traces():
+    cluster = chaos_run()
+    annotations = [
+        span
+        for trace in cluster.finished_traces()
+        for span in trace.find(obs.CHAOS_EVENT)
+    ]
+    assert annotations, "scale-4 chaos should hit at least one traced job"
+    for span in annotations:
+        assert span.duration_s == 0.0
+        assert "kind" in (span.attrs or {})

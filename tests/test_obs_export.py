@@ -1,0 +1,175 @@
+"""Exporter tests: Chrome trace-event JSON, JSONL, and the validator.
+
+The validator is what CI runs on every emitted trace, so beyond the
+happy path ("a real run's export is clean") each invariant it enforces
+is exercised with a deliberately corrupted document.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import MicroFaaSCluster
+from repro.core.scheduler import LeastLoadedPolicy
+from repro.obs.export import (
+    ORCHESTRATOR_TID,
+    chrome_trace_events,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace_file,
+)
+from repro.obs.trace import TraceConfig
+
+
+@pytest.fixture(scope="module")
+def traces():
+    cluster = MicroFaaSCluster(
+        worker_count=4, seed=7, policy=LeastLoadedPolicy(),
+        trace=TraceConfig(),
+    )
+    cluster.run_saturated(invocations_per_function=2)
+    return cluster.finished_traces()
+
+
+def test_chrome_events_schema(traces):
+    events = chrome_trace_events(traces)
+    span_events = [e for e in events if e["ph"] != "M"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert span_events and metadata
+    total_spans = sum(len(t.spans) for t in traces)
+    assert len(span_events) == total_spans
+    assert {e["ph"] for e in span_events} <= {"X", "i"}
+    for event in span_events:
+        assert event["ts"] >= 0
+        assert "trace_id" in event["args"]
+        assert "span_id" in event["args"]
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+    # Orchestrator-side annotations sit on the dedicated lane.
+    submits = [e for e in span_events if e["name"] == "submit"]
+    assert submits and all(e["tid"] == ORCHESTRATOR_TID for e in submits)
+    # Worker spans carry the worker id as tid.
+    executes = [e for e in span_events if e["name"] == "execute"]
+    assert executes and all(e["tid"] >= 0 for e in executes)
+    # Events are emitted in non-decreasing timestamp order.
+    timestamps = [e["ts"] for e in span_events]
+    assert timestamps == sorted(timestamps)
+
+
+def test_real_export_validates_clean(tmp_path, traces):
+    path = str(tmp_path / "trace.json")
+    count = write_chrome_trace(traces, path)
+    assert count > 0
+    assert validate_chrome_trace_file(path) == []
+    document = json.load(open(path))
+    assert document["displayTimeUnit"] == "ms"
+
+
+def test_jsonl_rows_match_span_count(tmp_path, traces):
+    path = str(tmp_path / "spans.jsonl")
+    rows = write_jsonl(traces, path)
+    lines = open(path).read().splitlines()
+    assert len(lines) == rows == sum(len(t.spans) for t in traces)
+    first = json.loads(lines[0])
+    assert {"trace_id", "span_id", "name", "start_s", "end_s",
+            "label", "function", "status"} <= set(first)
+
+
+def test_write_trace_file_dispatches_on_suffix(tmp_path, traces):
+    chrome = str(tmp_path / "t.json")
+    jsonl = str(tmp_path / "t.jsonl")
+    write_trace_file(traces, chrome)
+    write_trace_file(traces, jsonl)
+    assert "traceEvents" in json.load(open(chrome))
+    assert json.loads(open(jsonl).readline())["span_id"]
+
+
+# ---------------------------------------------------------------------------
+# Corrupted documents are detected
+# ---------------------------------------------------------------------------
+
+
+def minimal_document():
+    return {
+        "traceEvents": [
+            {"name": "invocation", "ph": "X", "ts": 0.0, "dur": 10.0,
+             "pid": 0, "tid": -1,
+             "args": {"trace_id": 1, "span_id": 1, "parent_id": None}},
+            {"name": "execute", "ph": "X", "ts": 2.0, "dur": 5.0,
+             "pid": 0, "tid": 0,
+             "args": {"trace_id": 1, "span_id": 2, "parent_id": 1}},
+        ]
+    }
+
+
+def test_minimal_document_is_clean():
+    assert validate_chrome_trace(minimal_document()) == []
+
+
+def test_missing_required_field_detected():
+    document = minimal_document()
+    del document["traceEvents"][0]["pid"]
+    assert any("missing 'pid'" in p for p in validate_chrome_trace(document))
+
+
+def test_negative_timestamp_detected():
+    document = minimal_document()
+    document["traceEvents"][0]["ts"] = -1.0
+    assert any("negative ts" in p for p in validate_chrome_trace(document))
+
+
+def test_out_of_order_timestamps_detected():
+    document = minimal_document()
+    document["traceEvents"].reverse()
+    assert any(
+        "monotonic" in p for p in validate_chrome_trace(document)
+    )
+
+
+def test_complete_event_without_dur_detected():
+    document = minimal_document()
+    del document["traceEvents"][1]["dur"]
+    assert any("missing dur" in p for p in validate_chrome_trace(document))
+
+
+def test_unknown_phase_detected():
+    document = minimal_document()
+    document["traceEvents"][1]["ph"] = "B"
+    assert any(
+        "unexpected phase" in p for p in validate_chrome_trace(document)
+    )
+
+
+def test_missing_parent_detected():
+    document = minimal_document()
+    document["traceEvents"][1]["args"]["parent_id"] = 99
+    assert any("not found" in p for p in validate_chrome_trace(document))
+
+
+def test_child_escaping_parent_detected():
+    document = minimal_document()
+    document["traceEvents"][1]["dur"] = 50.0  # ends past the root
+    assert any("escapes" in p for p in validate_chrome_trace(document))
+
+
+def test_missing_span_ids_detected():
+    document = minimal_document()
+    document["traceEvents"][0]["args"] = {}
+    assert any(
+        "trace_id/span_id" in p for p in validate_chrome_trace(document)
+    )
+
+
+def test_non_list_trace_events_detected():
+    assert validate_chrome_trace({"traceEvents": "nope"}) == [
+        "missing or non-list traceEvents"
+    ]
+
+
+def test_invalid_json_file_detected(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    problems = validate_chrome_trace_file(str(path))
+    assert problems and "invalid JSON" in problems[0]

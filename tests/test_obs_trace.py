@@ -1,0 +1,306 @@
+"""Tests for the trace recorder: lifecycle, sampling, bounded memory.
+
+The subsystem's two load-bearing promises are tested end to end here:
+(1) a disabled or absent recorder changes nothing — simulation results
+are bit-identical with tracing off, on, or sampling at any rate; and
+(2) an enabled recorder's memory is bounded by the ring buffer no
+matter how many traces are sampled.
+"""
+
+import pytest
+
+from repro.cluster import ConventionalCluster, MicroFaaSCluster
+from repro.core.scheduler import LeastLoadedPolicy
+from repro.obs import trace as obs
+from repro.obs.trace import (
+    NULL_RECORDER,
+    FinishedTrace,
+    Span,
+    TraceConfig,
+    TraceRecorder,
+    merge_traces,
+)
+from repro.sim.rng import RandomStreams
+
+
+def make_cluster(worker_count=4, seed=7, trace=None):
+    return MicroFaaSCluster(
+        worker_count=worker_count,
+        seed=seed,
+        policy=LeastLoadedPolicy(),
+        trace=trace,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Config / span model
+# ---------------------------------------------------------------------------
+
+
+def test_trace_config_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(sample_rate=-0.1)
+    with pytest.raises(ValueError):
+        TraceConfig(sample_rate=1.5)
+    with pytest.raises(ValueError):
+        TraceConfig(max_traces=0)
+
+
+def test_span_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        Span(1, 1, None, "boot", 2.0, 1.0)
+
+
+def test_span_as_dict_round_trip():
+    span = Span(7, 3, 1, "execute", 1.0, 2.5, worker_id=4,
+                attrs={"cpu_s": 1.2})
+    row = span.as_dict()
+    assert row["trace_id"] == 7
+    assert row["span_id"] == 3
+    assert row["parent_id"] == 1
+    assert row["name"] == "execute"
+    assert row["start_s"] == 1.0 and row["end_s"] == 2.5
+    assert row["worker_id"] == 4
+    assert row["attrs"] == {"cpu_s": 1.2}
+
+
+# ---------------------------------------------------------------------------
+# Recorder lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_recorder_lifecycle_seals_on_delivery_and_last_attempt():
+    recorder = TraceRecorder()
+    root = recorder.begin_trace(1, 0.0, "sha256")
+    attempt = recorder.begin_attempt(1, 1.0, worker_id=0)
+    recorder.span(1, obs.EXECUTE, 1.0, 2.0, parent_id=attempt, worker_id=0)
+    # Delivered, but the attempt is still open: not sealed yet.
+    recorder.mark_delivered(1, 2.0, attempt_id=attempt)
+    assert recorder.traces() == []
+    recorder.end_attempt(1, attempt, 2.5)
+    traces = recorder.traces()
+    assert len(traces) == 1
+    sealed = traces[0]
+    assert isinstance(sealed, FinishedTrace)
+    assert sealed.status == "completed"
+    assert sealed.delivered_attempt == attempt
+    assert sealed.root.span_id == root
+    # Root covers submission to the last event.
+    assert sealed.start_s == 0.0 and sealed.end_s == 2.5
+    assert [s.name for s in sealed.children_of(attempt)] == [obs.EXECUTE]
+
+
+def test_losing_hedge_attempt_keeps_trace_open_until_it_closes():
+    recorder = TraceRecorder()
+    recorder.begin_trace(1, 0.0, "sha256")
+    winner = recorder.begin_attempt(1, 1.0, worker_id=0)
+    loser = recorder.begin_attempt(1, 1.5, worker_id=1)
+    recorder.mark_delivered(1, 2.0, attempt_id=winner)
+    recorder.end_attempt(1, winner, 2.0)
+    assert recorder.traces() == []  # the hedge is still running
+    recorder.end_attempt(1, loser, 3.0, attrs={"outcome": "discarded"})
+    (sealed,) = recorder.traces()
+    attempts = sealed.attempts()
+    assert len(attempts) == 2
+    assert attempts[1].attrs["outcome"] == "discarded"
+    assert sealed.end_s == 3.0
+
+
+def test_begin_trace_twice_raises():
+    recorder = TraceRecorder()
+    recorder.begin_trace(1, 0.0, "sha256")
+    with pytest.raises(ValueError):
+        recorder.begin_trace(1, 1.0, "sha256")
+
+
+def test_spans_for_unknown_trace_are_counted_not_fatal():
+    recorder = TraceRecorder()
+    assert recorder.span(99, obs.EXECUTE, 0.0, 1.0) is None
+    assert recorder.begin_attempt(99, 0.0, worker_id=0) is None
+    recorder.end_attempt(99, 1, 0.0)  # no-op
+    recorder.mark_delivered(99, 0.0)  # no-op
+    assert recorder.spans_dropped == 2
+
+
+def test_drain_seals_in_flight_traces_as_open():
+    recorder = TraceRecorder()
+    recorder.begin_trace(1, 0.0, "sha256")
+    recorder.begin_attempt(1, 1.0, worker_id=0)
+    (sealed,) = recorder.drain()
+    assert sealed.status == "open"
+    assert recorder.live_count == 0
+
+
+# ---------------------------------------------------------------------------
+# Sampling
+# ---------------------------------------------------------------------------
+
+
+def test_sampling_edge_rates_do_not_draw():
+    always = TraceRecorder(TraceConfig(sample_rate=1.0))
+    never = TraceRecorder(TraceConfig(sample_rate=0.0))
+    assert all(always.sample(i) for i in range(100))
+    assert not any(never.sample(i) for i in range(100))
+
+
+def test_sampling_is_deterministic_per_seed():
+    def decisions(seed):
+        recorder = TraceRecorder(
+            TraceConfig(sample_rate=0.3),
+            streams=RandomStreams(seed).spawn("obs"),
+        )
+        return [recorder.sample(i) for i in range(200)]
+
+    a, b = decisions(11), decisions(11)
+    assert a == b
+    assert 0 < sum(a) < 200  # actually selective
+    assert decisions(12) != a  # and seed-dependent
+
+
+def test_null_recorder_is_all_noops():
+    assert NULL_RECORDER.enabled is False
+    assert NULL_RECORDER.sample(1) is False
+    assert NULL_RECORDER.begin_trace(1, 0.0, "f") is None
+    assert NULL_RECORDER.begin_attempt(1, 0.0, 0) is None
+    assert NULL_RECORDER.span(1, "x", 0.0, 1.0) is None
+    assert NULL_RECORDER.annotate(1, "x", 0.0) is None
+    assert NULL_RECORDER.end_attempt(1, 1, 0.0) is None
+    assert NULL_RECORDER.mark_delivered(1, 0.0) is None
+    assert NULL_RECORDER.drain() == []
+
+
+# ---------------------------------------------------------------------------
+# Ring buffer: bounded memory under full sampling
+# ---------------------------------------------------------------------------
+
+
+def test_ring_buffer_bounds_retained_traces_and_counts_evictions():
+    cluster = make_cluster(
+        trace=TraceConfig(sample_rate=1.0, max_traces=8, boot_stages=False)
+    )
+    cluster.run_saturated(invocations_per_function=3)
+    traces = cluster.finished_traces()
+    tracer = cluster.tracer
+    assert len(traces) == 8  # ring capacity, not run size
+    assert tracer.traces_finished == 3 * 17
+    assert tracer.traces_dropped == 3 * 17 - 8
+    assert tracer.live_count == 0
+    # The survivors are the newest traces (deque semantics).
+    sealed_ids = [t.trace_id for t in traces]
+    assert len(set(sealed_ids)) == 8
+
+
+def test_partial_sampling_traces_a_strict_subset():
+    cluster = make_cluster(
+        trace=TraceConfig(sample_rate=0.4, boot_stages=False)
+    )
+    cluster.run_saturated(invocations_per_function=4)
+    traces = cluster.finished_traces()
+    submitted = len(cluster.orchestrator.jobs)
+    assert 0 < len(traces) < submitted
+    # Untraced jobs never got a trace id.
+    traced_ids = {t.trace_id for t in traces}
+    for job_id, job in cluster.orchestrator.jobs.items():
+        if job_id in traced_ids:
+            assert job.trace_id == job_id
+        else:
+            assert job.trace_id is None
+
+
+# ---------------------------------------------------------------------------
+# End-to-end span trees from a real run
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_run_produces_full_span_trees():
+    cluster = make_cluster(trace=TraceConfig())
+    result = cluster.run_saturated(invocations_per_function=2)
+    traces = cluster.finished_traces()
+    assert len(traces) == result.jobs_completed == 2 * 17
+    for sealed in traces:
+        assert sealed.status == "completed"
+        assert sealed.root.name == obs.ROOT
+        assert sealed.find(obs.SUBMIT) and sealed.find(obs.ASSIGN)
+        (attempt,) = sealed.attempts()
+        child_names = {s.name for s in sealed.children_of(attempt.span_id)}
+        assert {obs.INPUT_TRANSFER, obs.EXECUTE,
+                obs.RESULT_TRANSFER} <= child_names
+        # Every span sits inside the root's window.
+        for span in sealed.spans:
+            assert sealed.start_s <= span.start_s
+            assert span.end_s <= sealed.end_s
+        # The boot span carries per-stage children (boot_stages=True).
+        boots = [s for s in sealed.children_of(attempt.span_id)
+                 if s.name == obs.BOOT]
+        if boots:
+            stages = sealed.children_of(boots[0].span_id)
+            assert stages
+            assert all(
+                s.name.startswith(obs.BOOT_STAGE_PREFIX) for s in stages
+            )
+            assert abs(
+                sum(s.duration_s for s in stages) - boots[0].duration_s
+            ) < 1e-9
+
+
+def test_queue_wait_links_to_its_attempt():
+    cluster = make_cluster(trace=TraceConfig())
+    cluster.run_saturated(invocations_per_function=2)
+    for sealed in cluster.finished_traces():
+        attempts = {a.span_id for a in sealed.attempts()}
+        waits = sealed.find(obs.QUEUE_WAIT)
+        assert len(waits) == len(attempts)
+        for wait in waits:
+            assert wait.attrs["attempt_span"] in attempts
+
+
+def test_merge_traces_orders_and_preserves_labels():
+    a = TraceRecorder(label="alpha")
+    b = TraceRecorder(label="beta")
+    for recorder, start in ((a, 5.0), (b, 1.0)):
+        recorder.begin_trace(0, start, "f")
+        attempt = recorder.begin_attempt(0, start, worker_id=0)
+        recorder.mark_delivered(0, start + 1.0, attempt_id=attempt)
+        recorder.end_attempt(0, attempt, start + 1.0)
+    merged = merge_traces([a, b])
+    assert [t.label for t in merged] == ["beta", "alpha"]
+    assert merged[0].start_s < merged[1].start_s
+
+
+# ---------------------------------------------------------------------------
+# Zero-cost-when-disabled: the headline pin
+# ---------------------------------------------------------------------------
+
+
+def test_default_cluster_uses_the_null_recorder():
+    cluster = make_cluster()
+    assert cluster.tracer is None
+    assert cluster.orchestrator.tracer is NULL_RECORDER
+    assert cluster.finished_traces() == []
+
+
+def test_tracing_does_not_perturb_simulation_results():
+    """Sampling draws from a spawned stream, so traced and untraced
+    runs of the same seed are bit-identical — at any sample rate."""
+    baseline = make_cluster().run_saturated(invocations_per_function=2)
+    for rate in (0.0, 0.5, 1.0):
+        traced = make_cluster(
+            trace=TraceConfig(sample_rate=rate)
+        ).run_saturated(invocations_per_function=2)
+        assert traced.duration_s == baseline.duration_s
+        assert traced.energy_joules == baseline.energy_joules
+        assert traced.jobs_completed == baseline.jobs_completed
+
+
+def test_conventional_cluster_traces_too():
+    cluster = ConventionalCluster(
+        vm_count=3, seed=3, policy=LeastLoadedPolicy(), trace=TraceConfig()
+    )
+    result = cluster.run_saturated(invocations_per_function=2)
+    traces = cluster.finished_traces()
+    assert len(traces) == result.jobs_completed
+    assert all(t.label == "conventional" for t in traces)
+    for sealed in traces:
+        (attempt,) = sealed.attempts()
+        names = {s.name for s in sealed.children_of(attempt.span_id)}
+        assert obs.EXECUTE in names

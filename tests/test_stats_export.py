@@ -122,13 +122,18 @@ def test_export_megatrace(tmp_path):
 def test_export_all_writes_every_artifact(tmp_path):
     target = os.path.join(str(tmp_path), "artifacts")
     paths = export_all(target, invocations_per_function=4)
-    assert len(paths) == 8
+    assert len(paths) == 9
     for path in paths:
         assert os.path.exists(path)
-        assert len(read_csv(path)) >= 2  # header + data
+        if path.endswith(".csv"):
+            assert len(read_csv(path)) >= 2  # header + data
     names = {os.path.basename(p) for p in paths}
     assert names == {
         "fig1_boot.csv", "fig3_runtime.csv", "fig4_vmsweep.csv",
         "fig5_power.csv", "table2_tco.csv", "headline.csv",
-        "fault_study.csv", "scale_study.csv",
+        "fault_study.csv", "scale_study.csv", "headline_trace.json",
     }
+    from repro.obs.export import validate_chrome_trace_file
+
+    trace = os.path.join(target, "headline_trace.json")
+    assert validate_chrome_trace_file(trace) == []

@@ -1,0 +1,182 @@
+"""Property tests for ``TelemetryCollector.merge``.
+
+The merge contract: splitting one record stream across shards and
+merging must agree with a single collector that saw everything —
+exactly for counts/min/max/exact-mode percentiles, to float-addition
+noise for means (sums add in a different order), and bit-identically
+for sketch quantiles (bucket counts are integers, so addition order
+cannot matter).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.telemetry import InvocationRecord, TelemetryCollector
+
+FUNCTIONS = ("sha256", "matmul", "dd")
+
+
+def build_records(durations):
+    """One record per (queue_wait, working, overhead) triple, with
+    deterministic queue times spreading the stream over the axis."""
+    records = []
+    for i, (wait, working, overhead) in enumerate(durations):
+        queued = float(i)
+        started = queued + wait
+        records.append(
+            InvocationRecord(
+                job_id=i,
+                function=FUNCTIONS[i % len(FUNCTIONS)],
+                worker_id=i % 5,
+                platform="arm",
+                t_queued=queued,
+                t_started=started,
+                t_completed=started + working + overhead,
+                boot_s=0.1,
+                working_s=working,
+                overhead_s=overhead,
+            )
+        )
+    return records
+
+
+def fill(records, exact=True):
+    collector = TelemetryCollector(exact=exact)
+    for record in records:
+        collector.record(record)
+    return collector
+
+
+durations = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30.0),
+        st.floats(min_value=1e-4, max_value=60.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    ),
+    min_size=1,
+    max_size=60,
+)
+splits = st.integers(min_value=0, max_value=60)
+
+
+@settings(max_examples=50, deadline=None)
+@given(durations=durations, split=splits)
+def test_exact_merge_agrees_with_single_collector(durations, split):
+    records = build_records(durations)
+    split = min(split, len(records))
+    whole = fill(records)
+    merged = fill(records[:split])
+    merged.merge(fill(records[split:]))
+
+    assert merged.count == whole.count
+    assert merged.first_start() == whole.first_start()
+    assert merged.last_completion() == whole.last_completion()
+    # Means: sums add in different order -> float-noise agreement.
+    assert math.isclose(
+        merged.mean_latency_s(), whole.mean_latency_s(), rel_tol=1e-12
+    )
+    assert math.isclose(
+        merged.mean_queue_wait_s(), whole.mean_queue_wait_s(),
+        rel_tol=1e-12,
+    )
+    # Exact-mode percentiles are computed over the concatenated record
+    # list, so they are bit-identical at every probe point.
+    for p in (0.0, 25.0, 50.0, 90.0, 99.0, 100.0):
+        assert merged.percentile_latency_s(p) == (
+            whole.percentile_latency_s(p)
+        )
+    for name in whole.functions_seen:
+        a = merged.function_stats(name)
+        b = whole.function_stats(name)
+        assert a.count == b.count
+        assert math.isclose(
+            a.mean_working_s, b.mean_working_s, rel_tol=1e-12
+        )
+        assert math.isclose(
+            a.mean_overhead_s, b.mean_overhead_s, rel_tol=1e-12
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(durations=durations, split=splits)
+def test_streaming_merge_sketch_quantiles_are_bit_identical(
+    durations, split
+):
+    records = build_records(durations)
+    split = min(split, len(records))
+    whole = fill(records, exact=False)
+    merged = fill(records[:split], exact=False)
+    merged.merge(fill(records[split:], exact=False))
+
+    assert merged.count == whole.count
+    assert math.isclose(
+        merged.mean_latency_s(), whole.mean_latency_s(), rel_tol=1e-12
+    )
+    # Sketch buckets hold integer counts; merging adds them, so the
+    # merged sketch answers exactly what single-pass streaming would.
+    for p in (50.0, 90.0, 99.0):
+        assert merged.percentile_latency_s(p) == (
+            whole.percentile_latency_s(p)
+        )
+        assert merged.percentile_queue_wait_s(p) == (
+            whole.percentile_queue_wait_s(p)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(durations=durations, split=splits)
+def test_streaming_absorbs_exact_shards(durations, split):
+    """The scale-out shape: streaming aggregator, exact shards."""
+    records = build_records(durations)
+    split = min(split, len(records))
+    aggregate = TelemetryCollector(exact=False)
+    aggregate.merge(fill(records[:split]))
+    aggregate.merge(fill(records[split:]))
+    reference = fill(records, exact=False)
+    assert aggregate.count == reference.count
+    if records:
+        assert math.isclose(
+            aggregate.mean_latency_s(), reference.mean_latency_s(),
+            rel_tol=1e-12,
+        )
+        for p in (50.0, 99.0):
+            assert aggregate.percentile_latency_s(p) == (
+                reference.percentile_latency_s(p)
+            )
+
+
+def test_exact_cannot_absorb_streaming():
+    exact = fill(build_records([(0.0, 1.0, 0.1)]))
+    streaming = fill(build_records([(0.0, 2.0, 0.2)]), exact=False)
+    with pytest.raises(RuntimeError):
+        exact.merge(streaming)
+    # The reverse direction is the supported one.
+    streaming.merge(exact)
+    assert streaming.count == 2
+
+
+def test_merging_an_empty_collector_is_a_noop():
+    records = build_records([(0.5, 1.0, 0.1), (0.2, 2.0, 0.3)])
+    collector = fill(records)
+    before = (
+        collector.count,
+        collector.mean_latency_s(),
+        collector.percentile_latency_s(99.0),
+    )
+    collector.merge(TelemetryCollector(exact=True))
+    assert (
+        collector.count,
+        collector.mean_latency_s(),
+        collector.percentile_latency_s(99.0),
+    ) == before
+
+
+def test_exact_merge_keeps_every_record():
+    a = build_records([(0.1, 1.0, 0.1), (0.2, 2.0, 0.2)])
+    b = build_records([(0.3, 3.0, 0.3)])
+    merged = fill(a)
+    merged.merge(fill(b))
+    assert len(merged.records) == 3
+    assert merged.exact

@@ -1,0 +1,61 @@
+"""Schema-check an exported Chrome trace-event JSON file.
+
+Thin CLI over :func:`repro.obs.export.validate_chrome_trace_file` — the
+check the CI trace-smoke job runs on every emitted trace: required
+fields on each event, non-negative and monotonically non-decreasing
+timestamps, and every child span contained in its parent's interval.
+
+Run:  python tools/validate_trace.py artifacts/trace.json
+Exits 0 on a clean file, 1 with one problem per line otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate a Chrome trace-event JSON export"
+    )
+    parser.add_argument("path", help="trace file written by --trace")
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="also print event/trace counts on success",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        from repro.obs.export import validate_chrome_trace_file
+    except ModuleNotFoundError:  # run from a checkout without PYTHONPATH
+        sys.path.insert(0, _SRC)
+        from repro.obs.export import validate_chrome_trace_file
+
+    problems = validate_chrome_trace_file(args.path)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{args.path}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    if args.summary:
+        with open(args.path) as handle:
+            events = json.load(handle)["traceEvents"]
+        spans = [e for e in events if e.get("ph") != "M"]
+        traces = {e["args"]["trace_id"] for e in spans}
+        print(
+            f"{args.path}: OK — {len(spans)} span events "
+            f"across {len(traces)} traces"
+        )
+    else:
+        print(f"{args.path}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
