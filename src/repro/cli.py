@@ -25,6 +25,7 @@ from repro.experiments import (
     fig5_power,
     hardware_selection,
     headline,
+    hybrid_study,
     megatrace,
     scale_study,
     table1_workloads,
@@ -94,6 +95,17 @@ ARTIFACTS: Dict[str, tuple] = {
             )
         ),
     ),
+    "hybrid-study": (
+        "SBC:VM mix sweep on the heterogeneous cluster (extension)",
+        lambda n, jobs, cache, trace: hybrid_study.render(
+            hybrid_study.run(
+                invocations_per_function=max(2, n // 8),
+                jobs=jobs,
+                cache=cache,
+                trace_path=trace,
+            )
+        ),
+    ),
     "hardware": (
         "candidate worker boards compared (extension)",
         lambda n, jobs, cache, trace: hardware_selection.render(
@@ -130,7 +142,7 @@ ARTIFACTS: Dict[str, tuple] = {
 }
 
 #: Artifacts that honour ``--trace`` (the rest would silently ignore it).
-TRACEABLE = frozenset({"headline", "fault-study", "megatrace"})
+TRACEABLE = frozenset({"headline", "fault-study", "hybrid-study", "megatrace"})
 
 
 def build_parser() -> argparse.ArgumentParser:

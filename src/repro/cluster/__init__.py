@@ -1,29 +1,45 @@
-"""Cluster builders: the two test clusters of Sec. IV/V.
+"""Cluster builders: pools, the shared harness, and the test clusters.
 
-- :class:`MicroFaaSCluster` — N single-board computers behind a managed
-  switch, orchestrated run-to-completion with GPIO power control.
-- :class:`ConventionalCluster` — M QEMU-style microVMs on one rack
-  server, modelling a conventional virtualization-based FaaS platform.
+Every cluster is a :class:`ClusterHarness` — the shared stack (env,
+RNG streams, tracer, topology, orchestrator, telemetry, meter) —
+composed over pluggable :class:`WorkerPool` backends:
 
-Both expose the same ``run_saturated`` / ``run_paper_arrivals`` entry
+- :class:`MicroFaaSCluster` — a single :class:`SbcPool`: N single-board
+  computers behind a managed switch, orchestrated run-to-completion
+  with GPIO power control (Sec. IV).
+- :class:`ConventionalCluster` — a single :class:`MicroVmPool`: M
+  QEMU-style microVMs on one rack server, modelling a conventional
+  virtualization-based FaaS platform (Sec. V).
+- :class:`HybridCluster` — both pools behind one orchestrator, with a
+  platform-aware energy-first assignment policy.
+
+All expose the same ``run_saturated`` / ``run_paper_arrivals`` entry
 points and produce a :class:`ClusterResult` with throughput, energy, and
 telemetry — the quantities every Sec. V experiment is computed from.
 """
 
 from repro.cluster.conventional import ConventionalCluster
+from repro.cluster.harness import ClusterHarness
+from repro.cluster.hybrid import HybridCluster
 from repro.cluster.matching import match_vm_count
 from repro.cluster.microfaas import MicroFaaSCluster
+from repro.cluster.pool import MicroVmPool, SbcPool, WorkerPool
 from repro.cluster.replay import replay_trace
 from repro.cluster.result import ClusterResult
 from repro.cluster.worker import SbcWorker
 from repro.cluster.vmworker import VmWorker
 
 __all__ = [
+    "ClusterHarness",
     "ClusterResult",
     "ConventionalCluster",
+    "HybridCluster",
     "MicroFaaSCluster",
+    "MicroVmPool",
+    "SbcPool",
     "SbcWorker",
     "VmWorker",
+    "WorkerPool",
     "match_vm_count",
     "replay_trace",
 ]

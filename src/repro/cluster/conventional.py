@@ -1,45 +1,32 @@
 """The conventional virtualization-based test cluster (Sec. V).
 
-M QEMU-style microVMs (1 vCPU, 512 MB each) on one Thinkmate RAX rack
-server, bridged onto the testbed switch.  The host is metered at the
-wall — so its 60 W idle draw and concave utilization curve, not just
-the guests' activity, determine the cluster's J/function.
+A single-pool facade over :class:`~repro.cluster.harness.ClusterHarness`:
+one :class:`~repro.cluster.pool.MicroVmPool` of M QEMU-style microVMs
+(1 vCPU, 512 MB each) on one Thinkmate RAX rack server, bridged onto
+the testbed switch.  The host is metered at the wall — so its 60 W idle
+draw and concave utilization curve, not just the guests' activity,
+determine the cluster's J/function.
 """
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from repro.cluster.result import ClusterResult
-from repro.cluster.vmworker import VmWorker
+from repro.cluster.harness import ClusterHarness
+from repro.cluster.pool import MicroVmPool
 from repro.core.lifecycle import RunToCompletionPolicy
-from repro.core.orchestrator import Orchestrator
-from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
-from repro.core.telemetry import TelemetryCollector
-from repro.hardware.meter import PowerMeter
+from repro.core.platform import CONVENTIONAL
+from repro.core.scheduler import AssignmentPolicy
 from repro.hardware.rackserver import RackServer
-from repro.hardware.specs import (
-    GIGABIT_ETHERNET,
-    RackServerSpec,
-    SwitchSpec,
-    TESTBED_SWITCH,
-    THINKMATE_RAX,
-)
-from repro.net.link import Endpoint
+from repro.hardware.specs import RackServerSpec, THINKMATE_RAX
 from repro.net.switch import Switch
-from repro.net.topology import NetworkTopology
-from repro.net.transfer import TransferModel
-from repro.obs.trace import TraceConfig, TraceRecorder
-from repro.sim.kernel import Environment
-from repro.sim.rng import RandomStreams
+from repro.obs.trace import TraceConfig
 from repro.virt.hypervisor import Hypervisor
 from repro.virt.microvm import MicroVm
 from repro.virt.overhead import VirtualizationOverhead
-from repro.workloads.base import ALL_FUNCTION_NAMES
 
 
-class ConventionalCluster:
+class ConventionalCluster(ClusterHarness):
     """M microVMs on one rack server — the paper's baseline platform."""
 
     def __init__(
@@ -56,173 +43,47 @@ class ConventionalCluster:
         telemetry_exact: bool = True,
         trace: Optional[TraceConfig] = None,
     ):
-        if vm_count < 1:
-            raise ValueError("need at least one VM")
-        self.env = Environment()
-        self.streams = RandomStreams(seed)
-        self.include_switch_power = include_switch_power
-        self.tracer = (
-            TraceRecorder(
-                config=trace,
-                streams=self.streams.spawn("obs"),
-                label="conventional",
-            )
-            if trace is not None
-            else None
+        self.pool = MicroVmPool(
+            vm_count=vm_count,
+            server_spec=server_spec,
+            worker_policy=worker_policy,
+            overhead=overhead,
+            quantum_s=quantum_s,
+            jitter_sigma=jitter_sigma,
+        )
+        super().__init__(
+            [self.pool],
+            platform=CONVENTIONAL,
+            seed=seed,
+            policy=policy,
+            telemetry_exact=telemetry_exact,
+            trace=trace,
+            include_switch_power=include_switch_power,
         )
 
-        self.server = RackServer(lambda: self.env.now, server_spec)
-        self.hypervisor = Hypervisor(
-            self.env, self.server, overhead=overhead, quantum_s=quantum_s
-        )
-        if vm_count > self.hypervisor.max_vms():
-            raise ValueError(
-                f"host RAM holds at most {self.hypervisor.max_vms()} VMs, "
-                f"requested {vm_count}"
-            )
+    # -- pool attribute surface (pre-harness API) ----------------------------------------
 
-        self.topology = NetworkTopology()
-        self.switch = Switch(lambda: self.env.now, TESTBED_SWITCH, name="switch")
-        self.topology.add_switch(self.switch)
-        # All VMs share the host's one physical NIC: a software bridge
-        # inside the host trunks their virtio NICs onto the switch.
-        bridge_spec = SwitchSpec(
-            name="host software bridge",
-            ports=self.hypervisor.max_vms() + 2,
-            watts=0.0,  # accounted in the host's own power curve
-            unit_cost_usd=0.0,
-            forwarding_latency_s=5e-6,
-        )
-        self.bridge = Switch(
-            lambda: self.env.now, bridge_spec, name="host-bridge"
-        )
-        self.topology.add_switch(self.bridge)
-        self.topology.connect_switches("host-bridge", "switch", 1e9)
-        self.topology.attach_endpoint(
-            Endpoint("op", GIGABIT_ETHERNET, "x86-bare"), "switch"
-        )
-        self.topology.attach_endpoint(
-            Endpoint("backend", GIGABIT_ETHERNET, "x86-bare"), "switch"
-        )
-        self.transfers = TransferModel(self.topology)
+    @property
+    def vms(self) -> List[MicroVm]:
+        """The guest VMs, indexed by worker id."""
+        return self.pool.vms
 
-        self.orchestrator = Orchestrator(
-            self.env,
-            policy=policy
-            if policy is not None
-            else RandomSamplingPolicy(random.Random(seed)),
-            telemetry=TelemetryCollector(exact=telemetry_exact),
-            tracer=self.tracer,
-        )
+    @property
+    def server(self) -> RackServer:
+        return self.pool.server
 
-        self.vms: List[MicroVm] = []
-        self.workers: List[VmWorker] = []
-        default_policy = RunToCompletionPolicy(
-            reboot_between_jobs=True, power_off_when_idle=False
-        )
-        for vm_id in range(vm_count):
-            vm = MicroVm(self.env, self.hypervisor, vm_id=vm_id)
-            endpoint_name = f"vm-{vm_id}"
-            self.topology.attach_endpoint(
-                Endpoint(endpoint_name, GIGABIT_ETHERNET, "x86-virtio"),
-                "host-bridge",
-            )
-            queue = self.orchestrator.add_worker()
-            worker = VmWorker(
-                self.env,
-                vm,
-                queue,
-                self.orchestrator,
-                self.transfers,
-                orchestrator_endpoint="op",
-                endpoint=endpoint_name,
-                policy=worker_policy or default_policy,
-                streams=self.streams,
-                jitter_sigma=jitter_sigma,
-            )
-            self.vms.append(vm)
-            self.workers.append(worker)
+    @property
+    def hypervisor(self) -> Hypervisor:
+        return self.pool.hypervisor
 
-        self.meter = PowerMeter(self.env, self.cluster_watts)
+    @property
+    def bridge(self) -> Switch:
+        return self.pool.bridge
 
-    # -- measurement ------------------------------------------------------------------
-
-    def cluster_watts(self) -> float:
-        """Wall draw of the host (plus the switch if configured)."""
-        watts = self.server.watts
-        if self.include_switch_power:
-            watts += self.switch.watts
-        return watts
-
-    def energy_joules(self, start: float, end: float) -> float:
-        total = self.server.trace.energy_joules(start, end)
-        if self.include_switch_power:
-            total += self.switch.trace.energy_joules(start, end)
-        return total
-
-    def finished_traces(self):
-        """Sealed traces (draining in-flight stragglers first)."""
-        if self.tracer is None:
-            return []
-        self.tracer.drain()
-        return self.tracer.traces()
-
-    # -- experiment entry points ---------------------------------------------------------
-
-    def run_saturated(
-        self,
-        functions: Sequence[str] = tuple(ALL_FUNCTION_NAMES),
-        invocations_per_function: int = 10,
-    ) -> ClusterResult:
-        """Issue all invocations at t=0 and run until the last completes."""
-        if invocations_per_function < 1:
-            raise ValueError("invocations_per_function must be >= 1")
-        batch = [
-            function
-            for _ in range(invocations_per_function)
-            for function in functions
-        ]
-        self.orchestrator.submit_batch(batch)
-        done = self.orchestrator.wait_all()
-        self.env.run(until=done)
-        duration = self.env.now
-        return ClusterResult(
-            platform="conventional",
-            worker_count=len(self.workers),
-            jobs_completed=self.orchestrator.telemetry.count,
-            duration_s=duration,
-            energy_joules=self.energy_joules(0.0, duration),
-            telemetry=self.orchestrator.telemetry,
-        )
-
-    def run_paper_arrivals(
-        self,
-        functions: Sequence[str] = tuple(ALL_FUNCTION_NAMES),
-        jobs_per_second: int = 2,
-        total_jobs: int = 170,
-    ) -> ClusterResult:
-        """Sec. IV-D arrivals against the conventional cluster."""
-        arrivals = self.env.process(
-            self.orchestrator.paper_arrival_process(
-                list(functions), jobs_per_second, total_jobs
-            ),
-            name="arrivals",
-        )
-
-        def runner():
-            yield arrivals
-            yield self.orchestrator.wait_all()
-
-        self.env.run(until=self.env.process(runner(), name="drain"))
-        duration = self.env.now
-        return ClusterResult(
-            platform="conventional",
-            worker_count=len(self.workers),
-            jobs_completed=self.orchestrator.telemetry.count,
-            duration_s=duration,
-            energy_joules=self.energy_joules(0.0, duration),
-            telemetry=self.orchestrator.telemetry,
-        )
+    @property
+    def switch(self) -> Switch:
+        """The physical testbed switch (the bridge is virtual)."""
+        return self.switches[0]
 
 
 __all__ = ["ConventionalCluster"]

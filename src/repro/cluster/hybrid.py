@@ -1,0 +1,137 @@
+"""Heterogeneous SBC + microVM cluster.
+
+The paper's two platforms, one orchestrator: a
+:class:`~repro.cluster.pool.SbcPool` of bare-metal boards (cheap
+joules, slow cycles) composed with a
+:class:`~repro.cluster.pool.MicroVmPool` on a rack server (expensive
+joules, fast cycles) behind one shared
+:class:`~repro.cluster.harness.ClusterHarness`.  Worker queues carry
+platform tags, so platform-aware assignment policies see heterogeneous
+candidate sets; the default is
+:class:`~repro.core.scheduler.EnergyAwarePolicy`, which keeps work on
+the SBCs and spills to VMs only under queue pressure.  Telemetry,
+traces, and energy all carry the platform dimension: per-platform
+latency percentiles come from the shared collector, and
+``ClusterResult.pool_energy`` attributes joules to each pool's own
+meter.
+
+Degenerate mixes are allowed: ``vm_count=0`` is an all-SBC cluster and
+``sbc_count=0`` is an all-VM cluster (both still labelled ``hybrid``
+and scheduled by the platform-aware default policy).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.harness import ClusterHarness
+from repro.cluster.pool import MicroVmPool, SbcPool
+from repro.core.lifecycle import RunToCompletionPolicy
+from repro.core.platform import HYBRID
+from repro.core.policies import RecoveryPolicy
+from repro.core.scheduler import AssignmentPolicy, EnergyAwarePolicy
+from repro.hardware.sbc import SingleBoardComputer
+from repro.hardware.specs import (
+    BEAGLEBONE_BLACK,
+    RackServerSpec,
+    SbcSpec,
+    THINKMATE_RAX,
+)
+from repro.obs.trace import TraceConfig
+from repro.virt.microvm import MicroVm
+from repro.virt.overhead import VirtualizationOverhead
+
+
+class HybridCluster(ClusterHarness):
+    """SBC and microVM pools behind one orchestrator.
+
+    Worker ids are global: SBCs take ``0..sbc_count-1`` and VMs take
+    ``sbc_count..sbc_count+vm_count-1`` (the SBC pool builds first, so
+    its GPIO lines keep their familiar low ids).
+    """
+
+    def __init__(
+        self,
+        sbc_count: int = 10,
+        vm_count: int = 6,
+        sbc_spec: SbcSpec = BEAGLEBONE_BLACK,
+        server_spec: RackServerSpec = THINKMATE_RAX,
+        policy: Optional[AssignmentPolicy] = None,
+        sbc_worker_policy: RunToCompletionPolicy = RunToCompletionPolicy.paper_default(),
+        vm_worker_policy: Optional[RunToCompletionPolicy] = None,
+        overhead: VirtualizationOverhead = VirtualizationOverhead(),
+        quantum_s: float = 0.1,
+        seed: int = 0,
+        jitter_sigma: float = 0.06,
+        include_switch_power: bool = False,
+        profiles=None,
+        control_plane=None,
+        backend=None,
+        recovery: Optional[RecoveryPolicy] = None,
+        telemetry_exact: bool = True,
+        trace: Optional[TraceConfig] = None,
+    ):
+        if sbc_count < 0 or vm_count < 0:
+            raise ValueError("worker counts must be non-negative")
+        if sbc_count + vm_count < 1:
+            raise ValueError("need at least one worker")
+        self.sbc_pool: Optional[SbcPool] = (
+            SbcPool(
+                worker_count=sbc_count,
+                sbc_spec=sbc_spec,
+                worker_policy=sbc_worker_policy,
+                jitter_sigma=jitter_sigma,
+                profiles=profiles,
+            )
+            if sbc_count
+            else None
+        )
+        self.vm_pool: Optional[MicroVmPool] = (
+            MicroVmPool(
+                vm_count=vm_count,
+                server_spec=server_spec,
+                worker_policy=vm_worker_policy,
+                overhead=overhead,
+                quantum_s=quantum_s,
+                jitter_sigma=jitter_sigma,
+            )
+            if vm_count
+            else None
+        )
+        pools = [p for p in (self.sbc_pool, self.vm_pool) if p is not None]
+        super().__init__(
+            pools,
+            platform=HYBRID,
+            seed=seed,
+            policy=policy if policy is not None else EnergyAwarePolicy(),
+            recovery=recovery,
+            telemetry_exact=telemetry_exact,
+            trace=trace,
+            include_switch_power=include_switch_power,
+            control_plane=control_plane,
+            backend=backend,
+        )
+
+    # -- pool attribute surface ----------------------------------------------------------
+
+    @property
+    def sbcs(self) -> List[SingleBoardComputer]:
+        """Boards of the SBC pool (empty for an all-VM mix).  Unlike
+        the single-pool facades, the board at index ``i`` has global
+        worker id ``self.sbc_pool.worker_ids[i]``."""
+        return self.sbc_pool.sbcs if self.sbc_pool is not None else []
+
+    @property
+    def vms(self) -> List[MicroVm]:
+        return self.vm_pool.vms if self.vm_pool is not None else []
+
+    @property
+    def server(self):
+        return self.vm_pool.server if self.vm_pool is not None else None
+
+    @property
+    def hypervisor(self):
+        return self.vm_pool.hypervisor if self.vm_pool is not None else None
+
+
+__all__ = ["HybridCluster"]

@@ -10,37 +10,31 @@ sizing decision analytically from the calibrated profiles.
 from __future__ import annotations
 
 from repro.bootos.stages import optimized_sequence
+from repro.core.platform import platform_spec
 from repro.net.transfer import SESSION_OVERHEAD_S
 from repro.workloads.base import ALL_FUNCTION_NAMES
 from repro.workloads.profiles import PROFILES
 
-#: Effective payload bandwidths of the two worker classes.
-_ARM_GOODPUT_BPS = 90e6
-_X86_GOODPUT_BPS = 940e6
-_ARM_RTT_S = 2 * (120e-6 + 60e-6 + 20e-6)
-_X86_RTT_S = 2 * (280e-6 + 60e-6 + 20e-6)
-
 
 def mean_cycle_s(platform: str) -> float:
-    """Mean worker-occupancy per invocation over the 17-function mix."""
-    if platform == "arm":
-        boot = optimized_sequence("arm").real_s
-        session, goodput, rtt = (
-            SESSION_OVERHEAD_S["arm-bare"], _ARM_GOODPUT_BPS, _ARM_RTT_S,
-        )
-    elif platform == "x86":
-        boot = optimized_sequence("x86").real_s
-        session, goodput, rtt = (
-            SESSION_OVERHEAD_S["x86-virtio"], _X86_GOODPUT_BPS, _X86_RTT_S,
-        )
-    else:
-        raise ValueError(f"unknown platform {platform!r}")
+    """Mean worker-occupancy per invocation over the 17-function mix.
+
+    ``platform`` is a worker tag from :mod:`repro.core.platform` — the
+    same tags pools stamp on their queues — and the link constants
+    (payload goodput, round-trip time) come from the shared
+    :class:`~repro.core.platform.PlatformSpec` registry, so predictions
+    and simulation can never drift apart per platform.  Unknown tags
+    raise a :class:`ValueError` listing the known platforms.
+    """
+    spec = platform_spec(platform)
+    boot = optimized_sequence(spec.boot_arch).real_s
+    session = SESSION_OVERHEAD_S[spec.node_class]
     cycles = []
     for name in ALL_FUNCTION_NAMES:
         profile = PROFILES[name]
         payload = profile.input_bytes + profile.output_bytes
-        overhead = session + payload * 8 / goodput + rtt
-        cycles.append(boot + profile.work_s(platform) + overhead)
+        overhead = session + payload * 8 / spec.goodput_bps + spec.rtt_s
+        cycles.append(boot + profile.work_s(spec.boot_arch) + overhead)
     return sum(cycles) / len(cycles)
 
 
@@ -69,6 +63,29 @@ def vm_throughput_per_min(vm_count: int, cores: int = 12) -> float:
     return min(unconstrained, cpu_bound)
 
 
+def hybrid_throughput_per_min(
+    sbc_count: int, vm_count: int, cores: int = 12
+) -> float:
+    """Capacity of a mixed SBC + microVM cluster, functions per minute.
+
+    The pools serve disjoint worker sets behind one orchestrator, so
+    aggregate capacity is additive: N SBCs at the ARM cycle time plus M
+    VMs at the x86 cycle time (with the VM side still subject to the
+    host's CPU-saturation bound).  Degenerate mixes reduce to the
+    single-platform predictions.
+    """
+    if sbc_count < 0 or vm_count < 0:
+        raise ValueError("worker counts must be non-negative")
+    if sbc_count + vm_count < 1:
+        raise ValueError("need at least one worker")
+    total = 0.0
+    if sbc_count:
+        total += microfaas_throughput_per_min(sbc_count)
+    if vm_count:
+        total += vm_throughput_per_min(vm_count, cores)
+    return total
+
+
 def match_vm_count(
     sbc_count: int = 10,
     cores: int = 12,
@@ -88,6 +105,7 @@ def match_vm_count(
 
 
 __all__ = [
+    "hybrid_throughput_per_min",
     "match_vm_count",
     "mean_cycle_s",
     "microfaas_throughput_per_min",

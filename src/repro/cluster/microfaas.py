@@ -1,7 +1,9 @@
 """The MicroFaaS test cluster (Sec. IV-B).
 
-Builds the full stack: N BeagleBone workers and a backend-services SBC
-on a managed switch, the orchestration server, GPIO power wiring, the
+A single-pool facade over :class:`~repro.cluster.harness.ClusterHarness`:
+one :class:`~repro.cluster.pool.SbcPool` of N BeagleBone workers (with
+GPIO power wiring and per-board meters) plus the shared stack — the
+backend-services SBC on a managed switch, the orchestration server, the
 transfer model, and a wall-plug meter over the worker boards.  The
 ``run_saturated`` entry point reproduces the Sec. V measurement: issue a
 fixed number of invocations per function and measure throughput and
@@ -10,37 +12,22 @@ energy until the last one completes.
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from repro.cluster.result import ClusterResult
+from repro.cluster.harness import ClusterHarness
+from repro.cluster.pool import SbcPool
 from repro.cluster.worker import SbcWorker
-from repro.core.gpio import GpioBank
 from repro.core.lifecycle import RunToCompletionPolicy
-from repro.core.orchestrator import Orchestrator
+from repro.core.platform import MICROFAAS
 from repro.core.policies import RecoveryPolicy
-from repro.core.telemetry import TelemetryCollector
-from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
-from repro.hardware.meter import PowerMeter
+from repro.core.scheduler import AssignmentPolicy
 from repro.hardware.sbc import SingleBoardComputer
-from repro.hardware.specs import (
-    BEAGLEBONE_BLACK,
-    FAST_ETHERNET,
-    GIGABIT_ETHERNET,
-    SbcSpec,
-    TESTBED_SWITCH,
-)
-from repro.net.link import Endpoint
+from repro.hardware.specs import BEAGLEBONE_BLACK, SbcSpec
 from repro.net.switch import Switch
-from repro.net.topology import NetworkTopology
-from repro.net.transfer import TransferModel
-from repro.obs.trace import TraceConfig, TraceRecorder
-from repro.sim.kernel import Environment
-from repro.sim.rng import RandomStreams
-from repro.workloads.base import ALL_FUNCTION_NAMES
+from repro.obs.trace import TraceConfig
 
 
-class MicroFaaSCluster:
+class MicroFaaSCluster(ClusterHarness):
     """N SBC workers, one switch, one OP — the paper's prototype."""
 
     def __init__(
@@ -59,120 +46,44 @@ class MicroFaaSCluster:
         telemetry_exact: bool = True,
         trace: Optional[TraceConfig] = None,
     ):
-        if worker_count < 1:
-            raise ValueError("need at least one worker")
-        self.env = Environment()
-        self.streams = RandomStreams(seed)
-        # Tracing (opt-in): the recorder samples from its own spawned
-        # stream family, so enabling it draws nothing from any stream
-        # the simulation consumes — traced runs stay bit-identical.
-        self.tracer = (
-            TraceRecorder(
-                config=trace,
-                streams=self.streams.spawn("obs"),
-                label="microfaas",
-            )
-            if trace is not None
-            else None
+        self.pool = SbcPool(
+            worker_count=worker_count,
+            sbc_spec=sbc_spec,
+            worker_policy=worker_policy,
+            jitter_sigma=jitter_sigma,
+            profiles=profiles,
         )
-        self.include_switch_power = include_switch_power
-        self.worker_policy = worker_policy
-        self.jitter_sigma = jitter_sigma
-        self.profiles = profiles
-        if control_plane is not None:
-            from repro.core.controlplane import ControlPlane
-
-            self.control_plane = ControlPlane(self.env, control_plane)
-        else:
-            self.control_plane = None
-        if backend is not None:
-            from repro.services.backend import BackendFleet
-
-            self.backend = BackendFleet(self.env, backend)
-        else:
-            self.backend = None
-
-        # Network fabric: a chain of managed switches, grown on demand
-        # (one suffices for the 10-worker testbed; datacenter-scale
-        # clusters need a ToR fabric like the TCO analysis's 21 units).
-        self.topology = NetworkTopology()
-        self.switches: List[Switch] = []
-        self._grow_fabric()
-        self.topology.attach_endpoint(
-            Endpoint("op", GIGABIT_ETHERNET, "x86-bare"), self.switches[0].name
-        )
-        self.topology.attach_endpoint(
-            Endpoint("backend", FAST_ETHERNET, "x86-bare"),
-            self.switches[0].name,
-        )
-        self.transfers = TransferModel(self.topology, clock=lambda: self.env.now)
-
-        # Control plane.
-        self.gpio = GpioBank()
-        self.orchestrator = Orchestrator(
-            self.env,
-            policy=policy
-            if policy is not None
-            else RandomSamplingPolicy(random.Random(seed)),
-            gpio=self.gpio,
+        super().__init__(
+            [self.pool],
+            platform=MICROFAAS,
+            seed=seed,
+            policy=policy,
             recovery=recovery,
-            telemetry=TelemetryCollector(exact=telemetry_exact),
-            tracer=self.tracer,
+            telemetry_exact=telemetry_exact,
+            trace=trace,
+            include_switch_power=include_switch_power,
+            control_plane=control_plane,
+            backend=backend,
         )
 
-        # Worker boards.
-        self.sbcs: List[SingleBoardComputer] = []
-        self.workers: List[SbcWorker] = []
-        for node_id in range(worker_count):
-            sbc = SingleBoardComputer(
-                lambda: self.env.now, spec=sbc_spec, node_id=node_id
-            )
-            endpoint_name = f"sbc-{node_id}"
-            # Keep one port spare on the newest switch for the next trunk.
-            if self.switches[-1].ports_free <= 1:
-                self._grow_fabric()
-            self.topology.attach_endpoint(
-                Endpoint(endpoint_name, sbc_spec.nic, "arm-bare"),
-                self.switches[-1].name,
-            )
-            queue = self.orchestrator.add_worker()
-            self.gpio.connect(
-                node_id, sbc.power_on, sbc.power_off, lambda s=sbc: s.is_powered
-            )
-            worker = SbcWorker(
-                self.env,
-                sbc,
-                queue,
-                self.orchestrator,
-                self.transfers,
-                orchestrator_endpoint="op",
-                endpoint=endpoint_name,
-                policy=worker_policy,
-                streams=self.streams,
-                jitter_sigma=jitter_sigma,
-                profiles=profiles,
-                control_plane=self.control_plane,
-                backend=self.backend,
-            )
-            self.sbcs.append(sbc)
-            self.workers.append(worker)
+    # -- pool attribute surface (pre-harness API) ----------------------------------------
 
-        self.meter = PowerMeter(self.env, self.cluster_watts)
+    @property
+    def sbcs(self) -> List[SingleBoardComputer]:
+        """The worker boards, indexed by worker id."""
+        return self.pool.sbcs
 
-    def _grow_fabric(self) -> Switch:
-        """Add one more ToR switch, trunked to the previous one."""
-        switch = Switch(
-            lambda: self.env.now,
-            TESTBED_SWITCH,
-            name="switch" if not self.switches else f"switch-{len(self.switches)}",
-        )
-        self.topology.add_switch(switch)
-        if self.switches:
-            self.topology.connect_switches(
-                self.switches[-1].name, switch.name, 1e9
-            )
-        self.switches.append(switch)
-        return switch
+    @property
+    def worker_policy(self) -> RunToCompletionPolicy:
+        return self.pool.worker_policy
+
+    @property
+    def jitter_sigma(self) -> float:
+        return self.pool.jitter_sigma
+
+    @property
+    def profiles(self):
+        return self.pool.profiles
 
     @property
     def switch(self) -> Switch:
@@ -180,125 +91,7 @@ class MicroFaaSCluster:
         return self.switches[0]
 
     def respawn_worker(self, worker_id: int) -> SbcWorker:
-        """Start a replacement worker process on a (repaired) board.
-
-        The dead worker's process has exited; the board and queue are
-        reused, so the GPIO wiring and topology stay valid.
-        """
-        if not 0 <= worker_id < len(self.workers):
-            raise KeyError(f"no worker {worker_id}")
-        if self.workers[worker_id].process.is_alive:
-            raise RuntimeError(f"worker {worker_id} is still alive")
-        worker = SbcWorker(
-            self.env,
-            self.sbcs[worker_id],
-            self.orchestrator.queues[worker_id],
-            self.orchestrator,
-            self.transfers,
-            orchestrator_endpoint="op",
-            endpoint=f"sbc-{worker_id}",
-            policy=self.worker_policy,
-            streams=self.streams,
-            jitter_sigma=self.jitter_sigma,
-            profiles=self.profiles,
-            control_plane=self.control_plane,
-            backend=self.backend,
-        )
-        self.workers[worker_id] = worker
-        return worker
-
-    # -- measurement ------------------------------------------------------------------
-
-    def cluster_watts(self) -> float:
-        """Instantaneous draw of the metered equipment (the boards, plus
-        the switch if configured — the paper meters the boards)."""
-        watts = sum(sbc.watts for sbc in self.sbcs)
-        if self.include_switch_power:
-            watts += sum(switch.watts for switch in self.switches)
-        return watts
-
-    def energy_joules(self, start: float, end: float) -> float:
-        """Exact trace-integrated energy over a window."""
-        total = sum(
-            sbc.trace.energy_joules(start, end) for sbc in self.sbcs
-        )
-        if self.include_switch_power:
-            total += sum(
-                switch.trace.energy_joules(start, end)
-                for switch in self.switches
-            )
-        return total
-
-    def powered_worker_count(self) -> int:
-        return sum(1 for sbc in self.sbcs if sbc.is_powered)
-
-    def finished_traces(self):
-        """Sealed traces (draining in-flight stragglers first)."""
-        if self.tracer is None:
-            return []
-        self.tracer.drain()
-        return self.tracer.traces()
-
-    # -- experiment entry points ---------------------------------------------------------
-
-    def run_saturated(
-        self,
-        functions: Sequence[str] = tuple(ALL_FUNCTION_NAMES),
-        invocations_per_function: int = 10,
-    ) -> ClusterResult:
-        """Issue all invocations at t=0 and run until the last completes.
-
-        This measures the cluster at capacity — the operating point the
-        paper's throughput and J/function numbers describe.
-        """
-        if invocations_per_function < 1:
-            raise ValueError("invocations_per_function must be >= 1")
-        batch = [
-            function
-            for _ in range(invocations_per_function)
-            for function in functions
-        ]
-        self.orchestrator.submit_batch(batch)
-        done = self.orchestrator.wait_all()
-        self.env.run(until=done)
-        duration = self.env.now
-        return ClusterResult(
-            platform="microfaas",
-            worker_count=len(self.workers),
-            jobs_completed=self.orchestrator.telemetry.count,
-            duration_s=duration,
-            energy_joules=self.energy_joules(0.0, duration),
-            telemetry=self.orchestrator.telemetry,
-        )
-
-    def run_paper_arrivals(
-        self,
-        functions: Sequence[str] = tuple(ALL_FUNCTION_NAMES),
-        jobs_per_second: int = 2,
-        total_jobs: int = 170,
-    ) -> ClusterResult:
-        """Sec. IV-D arrivals: jobs land on random queues every second."""
-        arrivals = self.env.process(
-            self.orchestrator.paper_arrival_process(
-                list(functions), jobs_per_second, total_jobs
-            ),
-            name="arrivals",
-        )
-
-        def runner():
-            yield arrivals  # all jobs submitted
-            yield self.orchestrator.wait_all()  # all jobs completed
-
-        self.env.run(until=self.env.process(runner(), name="drain"))
-        duration = self.env.now
-        return ClusterResult(
-            platform="microfaas",
-            worker_count=len(self.workers),
-            jobs_completed=self.orchestrator.telemetry.count,
-            duration_s=duration,
-            energy_joules=self.energy_joules(0.0, duration),
-            telemetry=self.orchestrator.telemetry,
-        )
+        return super().respawn_worker(worker_id)
 
 
 __all__ = ["MicroFaaSCluster"]

@@ -1,0 +1,340 @@
+"""Worker pools: the pluggable backend units of a cluster.
+
+A :class:`WorkerPool` owns everything platform-specific about one fleet
+of workers — the compute hardware and its metering (per-board SBC
+traces vs. one rack server at the wall), the network fabric the workers
+attach to (a ToR switch chain vs. a host software bridge), the power
+control (GPIO lines vs. an always-hot host), and the worker lifecycle
+(spawn/respawn).  The :class:`~repro.cluster.harness.ClusterHarness`
+builds the shared stack once and composes any list of pools; the
+classic single-platform clusters are single-pool compositions, and a
+heterogeneous (SBC + microVM) cluster is simply ``[SbcPool(...),
+MicroVmPool(...)]``.
+
+The two hooks run in a fixed order for every pool:
+
+1. ``build_fabric(harness)`` — add this pool's switches to the shared
+   topology (before the orchestrator endpoints attach to the first
+   pool's core switch);
+2. ``build_workers(harness)`` — register one orchestrator queue per
+   worker (the queue's global id is the worker id everywhere: records,
+   GPIO lines, endpoint names) and start the worker processes.
+
+Worker ids are allocated globally across pools in build order, so a
+hybrid cluster's telemetry, traces, and chaos targeting never collide
+between platforms.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.cluster.vmworker import VmWorker
+from repro.cluster.worker import SbcWorker
+from repro.core.lifecycle import RunToCompletionPolicy
+from repro.core.platform import ARM, ARM_BARE, X86, X86_VIRTIO
+from repro.hardware.rackserver import RackServer
+from repro.hardware.sbc import SingleBoardComputer
+from repro.hardware.specs import (
+    BEAGLEBONE_BLACK,
+    FAST_ETHERNET,
+    GIGABIT_ETHERNET,
+    NicSpec,
+    RackServerSpec,
+    SbcSpec,
+    SwitchSpec,
+    TESTBED_SWITCH,
+    THINKMATE_RAX,
+)
+from repro.net.link import Endpoint
+from repro.net.switch import Switch
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.microvm import MicroVm
+from repro.virt.overhead import VirtualizationOverhead
+
+
+class WorkerPool(abc.ABC):
+    """One platform's worker fleet plus its hardware and lifecycle."""
+
+    #: Worker platform tag (see :mod:`repro.core.platform`) stamped on
+    #: this pool's queues, records, and spans.
+    platform: str = ""
+
+    def __init__(self):
+        #: Global orchestrator worker ids owned by this pool, in
+        #: registration order.
+        self.worker_ids: List[int] = []
+
+    @property
+    @abc.abstractmethod
+    def backend_nic(self) -> NicSpec:
+        """NIC class of the backend-services box when this pool leads.
+
+        The harness attaches the shared ``backend`` endpoint with the
+        *first* pool's backend NIC — the testbed pairs Fast-Ethernet
+        backend SBCs with the SBC fleet and a GigE box with the rack
+        server.
+        """
+
+    @abc.abstractmethod
+    def build_fabric(self, harness) -> None:
+        """Add this pool's switches to the harness topology."""
+
+    @abc.abstractmethod
+    def build_workers(self, harness) -> None:
+        """Register queues and start this pool's worker processes."""
+
+    @abc.abstractmethod
+    def watts(self) -> float:
+        """Instantaneous draw of this pool's metered hardware."""
+
+    @abc.abstractmethod
+    def energy_joules(self, start: float, end: float) -> float:
+        """Trace-integrated energy of this pool's metered hardware."""
+
+    @abc.abstractmethod
+    def powered_worker_count(self) -> int:
+        """Workers currently able to take work without a power-on."""
+
+    def respawn_worker(self, harness, worker_id: int):
+        """Start a replacement worker process on a repaired node."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support worker respawn"
+        )
+
+
+class SbcPool(WorkerPool):
+    """N single-board computers: per-board meters, GPIO power control,
+    and a ToR switch chain grown on demand."""
+
+    platform = ARM
+
+    def __init__(
+        self,
+        worker_count: int = 10,
+        sbc_spec: SbcSpec = BEAGLEBONE_BLACK,
+        worker_policy: RunToCompletionPolicy = RunToCompletionPolicy.paper_default(),
+        jitter_sigma: float = 0.06,
+        profiles=None,
+    ):
+        if worker_count < 1:
+            raise ValueError("need at least one worker")
+        super().__init__()
+        self.worker_count = worker_count
+        self.sbc_spec = sbc_spec
+        self.worker_policy = worker_policy
+        self.jitter_sigma = jitter_sigma
+        self.profiles = profiles
+        self.sbcs: List[SingleBoardComputer] = []
+        #: This pool's ToR chain (a subset of the harness switch list).
+        self.switches: List[Switch] = []
+
+    @property
+    def backend_nic(self) -> NicSpec:
+        return FAST_ETHERNET
+
+    def _grow_fabric(self, harness) -> Switch:
+        """Add one more ToR switch, trunked to the previous one."""
+        switch = Switch(
+            lambda: harness.env.now,
+            TESTBED_SWITCH,
+            name=(
+                "switch"
+                if not harness.switches
+                else f"switch-{len(harness.switches)}"
+            ),
+        )
+        harness.topology.add_switch(switch)
+        if self.switches:
+            harness.topology.connect_switches(
+                self.switches[-1].name, switch.name, 1e9
+            )
+        self.switches.append(switch)
+        harness.switches.append(switch)
+        return switch
+
+    def build_fabric(self, harness) -> None:
+        self._grow_fabric(harness)
+
+    def build_workers(self, harness) -> None:
+        for _ in range(self.worker_count):
+            node_id = harness.orchestrator.worker_count
+            sbc = SingleBoardComputer(
+                lambda: harness.env.now, spec=self.sbc_spec, node_id=node_id
+            )
+            endpoint_name = f"sbc-{node_id}"
+            # Keep one port spare on the newest switch for the next trunk.
+            if self.switches[-1].ports_free <= 1:
+                self._grow_fabric(harness)
+            harness.topology.attach_endpoint(
+                Endpoint(endpoint_name, self.sbc_spec.nic, ARM_BARE),
+                self.switches[-1].name,
+            )
+            queue = harness.orchestrator.add_worker(platform=ARM)
+            harness.gpio.connect(
+                node_id, sbc.power_on, sbc.power_off, lambda s=sbc: s.is_powered
+            )
+            worker = SbcWorker(
+                harness.env,
+                sbc,
+                queue,
+                harness.orchestrator,
+                harness.transfers,
+                orchestrator_endpoint="op",
+                endpoint=endpoint_name,
+                policy=self.worker_policy,
+                streams=harness.streams,
+                jitter_sigma=self.jitter_sigma,
+                profiles=self.profiles,
+                control_plane=harness.control_plane,
+                backend=harness.backend,
+            )
+            self.sbcs.append(sbc)
+            self.worker_ids.append(node_id)
+            harness.register_worker(
+                self, node_id, worker, endpoint_name, sbc=sbc
+            )
+
+    def respawn_worker(self, harness, worker_id: int) -> SbcWorker:
+        sbc = harness.sbc_for(worker_id)
+        worker = SbcWorker(
+            harness.env,
+            sbc,
+            harness.orchestrator.queues[worker_id],
+            harness.orchestrator,
+            harness.transfers,
+            orchestrator_endpoint="op",
+            endpoint=f"sbc-{worker_id}",
+            policy=self.worker_policy,
+            streams=harness.streams,
+            jitter_sigma=self.jitter_sigma,
+            profiles=self.profiles,
+            control_plane=harness.control_plane,
+            backend=harness.backend,
+        )
+        harness.workers[worker_id] = worker
+        return worker
+
+    def watts(self) -> float:
+        return sum(sbc.watts for sbc in self.sbcs)
+
+    def energy_joules(self, start: float, end: float) -> float:
+        return sum(sbc.trace.energy_joules(start, end) for sbc in self.sbcs)
+
+    def powered_worker_count(self) -> int:
+        return sum(1 for sbc in self.sbcs if sbc.is_powered)
+
+
+class MicroVmPool(WorkerPool):
+    """M microVMs on one rack server: wall-metered host, a hypervisor
+    scheduler, and a software bridge trunked onto the core switch."""
+
+    platform = X86
+
+    def __init__(
+        self,
+        vm_count: int = 6,
+        server_spec: RackServerSpec = THINKMATE_RAX,
+        worker_policy: Optional[RunToCompletionPolicy] = None,
+        overhead: VirtualizationOverhead = VirtualizationOverhead(),
+        quantum_s: float = 0.1,
+        jitter_sigma: float = 0.06,
+    ):
+        if vm_count < 1:
+            raise ValueError("need at least one VM")
+        super().__init__()
+        self.vm_count = vm_count
+        self.server_spec = server_spec
+        self.worker_policy = worker_policy
+        self.overhead = overhead
+        self.quantum_s = quantum_s
+        self.jitter_sigma = jitter_sigma
+        self.server: Optional[RackServer] = None
+        self.hypervisor: Optional[Hypervisor] = None
+        self.bridge: Optional[Switch] = None
+        self.vms: List[MicroVm] = []
+
+    @property
+    def backend_nic(self) -> NicSpec:
+        return GIGABIT_ETHERNET
+
+    def build_fabric(self, harness) -> None:
+        self.server = RackServer(lambda: harness.env.now, self.server_spec)
+        self.hypervisor = Hypervisor(
+            harness.env,
+            self.server,
+            overhead=self.overhead,
+            quantum_s=self.quantum_s,
+        )
+        if self.vm_count > self.hypervisor.max_vms():
+            raise ValueError(
+                f"host RAM holds at most {self.hypervisor.max_vms()} VMs, "
+                f"requested {self.vm_count}"
+            )
+        if not harness.switches:
+            switch = Switch(
+                lambda: harness.env.now, TESTBED_SWITCH, name="switch"
+            )
+            harness.topology.add_switch(switch)
+            harness.switches.append(switch)
+        # All VMs share the host's one physical NIC: a software bridge
+        # inside the host trunks their virtio NICs onto the core switch.
+        bridge_spec = SwitchSpec(
+            name="host software bridge",
+            ports=self.hypervisor.max_vms() + 2,
+            watts=0.0,  # accounted in the host's own power curve
+            unit_cost_usd=0.0,
+            forwarding_latency_s=5e-6,
+        )
+        self.bridge = Switch(
+            lambda: harness.env.now, bridge_spec, name="host-bridge"
+        )
+        harness.topology.add_switch(self.bridge)
+        harness.topology.connect_switches(
+            "host-bridge", harness.switches[0].name, 1e9
+        )
+        harness.switches.append(self.bridge)
+
+    def build_workers(self, harness) -> None:
+        default_policy = RunToCompletionPolicy(
+            reboot_between_jobs=True, power_off_when_idle=False
+        )
+        for _ in range(self.vm_count):
+            vm_id = harness.orchestrator.worker_count
+            vm = MicroVm(harness.env, self.hypervisor, vm_id=vm_id)
+            endpoint_name = f"vm-{vm_id}"
+            harness.topology.attach_endpoint(
+                Endpoint(endpoint_name, GIGABIT_ETHERNET, X86_VIRTIO),
+                self.bridge.name,
+            )
+            queue = harness.orchestrator.add_worker(platform=X86)
+            worker = VmWorker(
+                harness.env,
+                vm,
+                queue,
+                harness.orchestrator,
+                harness.transfers,
+                orchestrator_endpoint="op",
+                endpoint=endpoint_name,
+                policy=self.worker_policy or default_policy,
+                streams=harness.streams,
+                jitter_sigma=self.jitter_sigma,
+            )
+            self.vms.append(vm)
+            self.worker_ids.append(vm_id)
+            harness.register_worker(self, vm_id, worker, endpoint_name)
+
+    def watts(self) -> float:
+        return self.server.watts
+
+    def energy_joules(self, start: float, end: float) -> float:
+        return self.server.trace.energy_joules(start, end)
+
+    def powered_worker_count(self) -> int:
+        # The host stays hot; every booted guest can take work without
+        # a power transition.
+        return len(self.vms)
+
+
+__all__ = ["MicroVmPool", "SbcPool", "WorkerPool"]

@@ -9,6 +9,7 @@ power) — i.e. the numbers Sec. V reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.core.telemetry import TelemetryCollector
 
@@ -17,12 +18,17 @@ from repro.core.telemetry import TelemetryCollector
 class ClusterResult:
     """Outcome of one cluster workload run."""
 
-    platform: str  # "microfaas" or "conventional"
+    platform: str  # cluster label: "microfaas", "conventional", "hybrid"
     worker_count: int
     jobs_completed: int
     duration_s: float
     energy_joules: float
     telemetry: TelemetryCollector
+    #: Per-pool energy attribution ``((worker platform, joules), ...)``
+    #: over the run window — set by harness-built clusters, ``None`` for
+    #: results constructed without pool metering.  Covers each pool's
+    #: own hardware; shared fabric switches are not attributed.
+    pool_energy: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.jobs_completed < 0:
@@ -31,6 +37,10 @@ class ClusterResult:
             raise ValueError("duration must be positive")
         if self.energy_joules < 0:
             raise ValueError("negative energy")
+        if self.pool_energy is not None:
+            for _, joules in self.pool_energy:
+                if joules < 0:
+                    raise ValueError("negative pool energy")
 
     @property
     def throughput_per_min(self) -> float:
@@ -48,6 +58,15 @@ class ClusterResult:
     def average_watts(self) -> float:
         """Mean cluster power over the run."""
         return self.energy_joules / self.duration_s
+
+    @property
+    def energy_by_platform(self) -> Dict[str, float]:
+        """Pool energy folded into a dict keyed by worker platform
+        (empty when the result carries no pool attribution)."""
+        folded: Dict[str, float] = {}
+        for platform, joules in self.pool_energy or ():
+            folded[platform] = folded.get(platform, 0.0) + joules
+        return folded
 
     def summary(self) -> str:
         """One-line human-readable summary."""

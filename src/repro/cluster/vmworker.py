@@ -14,6 +14,7 @@ import math
 from typing import Optional
 
 from repro.core.job import Job, JobStatus
+from repro.core.platform import X86
 from repro.core.lifecycle import RunToCompletionPolicy
 from repro.obs import trace as obs
 from repro.core.orchestrator import Orchestrator
@@ -81,7 +82,7 @@ class VmWorker:
                 tracer = self.orchestrator.tracer
                 job.trace_attempt = tracer.begin_attempt(
                     job.trace_id, self.env.now, self.vm.vm_id,
-                    attrs={"attempt": job.attempts + 1},
+                    attrs={"attempt": job.attempts + 1, "platform": X86},
                 )
                 tracer.span(
                     job.trace_id, obs.QUEUE_WAIT, job.t_queued,
@@ -168,7 +169,7 @@ class VmWorker:
             job_id=job.job_id,
             function=job.function,
             worker_id=self.vm.vm_id,
-            platform="x86",
+            platform=X86,
             t_queued=job.t_queued,
             t_started=job.t_started,
             t_completed=self.env.now,

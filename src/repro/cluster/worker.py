@@ -20,6 +20,7 @@ from typing import Optional
 from repro.bootos.stages import optimized_sequence
 from repro.bootos.timeline import scaled_stage_intervals
 from repro.core.job import Job, JobStatus
+from repro.core.platform import ARM
 from repro.obs import trace as obs
 from repro.core.lifecycle import RunToCompletionPolicy
 from repro.core.orchestrator import Orchestrator
@@ -161,7 +162,7 @@ class SbcWorker:
                 tracer = self.orchestrator.tracer
                 job.trace_attempt = tracer.begin_attempt(
                     job.trace_id, self.env.now, self.sbc.node_id,
-                    attrs={"attempt": job.attempts + 1},
+                    attrs={"attempt": job.attempts + 1, "platform": ARM},
                 )
                 # Same subtraction endpoints as the telemetry record's
                 # queue_wait_s: t_queued to the claim.
@@ -296,7 +297,7 @@ class SbcWorker:
             job_id=job.job_id,
             function=job.function,
             worker_id=self.sbc.node_id,
-            platform="arm",
+            platform=ARM,
             t_queued=job.t_queued,
             t_started=job.t_started,
             t_completed=self.env.now,

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.core.gpio import GpioBank
 from repro.core.job import Job, JobStatus
+from repro.core.platform import ARM
 from repro.core.policies import RecoveryPolicy, WorkerHealthTracker
 from repro.core.queue import WorkerQueue
 from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
@@ -99,9 +100,17 @@ class Orchestrator:
 
     # -- workers ---------------------------------------------------------------
 
-    def add_worker(self) -> WorkerQueue:
-        """Create the queue for a new worker, returning it."""
-        queue = WorkerQueue(self.env, worker_id=len(self.queues))
+    def add_worker(self, platform: str = ARM) -> WorkerQueue:
+        """Create the queue for a new worker, returning it.
+
+        ``platform`` is the worker's tag (see
+        :mod:`repro.cluster.platform`); heterogeneous clusters register
+        workers of several platforms and platform-aware policies read
+        the tag off each candidate queue.
+        """
+        queue = WorkerQueue(
+            self.env, worker_id=len(self.queues), platform=platform
+        )
         queue.on_enqueue(lambda job, wid=queue.worker_id: self._wake(wid, job))
         self.queues.append(queue)
         return queue

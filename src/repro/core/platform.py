@@ -1,0 +1,116 @@
+"""The single source of truth for platform identifiers.
+
+Three string families used to float around the codebase as literals and
+could silently drift apart:
+
+- **worker platform tags** (``"arm"`` / ``"x86"``) — stamped on every
+  :class:`~repro.core.telemetry.InvocationRecord`, on worker queues, on
+  attempt spans, and used as pool tags by the cluster harness;
+- **cluster labels** (``"microfaas"`` / ``"conventional"`` /
+  ``"hybrid"``) — the :class:`~repro.cluster.result.ClusterResult`
+  platform field and the trace recorder's run label;
+- **node classes** (``"arm-bare"`` / ``"x86-virtio"`` / ``"x86-bare"``)
+  — the protocol-stack keys of the network transfer model.
+
+This module pins all three and ties them together in a
+:class:`PlatformSpec` registry, so the throughput-matching math, the
+pool tags, the telemetry dimension, and the exports can never disagree
+about what ``"arm"`` means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+# -- worker platform tags (per-record / per-queue / per-pool) ------------------------
+
+#: Bare-metal SBC workers (the paper's BeagleBone fleet).
+ARM = "arm"
+#: MicroVM workers on the virtualization substrate.
+X86 = "x86"
+
+# -- cluster labels (per-run) --------------------------------------------------------
+
+MICROFAAS = "microfaas"
+CONVENTIONAL = "conventional"
+HYBRID = "hybrid"
+
+# -- network node classes (transfer-model protocol stacks) ---------------------------
+
+ARM_BARE = "arm-bare"
+X86_VIRTIO = "x86-virtio"
+X86_BARE = "x86-bare"
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Everything the analytical model knows about one worker platform.
+
+    ``boot_arch`` selects the worker-OS build whose boot sequence the
+    platform pays; ``node_class`` is the transfer model's protocol-stack
+    key (and therefore the session-overhead row); ``goodput_bps`` and
+    ``rtt_s`` are the calibrated effective payload bandwidth and
+    round-trip of the worker's access path.
+    """
+
+    tag: str
+    boot_arch: str
+    node_class: str
+    goodput_bps: float
+    rtt_s: float
+
+    def __post_init__(self) -> None:
+        if self.goodput_bps <= 0:
+            raise ValueError("goodput must be positive")
+        if self.rtt_s <= 0:
+            raise ValueError("rtt must be positive")
+
+
+#: Known worker platforms, keyed by tag.  The matching math, the pool
+#: implementations, and the telemetry dimension all look platforms up
+#: here; an unknown tag fails loudly with the known set in the message.
+PLATFORM_SPECS: Dict[str, PlatformSpec] = {
+    ARM: PlatformSpec(
+        tag=ARM,
+        boot_arch="arm",
+        node_class=ARM_BARE,
+        # 100 Mb/s NIC minus protocol overhead on the slow core.
+        goodput_bps=90e6,
+        rtt_s=2 * (120e-6 + 60e-6 + 20e-6),
+    ),
+    X86: PlatformSpec(
+        tag=X86,
+        boot_arch="x86",
+        node_class=X86_VIRTIO,
+        # GigE through the host bridge; virtio adds per-hop latency.
+        goodput_bps=940e6,
+        rtt_s=2 * (280e-6 + 60e-6 + 20e-6),
+    ),
+}
+
+
+def platform_spec(tag: str) -> PlatformSpec:
+    """Look up a worker platform, raising a clear error on unknowns."""
+    spec = PLATFORM_SPECS.get(tag)
+    if spec is None:
+        known = ", ".join(repr(name) for name in sorted(PLATFORM_SPECS))
+        raise ValueError(
+            f"unknown platform {tag!r}; known platforms: {known}"
+        )
+    return spec
+
+
+__all__ = [
+    "ARM",
+    "ARM_BARE",
+    "CONVENTIONAL",
+    "HYBRID",
+    "MICROFAAS",
+    "PLATFORM_SPECS",
+    "PlatformSpec",
+    "X86",
+    "X86_BARE",
+    "X86_VIRTIO",
+    "platform_spec",
+]

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.job import Job, JobStatus
+from repro.core.platform import ARM
 from repro.sim.kernel import Environment
 from repro.sim.resources import Store
 
@@ -18,9 +19,13 @@ from repro.sim.resources import Store
 class WorkerQueue:
     """FIFO job queue owned by one worker."""
 
-    def __init__(self, env: Environment, worker_id: int):
+    def __init__(self, env: Environment, worker_id: int, platform: str = ARM):
         self.env = env
         self.worker_id = worker_id
+        #: Worker platform tag (see :mod:`repro.core.platform`) —
+        #: the per-worker dimension platform-aware assignment policies
+        #: read when choosing among heterogeneous candidates.
+        self.platform = platform
         self._store = Store(env)
         self.jobs_enqueued = 0
         self.jobs_dequeued = 0

@@ -15,6 +15,7 @@ import random
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.job import Job
+from repro.core.platform import ARM
 from repro.core.queue import WorkerQueue
 
 
@@ -105,11 +106,65 @@ class PackingPolicy(AssignmentPolicy):
         return min(candidates, key=lambda i: (queues[i].depth, i))
 
 
+class EnergyAwarePolicy(AssignmentPolicy):
+    """Prefer the cheap platform; spill to the expensive one under load.
+
+    The hybrid cluster's default: every job goes to the least-loaded
+    SBC (the ~5.7 J/function platform) unless *all* SBC queues already
+    hold at least ``spill_threshold`` outstanding jobs — queue pressure
+    — *and* some other platform actually has a shorter queue, in which
+    case it spills to the least-loaded worker of any other platform
+    (the rack server is hot anyway, so marginal VM work is nearly free
+    in energy but saves queueing delay).  The second condition keeps a
+    saturating burst from dumping everything on the VMs: once their
+    queues are as deep as the SBCs', spilling buys nothing.
+
+    Deterministic (no RNG): ties break toward the lowest queue index,
+    like :class:`LeastLoadedPolicy`.  On a homogeneous cluster it
+    degrades to exactly least-loaded behaviour.
+    """
+
+    name = "energy-aware"
+
+    def __init__(self, spill_threshold: int = 2, preferred: str = ARM):
+        if spill_threshold < 1:
+            raise ValueError("spill_threshold must be >= 1")
+        self.spill_threshold = spill_threshold
+        self.preferred = preferred
+
+    def select(self, job, queues, is_powered) -> int:
+        if not queues:
+            raise ValueError("no worker queues")
+        best_pref = None
+        best_pref_load = None
+        best_other = None
+        best_other_load = None
+        for index, queue in enumerate(queues):
+            load = queue.outstanding
+            if queue.platform == self.preferred:
+                if best_pref is None or load < best_pref_load:
+                    best_pref, best_pref_load = index, load
+            else:
+                if best_other is None or load < best_other_load:
+                    best_other, best_other_load = index, load
+        if best_pref is None:
+            return best_other
+        if best_other is None:
+            return best_pref
+        if (
+            best_pref_load >= self.spill_threshold
+            and best_other_load < best_pref_load
+        ):
+            return best_other
+        return best_pref
+
+
 _POLICIES = {
     RandomSamplingPolicy.name: RandomSamplingPolicy,
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     PackingPolicy.name: PackingPolicy,
+    EnergyAwarePolicy.name: EnergyAwarePolicy,
 }
 
 
@@ -124,6 +179,7 @@ def make_policy(name: str, rng: Optional[random.Random] = None) -> AssignmentPol
 
 __all__ = [
     "AssignmentPolicy",
+    "EnergyAwarePolicy",
     "LeastLoadedPolicy",
     "PackingPolicy",
     "RandomSamplingPolicy",

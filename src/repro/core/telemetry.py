@@ -372,6 +372,27 @@ class _FunctionAccumulator:
         self.runtime_sketch.merge(other.runtime_sketch)
 
 
+class _PlatformAccumulator:
+    """Streaming per-platform aggregates (the hybrid-cluster dimension)."""
+
+    __slots__ = ("latency", "queue_wait", "latency_sketch")
+
+    def __init__(self, gamma: float):
+        self.latency = _RunningStat()
+        self.queue_wait = _RunningStat()
+        self.latency_sketch = QuantileSketch(gamma=gamma)
+
+    def add(self, latency: float, queue_wait: float) -> None:
+        self.latency.add(latency)
+        self.queue_wait.add(queue_wait)
+        self.latency_sketch.add(latency)
+
+    def merge(self, other: "_PlatformAccumulator") -> None:
+        self.latency.merge(other.latency)
+        self.queue_wait.merge(other.queue_wait)
+        self.latency_sketch.merge(other.latency_sketch)
+
+
 @dataclass(frozen=True)
 class FunctionStats:
     """Aggregates for one function (one group of Fig. 3 bars)."""
@@ -415,6 +436,9 @@ class TelemetryCollector:
         # first_start/last_completion/mean_* O(1) in exact mode too, and
         # they are what the streaming==exact property tests compare.
         self._functions: Dict[str, _FunctionAccumulator] = {}
+        # Per-platform aggregates: heterogeneous (SBC + microVM)
+        # clusters report latency and counts per worker platform.
+        self._platforms: Dict[str, _PlatformAccumulator] = {}
         self._cycle = _RunningStat()
         self._queue_wait = _RunningStat()
         self._latency = _RunningStat()
@@ -448,6 +472,11 @@ class TelemetryCollector:
         self._latency.add(latency)
         self._queue_wait_sketch.add(queue_wait)
         self._latency_sketch.add(latency)
+        platform_acc = self._platforms.get(record.platform)
+        if platform_acc is None:
+            platform_acc = _PlatformAccumulator(self.sketch_gamma)
+            self._platforms[record.platform] = platform_acc
+        platform_acc.add(latency, queue_wait)
         if self.exact:
             self.records.append(record)
         else:
@@ -498,6 +527,12 @@ class TelemetryCollector:
                 mine = _FunctionAccumulator(self.sketch_gamma)
                 self._functions[name] = mine
             mine.merge(accumulator)
+        for name, platform_acc in other._platforms.items():
+            mine_platform = self._platforms.get(name)
+            if mine_platform is None:
+                mine_platform = _PlatformAccumulator(self.sketch_gamma)
+                self._platforms[name] = mine_platform
+            mine_platform.merge(platform_acc)
         self._cycle.merge(other._cycle)
         self._queue_wait.merge(other._queue_wait)
         self._latency.merge(other._latency)
@@ -609,6 +644,51 @@ class TelemetryCollector:
             name: self.function_stats(name)
             for name in sorted(self._functions)
         }
+
+    # -- per-platform aggregates ----------------------------------------------
+
+    @property
+    def platforms_seen(self) -> List[str]:
+        """Worker platforms that completed at least one job."""
+        return sorted(self._platforms)
+
+    def _platform_accumulator(self, platform: str) -> _PlatformAccumulator:
+        accumulator = self._platforms.get(platform)
+        if accumulator is None:
+            raise KeyError(
+                f"no records for platform {platform!r}; "
+                f"seen: {sorted(self._platforms)}"
+            )
+        return accumulator
+
+    def platform_count(self, platform: str) -> int:
+        """Completed jobs attributed to one worker platform."""
+        return self._platform_accumulator(platform).latency.count
+
+    def platform_mean_latency_s(self, platform: str) -> float:
+        """Mean submission-to-completion latency on one platform."""
+        return self._platform_accumulator(platform).latency.mean
+
+    def platform_percentile_latency_s(self, platform: str, p: float) -> float:
+        """Latency percentile on one platform (exact or sketch)."""
+        accumulator = self._platform_accumulator(platform)
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.exact:
+            ordered = self._sorted_series(
+                f"latency:platform:{platform}",
+                lambda: [
+                    r.t_completed - r.t_queued
+                    for r in self.records
+                    if r.platform == platform
+                ],
+            )
+            return _percentile_of_sorted(ordered, p)
+        return accumulator.latency_sketch.quantile(p)
+
+    def platform_mean_queue_wait_s(self, platform: str) -> float:
+        """Mean queue wait on one platform."""
+        return self._platform_accumulator(platform).queue_wait.mean
 
     # -- cluster-level aggregates ---------------------------------------------
 

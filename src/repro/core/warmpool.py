@@ -21,13 +21,26 @@ import math
 from typing import List, Optional
 
 from repro.cluster.matching import mean_cycle_s
+from repro.core.platform import ARM
 
 
 class WarmPool:
-    """Controls which of a MicroFaaS cluster's workers stay warm."""
+    """Controls which of a cluster's warmable workers stay warm.
+
+    Only workers with their own board-level power control (SBC workers)
+    can be kept warm — a microVM's host is always hot, so "warm" is
+    meaningless there.  On a hybrid cluster the pool therefore operates
+    on the SBC subset and ignores the VM workers; on a pure MicroFaaS
+    cluster this is every worker, exactly as before.
+    """
 
     def __init__(self, cluster, size: int = 0):
         self.cluster = cluster
+        self._warmable = [
+            worker
+            for worker in cluster.workers
+            if getattr(worker, "sbc", None) is not None
+        ]
         self._size = 0
         self.resize_history: List[tuple] = []
         self.set_size(size)
@@ -36,23 +49,28 @@ class WarmPool:
     def size(self) -> int:
         return self._size
 
+    @property
+    def warmable_count(self) -> int:
+        """Workers eligible for warming (the SBC subset)."""
+        return len(self._warmable)
+
     def set_size(self, size: int) -> None:
-        """Keep the first ``size`` workers warm (flags apply at each
-        worker's next between-jobs decision point)."""
-        if not 0 <= size <= len(self.cluster.workers):
+        """Keep the first ``size`` warmable workers warm (flags apply at
+        each worker's next between-jobs decision point)."""
+        if not 0 <= size <= len(self._warmable):
             raise ValueError(
                 f"warm-pool size {size} outside [0, "
-                f"{len(self.cluster.workers)}]"
+                f"{len(self._warmable)}]"
             )
         self._size = size
-        for index, worker in enumerate(self.cluster.workers):
+        for index, worker in enumerate(self._warmable):
             worker.keep_warm = index < size
         self.resize_history.append((self.cluster.env.now, size))
 
     def warm_worker_ids(self) -> List[int]:
         return [
             worker.sbc.node_id
-            for worker in self.cluster.workers
+            for worker in self._warmable
             if worker.keep_warm
         ]
 
@@ -75,10 +93,10 @@ class WarmPool:
         if headroom < 1.0:
             raise ValueError("headroom must be >= 1.0")
         limit = (
-            len(self.cluster.workers) if max_size is None
-            else min(max_size, len(self.cluster.workers))
+            len(self._warmable) if max_size is None
+            else min(max_size, len(self._warmable))
         )
-        cycle = mean_cycle_s("arm")
+        cycle = mean_cycle_s(ARM)  # only SBC workers are warmable
         orchestrator = self.cluster.orchestrator
         last_submitted = orchestrator._submitted
         env = self.cluster.env

@@ -15,6 +15,8 @@ One module per paper artifact:
   5.6x energy headline.
 - :mod:`repro.experiments.fault_study` — goodput, latency, and energy
   under escalating chaos with the full recovery stack (extension).
+- :mod:`repro.experiments.hybrid_study` — the SBC:VM mix sweep on the
+  heterogeneous cluster with per-platform telemetry (extension).
 
 Every module exposes ``run(...)`` returning structured results and
 ``render(...)`` producing the text the benchmark harness prints.
@@ -34,6 +36,7 @@ from repro.experiments import (
     fig5_power,
     hardware_selection,
     headline,
+    hybrid_study,
     runner,
     scale_study,
     table1_workloads,
@@ -49,6 +52,7 @@ __all__ = [
     "fig5_power",
     "hardware_selection",
     "headline",
+    "hybrid_study",
     "runner",
     "scale_study",
     "table1_workloads",

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig4_vmsweep,
     fig5_power,
     headline,
+    hybrid_study,
     megatrace,
     scale_study,
     table2_tco,
@@ -159,6 +160,32 @@ def export_fault_study(directory: str, invocations_per_function: int = 2) -> str
     )
 
 
+def export_hybrid_study(
+    directory: str, invocations_per_function: int = 2
+) -> str:
+    """The SBC:VM mix sweep: one row per mix, with per-platform splits."""
+    result = hybrid_study.run(
+        invocations_per_function=invocations_per_function
+    )
+    rows = [
+        (p.sbc_count, p.vm_count, p.worker_count, p.jobs_completed,
+         p.duration_s, p.throughput_per_min, p.predicted_throughput_per_min,
+         p.energy_joules, p.joules_per_function, p.arm_jobs, p.x86_jobs,
+         p.arm_energy_joules, p.x86_energy_joules,
+         p.arm_p99_latency_s if p.arm_p99_latency_s is not None else "",
+         p.x86_p99_latency_s if p.x86_p99_latency_s is not None else "")
+        for p in result.points
+    ]
+    return _write(
+        os.path.join(directory, "hybrid_study.csv"),
+        ["sbc_count", "vm_count", "workers", "jobs", "duration_s",
+         "func_per_min", "predicted_func_per_min", "energy_joules",
+         "joules_per_function", "arm_jobs", "x86_jobs", "arm_energy_joules",
+         "x86_energy_joules", "arm_p99_latency_s", "x86_p99_latency_s"],
+        rows,
+    )
+
+
 def export_scale_study(
     directory: str,
     worker_counts: Sequence[int] = (10, 100, 400),
@@ -237,6 +264,7 @@ def export_all(
         export_table2(directory),
         export_headline(directory, invocations_per_function),
         export_fault_study(directory, max(2, invocations_per_function // 6)),
+        export_hybrid_study(directory, max(2, invocations_per_function // 6)),
         export_scale_study(directory),
         export_trace(directory, invocations_per_function),
     ]
@@ -250,6 +278,7 @@ __all__ = [
     "export_fig4",
     "export_fig5",
     "export_headline",
+    "export_hybrid_study",
     "export_megatrace",
     "export_scale_study",
     "export_table2",

@@ -228,7 +228,7 @@ class ChaosPlan:
 
 
 class ChaosEngine:
-    """Executes a :class:`ChaosPlan` against a MicroFaaS cluster.
+    """Executes a :class:`ChaosPlan` against a cluster.
 
     Board-level faults follow the crash/detect/recover cycle of
     :class:`~repro.reliability.faults.FaultInjector` (plus bounded
@@ -236,6 +236,13 @@ class ChaosEngine:
     set the outage state the transfer/backend models consult.  The
     engine records a recovery time per board fault for MTTR reporting
     and never kills the cluster's last alive worker.
+
+    Works against any harness-built cluster, including hybrid mixes:
+    link and switch faults hit either platform's fabric, while
+    board-level faults (crash / boot failure / stuck GPIO) only apply
+    to SBC workers — a microVM has no board to power-cycle, so events
+    that land on a VM worker are counted in ``skipped_unsupported``
+    rather than injected.
     """
 
     def __init__(
@@ -254,6 +261,8 @@ class ChaosEngine:
         self.injected = 0
         self.skipped_last_worker = 0
         self.skipped_overlap = 0
+        #: Board-level events targeting workers without a board (VMs).
+        self.skipped_unsupported = 0
         self.recovered_jobs = 0
         self.boards_abandoned = 0
         #: (kind, detect_time, recover_time) per completed board repair.
@@ -299,6 +308,27 @@ class ChaosEngine:
         }[event.kind]
         yield from handler(event)
 
+    def _sbc(self, worker_id: int):
+        """The board behind a worker id, or ``None`` for VM workers."""
+        getter = getattr(self.cluster, "sbc_for", None)
+        if getter is not None:
+            try:
+                return getter(worker_id)
+            except KeyError:
+                return None
+        boards = self.cluster.sbcs
+        return boards[worker_id] if 0 <= worker_id < len(boards) else None
+
+    def _worker_endpoint(self, worker_id: int) -> Optional[str]:
+        """Topology endpoint of a worker's access link."""
+        getter = getattr(self.cluster, "worker_endpoint", None)
+        if getter is not None:
+            try:
+                return getter(worker_id)
+            except KeyError:
+                return None
+        return f"sbc-{worker_id}"
+
     def _alive_count(self) -> int:
         # A board with a fault in flight is down (or about to be) even
         # if the orchestrator hasn't detected it yet, so count it out —
@@ -311,7 +341,7 @@ class ChaosEngine:
     def _kill_board(self, worker_id: int, kind: str = "board-fault") -> None:
         """Cut power and the worker process (the crash itself)."""
         worker = self.cluster.workers[worker_id]
-        sbc = self.cluster.sbcs[worker_id]
+        sbc = self._sbc(worker_id)
         victim = worker.current_job
         if victim is not None and victim.trace_id is not None:
             # Stamp the fault on the in-flight invocation's trace; the
@@ -338,7 +368,7 @@ class ChaosEngine:
         # An enqueue-time wake pulse may have raced the crash during the
         # detection window, leaving the board powered with a dead worker
         # process; the OP cuts power to the failed board.
-        sbc = self.cluster.sbcs[worker_id]
+        sbc = self._sbc(worker_id)
         if sbc.is_powered:
             sbc.power_off()
         worker = self.cluster.workers[worker_id]
@@ -366,6 +396,11 @@ class ChaosEngine:
         env = self.cluster.env
         worker_id = int(event.target)
         orchestrator = self.cluster.orchestrator
+        if self._sbc(worker_id) is None:
+            # No board behind this worker (a microVM): nothing to crash
+            # or power-cycle at the hardware level.
+            self.skipped_unsupported += 1
+            return
         if worker_id in self._board_busy:
             self.skipped_overlap += 1
             return
@@ -389,7 +424,7 @@ class ChaosEngine:
                 # the OP retries up to its budget, each cycle burning a
                 # boot's worth of time and power.
                 attempts_needed = max(1, int(event.magnitude))
-                sbc = self.cluster.sbcs[worker_id]
+                sbc = self._sbc(worker_id)
                 worker = self.cluster.workers[worker_id]
                 failed_cycles = min(attempts_needed - 1, self.max_power_cycles)
                 for _ in range(failed_cycles):
@@ -417,7 +452,11 @@ class ChaosEngine:
         worker_id = int(event.target)
         gpio = self.cluster.gpio
         orchestrator = self.cluster.orchestrator
-        sbc = self.cluster.sbcs[worker_id]
+        sbc = self._sbc(worker_id)
+        if sbc is None:
+            # VM workers have no PWR_BUT line to get stuck.
+            self.skipped_unsupported += 1
+            return
         if worker_id in self._board_busy:
             self.skipped_overlap += 1
             return
@@ -449,7 +488,12 @@ class ChaosEngine:
     def _link_fault(self, event: ChaosEvent):
         """LINK_DOWN / LINK_DEGRADE on one worker's access link."""
         env = self.cluster.env
-        link = self.cluster.topology.links.get(f"sbc-{int(event.target)}")
+        endpoint = self._worker_endpoint(int(event.target))
+        link = (
+            self.cluster.topology.links.get(endpoint)
+            if endpoint is not None
+            else None
+        )
         if link is None:
             return
         self.injected += 1

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cluster.matching import (
+    hybrid_throughput_per_min,
     match_vm_count,
     mean_cycle_s,
     microfaas_throughput_per_min,
@@ -57,3 +58,31 @@ def test_validation():
         vm_throughput_per_min(0)
     with pytest.raises(ValueError):
         match_vm_count(sbc_count=10_000, max_vms=10)
+
+
+def test_unknown_platform_error_lists_known_platforms():
+    with pytest.raises(ValueError, match="known platforms"):
+        mean_cycle_s("sparc")
+
+
+def test_hybrid_prediction_is_additive():
+    mixed = hybrid_throughput_per_min(10, 6)
+    assert mixed == pytest.approx(
+        microfaas_throughput_per_min(10) + vm_throughput_per_min(6)
+    )
+
+
+def test_hybrid_prediction_degenerates_to_single_platform():
+    assert hybrid_throughput_per_min(10, 0) == pytest.approx(
+        microfaas_throughput_per_min(10)
+    )
+    assert hybrid_throughput_per_min(0, 6) == pytest.approx(
+        vm_throughput_per_min(6)
+    )
+
+
+def test_hybrid_prediction_validation():
+    with pytest.raises(ValueError):
+        hybrid_throughput_per_min(-1, 2)
+    with pytest.raises(ValueError):
+        hybrid_throughput_per_min(0, 0)

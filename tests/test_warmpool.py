@@ -142,3 +142,33 @@ def test_autoscaler_validation():
         next(pool.autoscale(interval_s=0.0))
     with pytest.raises(ValueError):
         next(pool.autoscale(headroom=0.5))
+
+
+# -- warm pool on a hybrid cluster -----------------------------------------------------
+
+
+def test_warm_pool_on_hybrid_warms_only_sbc_workers():
+    from repro.cluster import HybridCluster
+
+    cluster = HybridCluster(sbc_count=3, vm_count=2)
+    pool = WarmPool(cluster, size=3)
+    assert pool.warmable_count == 3
+    assert pool.warm_worker_ids() == [0, 1, 2]
+    # Sizing is bounded by the warmable (SBC) fleet, not total workers.
+    with pytest.raises(ValueError):
+        WarmPool(cluster, size=4)
+    with pytest.raises(ValueError):
+        pool.set_size(4)
+
+
+def test_warm_pool_on_hybrid_never_flags_vm_workers():
+    from repro.cluster import HybridCluster
+
+    cluster = HybridCluster(sbc_count=2, vm_count=2)
+    pool = WarmPool(cluster, size=2)
+    warm = set(pool.warm_worker_ids())
+    for worker_id in warm:
+        assert cluster.worker_platform(worker_id) == "arm"
+    for worker in cluster.workers:
+        if getattr(worker, "sbc", None) is None:
+            assert not getattr(worker, "keep_warm", False)
