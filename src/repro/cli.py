@@ -32,30 +32,32 @@ from repro.experiments import (
     table2_tco,
 )
 
-#: artifact name -> (description, runner(invocations, jobs, cache, trace)
-#: -> text).  ``jobs``/``cache`` reach the experiments ported onto
+#: artifact name -> (description, runner(invocations, jobs, cache, trace,
+#: shards) -> text).  ``jobs``/``cache`` reach the experiments ported onto
 #: :mod:`repro.experiments.runner`; ``trace`` is the ``--trace`` export
-#: path and only reaches the artifacts in :data:`TRACEABLE`.
+#: path and only reaches the artifacts in :data:`TRACEABLE`; ``shards``
+#: is the ``--shards`` simulation split and only reaches
+#: :data:`SHARDABLE` artifacts.
 ARTIFACTS: Dict[str, tuple] = {
     "fig1": (
         "worker-OS boot-time trajectory (1.51 s ARM / 0.96 s x86)",
-        lambda n, jobs, cache, trace: fig1_boot.render(fig1_boot.run()),
+        lambda n, jobs, cache, trace, shards: fig1_boot.render(fig1_boot.run()),
     ),
     "table1": (
         "the 17-function workload suite, executed live",
-        lambda n, jobs, cache, trace: table1_workloads.render(
+        lambda n, jobs, cache, trace, shards: table1_workloads.render(
             table1_workloads.run(scale=0.05, jobs=jobs, cache=cache)
         ),
     ),
     "fig3": (
         "per-function Working/Overhead split on both clusters",
-        lambda n, jobs, cache, trace: fig3_runtime.render(
+        lambda n, jobs, cache, trace, shards: fig3_runtime.render(
             fig3_runtime.run(invocations_per_function=n)
         ),
     ),
     "fig4": (
         "energy efficiency & throughput vs VM count",
-        lambda n, jobs, cache, trace: fig4_vmsweep.render(
+        lambda n, jobs, cache, trace, shards: fig4_vmsweep.render(
             fig4_vmsweep.run(
                 invocations_per_function=max(4, n // 3),
                 jobs=jobs,
@@ -65,17 +67,17 @@ ARTIFACTS: Dict[str, tuple] = {
     ),
     "fig5": (
         "power vs active workers (energy proportionality)",
-        lambda n, jobs, cache, trace: fig5_power.render(
+        lambda n, jobs, cache, trace, shards: fig5_power.render(
             fig5_power.run(invocations=max(3, n // 4))
         ),
     ),
     "table2": (
         "5-year TCO comparison (exact to the dollar)",
-        lambda n, jobs, cache, trace: table2_tco.render(table2_tco.run()),
+        lambda n, jobs, cache, trace, shards: table2_tco.render(table2_tco.run()),
     ),
     "headline": (
         "throughput match + the 5.6x energy headline",
-        lambda n, jobs, cache, trace: headline.render(
+        lambda n, jobs, cache, trace, shards: headline.render(
             headline.run(
                 invocations_per_function=n,
                 jobs=jobs,
@@ -86,7 +88,7 @@ ARTIFACTS: Dict[str, tuple] = {
     ),
     "fault-study": (
         "goodput/energy under escalating chaos; recovery stack (extension)",
-        lambda n, jobs, cache, trace: fault_study.render(
+        lambda n, jobs, cache, trace, shards: fault_study.render(
             fault_study.run(
                 invocations_per_function=max(2, n // 8),
                 jobs=jobs,
@@ -97,24 +99,25 @@ ARTIFACTS: Dict[str, tuple] = {
     ),
     "hybrid-study": (
         "SBC:VM mix sweep on the heterogeneous cluster (extension)",
-        lambda n, jobs, cache, trace: hybrid_study.render(
+        lambda n, jobs, cache, trace, shards: hybrid_study.render(
             hybrid_study.run(
                 invocations_per_function=max(2, n // 8),
                 jobs=jobs,
                 cache=cache,
                 trace_path=trace,
+                shards=shards,
             )
         ),
     ),
     "hardware": (
         "candidate worker boards compared (extension)",
-        lambda n, jobs, cache, trace: hardware_selection.render(
+        lambda n, jobs, cache, trace, shards: hardware_selection.render(
             hardware_selection.run(invocations_per_function=n)
         ),
     ),
     "scale": (
         "the prototype architecture at fleet scale (extension)",
-        lambda n, jobs, cache, trace: scale_study.render(
+        lambda n, jobs, cache, trace, shards: scale_study.render(
             scale_study.run(
                 worker_counts=(10, 100, 400, 800),
                 jobs_per_worker=max(2, n // 8),
@@ -125,24 +128,29 @@ ARTIFACTS: Dict[str, tuple] = {
     ),
     "scale-frontier": (
         "the 2,000-5,000-worker streaming-telemetry sweep (extension)",
-        lambda n, jobs, cache, trace: scale_study.render(
+        lambda n, jobs, cache, trace, shards: scale_study.render(
             scale_study.run_frontier(
                 jobs_per_worker=max(2, n // 10),
                 jobs=jobs,
                 cache=cache,
+                shards=shards,
             )
         ),
     ),
     "megatrace": (
         "fast-path trace replay, 10,000 x --invocations arrivals (extension)",
-        lambda n, jobs, cache, trace: megatrace.render(
-            megatrace.run(invocations=n * 10_000, trace_path=trace)
+        lambda n, jobs, cache, trace, shards: megatrace.render(
+            megatrace.run(invocations=n * 10_000, trace_path=trace, shards=shards)
         ),
     ),
 }
 
 #: Artifacts that honour ``--trace`` (the rest would silently ignore it).
 TRACEABLE = frozenset({"headline", "fault-study", "hybrid-study", "megatrace"})
+
+#: Artifacts that honour ``--shards`` (multi-process sharded simulation;
+#: see :mod:`repro.shard`).
+SHARDABLE = frozenset({"scale-frontier", "megatrace", "hybrid-study"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,6 +190,13 @@ def build_parser() -> argparse.ArgumentParser:
         "megatrace only",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split each simulation across N shard processes "
+        "(scale-frontier, megatrace and hybrid-study only)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run each artifact under cProfile and write "
@@ -199,8 +214,9 @@ def _run_artifact(name: str, args, jobs: Optional[int]) -> int:
     """Run one artifact, optionally under cProfile."""
     runner = ARTIFACTS[name][1]
     trace = args.trace if name in TRACEABLE else None
+    shards = args.shards if name in SHARDABLE else 1
     if not args.profile:
-        print(runner(args.invocations, jobs, not args.no_cache, trace))
+        print(runner(args.invocations, jobs, not args.no_cache, trace, shards))
         print()
         if trace is not None:
             print(f"trace written to {trace}", file=sys.stderr)
@@ -208,7 +224,7 @@ def _run_artifact(name: str, args, jobs: Optional[int]) -> int:
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        text = runner(args.invocations, jobs, not args.no_cache, trace)
+        text = runner(args.invocations, jobs, not args.no_cache, trace, shards)
     finally:
         profiler.disable()
     print(text)
@@ -235,6 +251,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "error: --trace applies to "
             + "/".join(sorted(TRACEABLE))
+            + " only",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.artifact not in SHARDABLE:
+        print(
+            "error: --shards applies to "
+            + "/".join(sorted(SHARDABLE))
             + " only",
             file=sys.stderr,
         )

@@ -67,10 +67,19 @@ class ClusterHarness:
         include_switch_power: bool = False,
         control_plane=None,
         backend=None,
+        local_ids: Optional[Sequence[int]] = None,
     ):
         if not pools:
             raise ValueError("need at least one worker pool")
         self.pools: List[WorkerPool] = list(pools)
+        #: Sharded execution (see :mod:`repro.shard`): when set, only
+        #: these global worker ids get real hardware and worker
+        #: processes — every other id still gets its queue, endpoint,
+        #: and switch-fabric slot so ids, stream names, and topology are
+        #: identical to the serial build, but costs no simulation state.
+        self.local_worker_ids = (
+            frozenset(local_ids) if local_ids is not None else None
+        )
         #: Cluster-level label stamped on results and traces
         #: (see :mod:`repro.core.platform`: microfaas/conventional/hybrid).
         self.platform = platform
@@ -146,6 +155,14 @@ class ClusterHarness:
             pool.build_workers(self)
 
         self.meter = PowerMeter(self.env, self.cluster_watts)
+
+    def owns_worker(self, worker_id: int) -> bool:
+        """Whether this harness simulates ``worker_id`` (always True
+        outside sharded execution)."""
+        return (
+            self.local_worker_ids is None
+            or worker_id in self.local_worker_ids
+        )
 
     # -- pool registration ---------------------------------------------------------------
 

@@ -70,6 +70,7 @@ class HybridCluster(ClusterHarness):
         recovery: Optional[RecoveryPolicy] = None,
         telemetry_exact: bool = True,
         trace: Optional[TraceConfig] = None,
+        local_ids=None,
     ):
         if sbc_count < 0 or vm_count < 0:
             raise ValueError("worker counts must be non-negative")
@@ -110,6 +111,7 @@ class HybridCluster(ClusterHarness):
             include_switch_power=include_switch_power,
             control_plane=control_plane,
             backend=backend,
+            local_ids=local_ids,
         )
 
     # -- pool attribute surface ----------------------------------------------------------

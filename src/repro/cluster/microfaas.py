@@ -45,6 +45,7 @@ class MicroFaaSCluster(ClusterHarness):
         recovery: Optional[RecoveryPolicy] = None,
         telemetry_exact: bool = True,
         trace: Optional[TraceConfig] = None,
+        local_ids=None,
     ):
         self.pool = SbcPool(
             worker_count=worker_count,
@@ -64,6 +65,7 @@ class MicroFaaSCluster(ClusterHarness):
             include_switch_power=include_switch_power,
             control_plane=control_plane,
             backend=backend,
+            local_ids=local_ids,
         )
 
     # -- pool attribute surface (pre-harness API) ----------------------------------------

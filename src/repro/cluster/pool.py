@@ -160,9 +160,6 @@ class SbcPool(WorkerPool):
     def build_workers(self, harness) -> None:
         for _ in range(self.worker_count):
             node_id = harness.orchestrator.worker_count
-            sbc = SingleBoardComputer(
-                lambda: harness.env.now, spec=self.sbc_spec, node_id=node_id
-            )
             endpoint_name = f"sbc-{node_id}"
             # Keep one port spare on the newest switch for the next trunk.
             if self.switches[-1].ports_free <= 1:
@@ -172,6 +169,17 @@ class SbcPool(WorkerPool):
                 self.switches[-1].name,
             )
             queue = harness.orchestrator.add_worker(platform=ARM)
+            if not harness.owns_worker(node_id):
+                # Sharded build: a remote shard simulates this board.
+                # The queue, endpoint, and switch slot above keep global
+                # ids and topology identical to the serial build; no
+                # hardware, GPIO line, or worker process is created.
+                self.worker_ids.append(node_id)
+                harness.register_worker(self, node_id, None, endpoint_name)
+                continue
+            sbc = SingleBoardComputer(
+                lambda: harness.env.now, spec=self.sbc_spec, node_id=node_id
+            )
             harness.gpio.connect(
                 node_id, sbc.power_on, sbc.power_off, lambda s=sbc: s.is_powered
             )
@@ -221,6 +229,19 @@ class SbcPool(WorkerPool):
 
     def energy_joules(self, start: float, end: float) -> float:
         return sum(sbc.trace.energy_joules(start, end) for sbc in self.sbcs)
+
+    def board_energy_joules(self, start: float, end: float):
+        """Per-board energies as ``[(node_id, joules), ...]``.
+
+        Shard merging needs the unsummed terms: float addition is not
+        associative, so the coordinator re-sums all shards' boards in
+        global ``node_id`` order to reproduce the serial pool subtotal
+        bit-for-bit.
+        """
+        return [
+            (sbc.node_id, sbc.trace.energy_joules(start, end))
+            for sbc in self.sbcs
+        ]
 
     def powered_worker_count(self) -> int:
         return sum(1 for sbc in self.sbcs if sbc.is_powered)
@@ -302,13 +323,19 @@ class MicroVmPool(WorkerPool):
         )
         for _ in range(self.vm_count):
             vm_id = harness.orchestrator.worker_count
-            vm = MicroVm(harness.env, self.hypervisor, vm_id=vm_id)
             endpoint_name = f"vm-{vm_id}"
             harness.topology.attach_endpoint(
                 Endpoint(endpoint_name, GIGABIT_ETHERNET, X86_VIRTIO),
                 self.bridge.name,
             )
             queue = harness.orchestrator.add_worker(platform=X86)
+            if not harness.owns_worker(vm_id):
+                # A VM pool is atomic to one shard (see repro.shard);
+                # other shards keep only its queue/endpoint skeleton.
+                self.worker_ids.append(vm_id)
+                harness.register_worker(self, vm_id, None, endpoint_name)
+                continue
+            vm = MicroVm(harness.env, self.hypervisor, vm_id=vm_id)
             worker = VmWorker(
                 harness.env,
                 vm,

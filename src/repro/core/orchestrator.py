@@ -22,7 +22,7 @@ Without a policy the orchestrator behaves exactly as before.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.core.gpio import GpioBank
 from repro.core.job import Job, JobStatus
@@ -97,6 +97,16 @@ class Orchestrator:
         #: When each worker's board was first seen off with work queued.
         self._board_stuck_since: Dict[int, float] = {}
         self._supervisor_running = False
+        #: Sharding hooks (see :mod:`repro.shard`).  ``assign_override``
+        #: lets a shard runtime capture policy-driven assignments (chaos
+        #: salvage) for the coordinator to replay globally; the
+        #: ``on_*`` callbacks report completions and worker liveness
+        #: transitions at window boundaries.  All default to ``None``
+        #: and cost one comparison when unused.
+        self.assign_override: Optional[Callable[[Job, Optional[int]], bool]] = None
+        self.on_complete: Optional[Callable[[Job, InvocationRecord], None]] = None
+        self.on_worker_dead: Optional[Callable[[int], None]] = None
+        self.on_worker_alive: Optional[Callable[[int], None]] = None
 
     # -- workers ---------------------------------------------------------------
 
@@ -147,10 +157,14 @@ class Orchestrator:
         self.dead_workers.add(worker_id)
         if len(self.dead_workers) == len(self.queues):
             raise RuntimeError("every worker is dead; cluster is lost")
+        if self.on_worker_dead is not None:
+            self.on_worker_dead(worker_id)
 
     def mark_worker_alive(self, worker_id: int) -> None:
         """A replaced/repaired worker rejoins the assignment pool."""
         self.dead_workers.discard(worker_id)
+        if self.on_worker_alive is not None:
+            self.on_worker_alive(worker_id)
 
     def note_worker_failure(self, worker_id: int) -> None:
         """Feed one failure observation into the circuit breaker."""
@@ -213,6 +227,8 @@ class Orchestrator:
 
     def _assign(self, job: Job, exclude: Optional[int] = None) -> None:
         """Pick a schedulable queue via the policy and push the job."""
+        if self.assign_override is not None and self.assign_override(job, exclude):
+            return
         candidates = self._candidate_queues(exclude)
         if not candidates:
             raise RuntimeError("no alive workers available")
@@ -259,6 +275,63 @@ class Orchestrator:
                 self._supervisor_running = True
                 self.env.process(self._supervise())
         self._assign(job)
+        return job
+
+    def submit_assigned(self, job: Job, worker_id: int) -> Job:
+        """Accept a job whose placement was decided elsewhere.
+
+        Identical to :meth:`submit` except the assignment policy is
+        never consulted — the caller (a shard coordinator replaying the
+        policy on global queue state) names the target worker directly.
+        Stamps, traces, and counters match :meth:`submit` exactly.
+        """
+        if not 0 <= worker_id < len(self.queues):
+            raise KeyError(f"no worker {worker_id}")
+        if job.job_id in self.jobs:
+            raise ValueError(f"job {job.job_id} already submitted")
+        job.t_submit = self.env.now
+        if job.idempotency_key is None:
+            job.idempotency_key = f"{job.function}/{job.job_id}"
+        if self.tracer.enabled and self.tracer.sample(job.job_id):
+            job.trace_id = job.job_id
+            self.tracer.begin_trace(
+                job.trace_id, self.env.now, job.function,
+                attrs={"idempotency_key": job.idempotency_key},
+            )
+            self.tracer.annotate(job.trace_id, obs.SUBMIT, self.env.now)
+        self.jobs[job.job_id] = job
+        self._submitted += 1
+        if job.trace_id is not None:
+            self.tracer.annotate(
+                job.trace_id, obs.ASSIGN, self.env.now,
+                worker_id=worker_id,
+                attrs={"policy": self.policy.name, "candidates": -1},
+            )
+        self.queues[worker_id].push(job)
+        return job
+
+    def adopt_job(self, job: Job, worker_id: int) -> Job:
+        """Take over a mid-flight job migrated from another shard.
+
+        The job keeps its original ``t_submit``/attempt bookkeeping; it
+        is simply pushed onto the named local queue at the current time
+        (the chaos-detection boundary where the coordinator reassigned
+        it).
+        """
+        if not 0 <= worker_id < len(self.queues):
+            raise KeyError(f"no worker {worker_id}")
+        if job.job_id in self.jobs:
+            raise ValueError(f"job {job.job_id} already present")
+        self.jobs[job.job_id] = job
+        self._submitted += 1
+        self.queues[worker_id].push(job)
+        return job
+
+    def release_job(self, job_id: int) -> Job:
+        """Hand a mid-flight job off to another shard (the inverse of
+        :meth:`adopt_job`): forget it locally without completing it."""
+        job = self.jobs.pop(job_id)
+        self._submitted -= 1
         return job
 
     def resubmit(self, job: Job) -> Job:
@@ -442,6 +515,8 @@ class Orchestrator:
             )
         self.telemetry.record(record)
         self._completed += 1
+        if self.on_complete is not None:
+            self.on_complete(job, record)
         if self.evict_finished and self.recovery is None:
             del self.jobs[job.job_id]
             self._done.discard(job.job_id)

@@ -28,6 +28,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import run_map
 from repro.obs.export import write_trace_file
 from repro.obs.trace import TraceConfig
+from repro.shard import ClusterSpec, ShardedCluster
 
 #: Default sweep: the paper's two endpoints (10 SBCs / 6 VMs) and the
 #: mixes in between.
@@ -49,6 +50,11 @@ class HybridStudyTask:
     vm_count: int
     invocations_per_function: int
     seed: int
+    #: Shards to split this point's simulation across (1 = serial).
+    #: The default energy-aware policy is shardable, so sharded points
+    #: are bit-identical to serial ones — this is purely an
+    #: execution-mode knob for very wide mixes.
+    shards: int = 1
 
 
 @dataclass(frozen=True)
@@ -101,10 +107,28 @@ def _build_point_cluster(
 
 def _run_mix_point(task: HybridStudyTask) -> HybridStudyPoint:
     """Worker: one saturated run of one SBC:VM mix."""
-    cluster = _build_point_cluster(task)
-    result = cluster.run_saturated(
-        invocations_per_function=task.invocations_per_function
-    )
+    if task.shards > 1:
+        # Inline executor: this worker may itself be a run_map child
+        # process, and the results are bit-identical either way — the
+        # win here is memory (per-shard record pools), not wall-clock.
+        sharded = ShardedCluster(
+            ClusterSpec(
+                kind="hybrid",
+                sbc_count=task.sbc_count,
+                vm_count=task.vm_count,
+                seed=task.seed,
+            ),
+            task.shards,
+            executor="inline",
+        )
+        result = sharded.run_saturated(
+            invocations_per_function=task.invocations_per_function
+        )
+    else:
+        cluster = _build_point_cluster(task)
+        result = cluster.run_saturated(
+            invocations_per_function=task.invocations_per_function
+        )
     telemetry = result.telemetry
     energy = result.energy_by_platform
 
@@ -160,12 +184,17 @@ def run(
     cache: bool = True,
     cache_dir=None,
     trace_path: Optional[str] = None,
+    shards: int = 1,
 ) -> HybridStudyResult:
     """Sweep SBC:VM mixes over independent seeded cluster runs.
 
     With ``trace_path`` set, the most heterogeneous point (largest
     ``min(sbc, vm)``, i.e. the most evenly mixed) is re-run inline with
     tracing enabled and its span trees written to that path.
+
+    ``shards > 1`` runs each point through the sharded engine
+    (bit-identical results; see :class:`repro.shard.ShardedCluster`).
+    Capped per point at its worker count.
     """
     if not mixes:
         raise ValueError("need at least one mix")
@@ -176,8 +205,16 @@ def run(
             raise ValueError("each mix needs at least one worker")
     if invocations_per_function < 1:
         raise ValueError("invocations_per_function must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     tasks = [
-        HybridStudyTask(sbc, vm, invocations_per_function, seed)
+        HybridStudyTask(
+            sbc,
+            vm,
+            invocations_per_function,
+            seed,
+            shards=min(shards, sbc + vm),
+        )
         for sbc, vm in mixes
     ]
     points = run_map(

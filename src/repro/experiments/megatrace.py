@@ -28,10 +28,11 @@ from repro.cluster.microfaas import MicroFaaSCluster
 from repro.cluster.replay import replay_trace
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.experiments.report import format_table
+from repro.experiments.runner import derive_seed, run_map
 from repro.obs.export import write_trace_file
-from repro.obs.trace import TraceConfig
+from repro.obs.trace import TraceConfig, merge_traces
 from repro.sim.rng import RandomStreams
-from repro.workloads.traces import poisson_trace
+from repro.workloads.traces import ColumnarTrace, poisson_trace
 
 #: Sustained per-worker service rate of a BeagleBone through the full
 #: boot→execute→report cycle (the testbed does ~200 func/min across 10
@@ -67,11 +68,126 @@ class MegatraceResult:
     traces_finished: int = 0
     traces_dropped: int = 0
     traces_exported: int = 0
+    #: Partitioned-deployment shards this replay ran across (1 = one
+    #: cluster, one OP; N = the trace striped over N independent
+    #: worker-slices, each with its own orchestrator).
+    shards: int = 1
 
     @property
     def events_per_wall_s(self) -> float:
         """Simulator throughput: completed invocations per wall second."""
         return self.invocations / self.wall_clock_s
+
+
+@dataclass(frozen=True)
+class _StripeTask:
+    """One partition of a sharded megatrace replay (picklable)."""
+
+    stripe: ColumnarTrace
+    worker_count: int
+    seed: int
+    trace_config: Optional[TraceConfig]
+
+
+def _replay_stripe(task: _StripeTask) -> dict:
+    """Worker: replay one traffic stripe on its own cluster + OP."""
+    cluster = MicroFaaSCluster(
+        worker_count=task.worker_count,
+        seed=task.seed,
+        policy=LeastLoadedPolicy(),
+        telemetry_exact=False,
+        trace=task.trace_config,
+    )
+    cluster.orchestrator.evict_finished = True
+    result = replay_trace(cluster, task.stripe)
+    telemetry = cluster.orchestrator.telemetry
+    out = {
+        "jobs_completed": result.jobs_completed,
+        "duration_s": result.duration_s,
+        "energy_joules": result.energy_joules,
+        "telemetry": telemetry,
+        "peak_rss_mib": peak_rss_mib(),
+        "traces": [],
+        "traces_finished": 0,
+        "traces_dropped": 0,
+    }
+    if task.trace_config is not None:
+        out["traces"] = list(cluster.finished_traces())
+        out["traces_finished"] = cluster.tracer.traces_finished
+        out["traces_dropped"] = cluster.tracer.traces_dropped
+    return out
+
+
+def _run_partitioned(
+    trace: ColumnarTrace,
+    worker_count: int,
+    rate: float,
+    seed: int,
+    shards: int,
+    trace_path: Optional[str],
+    trace_config: Optional[TraceConfig],
+    start: float,
+) -> MegatraceResult:
+    """Stripe the trace over ``shards`` independent clusters.
+
+    This models a *partitioned* deployment — N orchestrators, each
+    owning ``worker_count / N`` boards and a round-robin slice of the
+    traffic — and runs the partitions as parallel processes.  Unlike
+    :class:`repro.shard.ShardedCluster` there is no cross-partition
+    scheduling, so the numbers are those of the partitioned deployment,
+    not bit-identical to the single-OP replay (each partition's
+    least-loaded scheduler sees only its own slice).  Deterministic for
+    a given (seed, shards) regardless of process scheduling: each task
+    carries a derived seed and its stripe, and results merge in
+    partition order.
+    """
+    base, extra = divmod(worker_count, shards)
+    tasks = [
+        _StripeTask(
+            stripe=trace.stripe(index, shards),
+            worker_count=base + (1 if index < extra else 0),
+            seed=derive_seed(seed, "megatrace-shard", index),
+            trace_config=trace_config,
+        )
+        for index in range(shards)
+    ]
+    # Uncached on purpose, like the serial path: the run is the
+    # measurement.
+    outs = run_map(tasks, _replay_stripe, jobs=shards, cache=False)
+    telemetry = outs[0]["telemetry"]
+    for out in outs[1:]:
+        telemetry.merge(out["telemetry"])
+    jobs_completed = sum(out["jobs_completed"] for out in outs)
+    duration = max(out["duration_s"] for out in outs)
+    energy = sum(out["energy_joules"] for out in outs)
+    wall = time.perf_counter() - start
+    traces_finished = traces_dropped = traces_exported = 0
+    if trace_path is not None:
+        finished = merge_traces([out["traces"] for out in outs])
+        write_trace_file(finished, trace_path)
+        traces_finished = sum(out["traces_finished"] for out in outs)
+        traces_dropped = sum(out["traces_dropped"] for out in outs)
+        traces_exported = len(finished)
+    return MegatraceResult(
+        invocations=jobs_completed,
+        worker_count=worker_count,
+        rate_per_s=rate,
+        sim_duration_s=duration,
+        wall_clock_s=wall,
+        peak_rss_mib=max(
+            max(out["peak_rss_mib"] for out in outs), peak_rss_mib()
+        ),
+        throughput_per_min=jobs_completed * 60.0 / duration,
+        mean_latency_s=telemetry.mean_latency_s(),
+        p99_latency_s=telemetry.percentile_latency_s(99),
+        joules_per_function=energy / jobs_completed if jobs_completed else 0.0,
+        records_retained=len(telemetry.records),
+        sketch_buckets=telemetry._latency_sketch.bucket_count,
+        traces_finished=traces_finished,
+        traces_dropped=traces_dropped,
+        traces_exported=traces_exported,
+        shards=shards,
+    )
 
 
 def run(
@@ -82,6 +198,7 @@ def run(
     trace_path: Optional[str] = None,
     trace_sample_rate: float = 0.001,
     trace_max: int = 2048,
+    shards: int = 1,
 ) -> MegatraceResult:
     """Replay ``invocations`` Poisson arrivals at ``utilization`` of the
     cluster's sustained capacity.
@@ -95,6 +212,10 @@ def run(
     ``trace_max`` ring buffer caps retained traces no matter how many
     are sampled.  Boot-stage sub-spans are disabled to keep sampled
     traces lean at this scale.
+
+    ``shards > 1`` switches to the partitioned deployment: the trace is
+    round-robin-striped over that many independent cluster slices which
+    replay as parallel processes (see :func:`_run_partitioned`).
     """
     if invocations < 1:
         raise ValueError("invocations must be >= 1")
@@ -102,6 +223,10 @@ def run(
         raise ValueError("worker_count must be >= 1")
     if not 0 < utilization < 1:
         raise ValueError("utilization must be in (0, 1)")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards > worker_count:
+        raise ValueError("more shards than workers")
     rate = worker_count * WORKER_JOBS_PER_S * utilization
     duration = invocations / rate
     trace_config = (
@@ -117,6 +242,17 @@ def run(
     trace = poisson_trace(
         rate, duration, streams=RandomStreams(seed), columnar=True
     )
+    if shards > 1:
+        return _run_partitioned(
+            trace,
+            worker_count,
+            rate,
+            seed,
+            shards,
+            trace_path,
+            trace_config,
+            start,
+        )
     cluster = MicroFaaSCluster(
         worker_count=worker_count,
         seed=seed,
@@ -157,7 +293,15 @@ def run(
 def render(result: MegatraceResult) -> str:
     rows = [
         ("invocations replayed", f"{result.invocations:,}"),
-        ("workers", f"{result.worker_count}"),
+        (
+            "workers",
+            f"{result.worker_count}"
+            + (
+                f" ({result.shards} partitions, one OP each)"
+                if result.shards > 1
+                else ""
+            ),
+        ),
         ("arrival rate", f"{result.rate_per_s:.1f} /s"),
         ("simulated time", f"{result.sim_duration_s / 3600:.2f} h"),
         ("throughput", f"{result.throughput_per_min:.0f} func/min"),

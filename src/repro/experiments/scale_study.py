@@ -21,12 +21,20 @@ from repro.core.controlplane import ControlPlaneModel
 from repro.core.scheduler import LeastLoadedPolicy
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_map
+from repro.shard import ClusterSpec, ShardedCluster
 from repro.workloads.profiles import PROFILES
 
 #: The frontier sweep: cluster sizes from two racks up to five times the
 #: TCO analysis's 989-SBC rack.  Points this large run with streaming
 #: telemetry (see :func:`run`'s ``streaming_threshold``).
 FRONTIER_WORKER_COUNTS = (2000, 3000, 4000, 5000)
+
+#: The sharded-execution limit point: a hundred thousand workers — two
+#: orders of magnitude past the costed rack.  Only reachable with
+#: ``shards > 1`` (one serial event loop cannot turn the event volume
+#: over in reasonable wall-clock) and streaming telemetry (exact-mode
+#: records would not fit in memory).
+FRONTIER_LIMIT_WORKER_COUNT = 100_000
 
 
 @dataclass(frozen=True)
@@ -43,6 +51,8 @@ class ScalePoint:
     throughput_per_min: float
     unconstrained_per_min: float
     control_plane_utilization: float
+    #: How many simulation shards produced this point (1 = serial).
+    shards: int = 1
 
     @property
     def scaling_efficiency(self) -> float:
@@ -85,10 +95,54 @@ class ScaleTask:
     #: Use the streaming telemetry collector (frontier-scale points;
     #: value-identical to exact mode for everything a ScalePoint needs).
     streaming_telemetry: bool = False
+    #: Split the simulation across this many shard processes.  With one
+    #: shard the point runs the serial engine; with more, the control
+    #: plane is sharded too (one OP dispatcher per shard), which is the
+    #: "sharded OP" regime the render footnote points at — utilization
+    #: is then total OP busy time over ``shards`` dispatcher-seconds.
+    shards: int = 1
+
+
+def _run_sharded_point(task: ScaleTask) -> ScalePoint:
+    per_function = max(1, (task.jobs_per_worker * task.worker_count) // 17)
+    constrained_spec = ClusterSpec(
+        kind="microfaas",
+        worker_count=task.worker_count,
+        seed=task.seed,
+        policy="least-loaded",
+        telemetry_exact=not task.streaming_telemetry,
+        control_plane=task.control_plane,
+    )
+    with ShardedCluster(constrained_spec, task.shards) as constrained:
+        result = constrained.run_saturated(
+            invocations_per_function=per_function
+        )
+        switch_count = constrained.stats.switch_count
+        busy_seconds = constrained.stats.cp_busy_seconds
+    free_spec = ClusterSpec(
+        kind="microfaas",
+        worker_count=task.worker_count,
+        seed=task.seed,
+        policy="least-loaded",
+        telemetry_exact=not task.streaming_telemetry,
+    )
+    with ShardedCluster(free_spec, task.shards) as free:
+        baseline = free.run_saturated(invocations_per_function=per_function)
+    return ScalePoint(
+        worker_count=task.worker_count,
+        switch_count=switch_count,
+        throughput_per_min=result.throughput_per_min,
+        unconstrained_per_min=baseline.throughput_per_min,
+        control_plane_utilization=busy_seconds
+        / (task.shards * result.duration_s),
+        shards=task.shards,
+    )
 
 
 def _run_scale_point(task: ScaleTask) -> ScalePoint:
     """Worker: one cluster size, measured with and without the OP."""
+    if task.shards > 1:
+        return _run_sharded_point(task)
     per_function = max(1, (task.jobs_per_worker * task.worker_count) // 17)
     exact = not task.streaming_telemetry
     constrained = MicroFaaSCluster(
@@ -126,6 +180,7 @@ def run(
     cache: bool = True,
     cache_dir=None,
     streaming_threshold: int = 1000,
+    shards: int = 1,
 ) -> ScaleStudyResult:
     """Sweep cluster sizes under the single-SBC control plane.
 
@@ -134,9 +189,18 @@ def run(
     changing any value.  Points at or above ``streaming_threshold``
     workers collect telemetry in streaming mode so their memory stays
     bounded (throughput and OP utilization are mode-independent).
+
+    ``shards > 1`` splits every point's simulation across that many
+    shard processes (see :mod:`repro.shard`) and shards the OP with it
+    — required for the :data:`FRONTIER_LIMIT_WORKER_COUNT` point, where
+    one event loop cannot turn over the event volume.  Prefer
+    ``jobs=1`` when sharding: the parallelism budget is better spent
+    inside each point than across points.
     """
     if jobs_per_worker < 1:
         raise ValueError("jobs_per_worker must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     tasks = [
         ScaleTask(
             count,
@@ -144,6 +208,7 @@ def run(
             seed,
             control_plane,
             streaming_telemetry=count >= streaming_threshold,
+            shards=shards,
         )
         for count in worker_counts
     ]
@@ -160,10 +225,17 @@ def run_frontier(
     jobs: int = 1,
     cache: bool = True,
     cache_dir=None,
+    shards: int = 1,
+    worker_counts: Sequence[int] = FRONTIER_WORKER_COUNTS,
 ) -> ScaleStudyResult:
-    """The 2,000–5,000-worker sweep (always streaming telemetry)."""
+    """The 2,000–5,000-worker sweep (always streaming telemetry).
+
+    Pass ``shards > 1`` with
+    ``worker_counts=(*FRONTIER_WORKER_COUNTS, FRONTIER_LIMIT_WORKER_COUNT)``
+    to push the sweep to the 100k-worker limit point.
+    """
     return run(
-        worker_counts=FRONTIER_WORKER_COUNTS,
+        worker_counts=worker_counts,
         jobs_per_worker=jobs_per_worker,
         control_plane=control_plane,
         seed=seed,
@@ -171,10 +243,12 @@ def run_frontier(
         cache=cache,
         cache_dir=cache_dir,
         streaming_threshold=0,
+        shards=shards,
     )
 
 
 def render(result: ScaleStudyResult) -> str:
+    sharded = any(point.shards > 1 for point in result.points)
     rows = [
         (
             point.worker_count,
@@ -184,20 +258,39 @@ def render(result: ScaleStudyResult) -> str:
             f"{point.scaling_efficiency * 100:.0f}%",
             f"{point.control_plane_utilization * 100:.0f}%",
         )
+        + ((point.shards,) if sharded else ())
         for point in result.points
     ]
+    headers = ["workers", "switches", "func/min", "free OP", "retained", "OP util"]
+    if sharded:
+        headers.append("shards")
     table = format_table(
-        ["workers", "switches", "func/min", "free OP", "retained", "OP util"],
+        headers,
         rows,
         title="Scale study - the prototype architecture beyond 10 SBCs",
     )
     busiest = max(p.throughput_per_min for p in result.points)
-    return table + (
-        f"\nsingle-SBC control plane ceiling: "
-        f"{result.control_plane_ceiling_per_min:.0f} func/min "
-        f"({result.control_plane.dispatch_s * 1000:.0f} ms dispatch + "
-        f"{result.control_plane.collect_s * 1000:.0f} ms collect per job); "
-        "scaling past it needs a sharded or beefier OP."
+    if sharded:
+        shards = max(p.shards for p in result.points)
+        ceiling_note = (
+            f"\nper-dispatcher OP ceiling: "
+            f"{result.control_plane_ceiling_per_min:.0f} func/min "
+            f"({result.control_plane.dispatch_s * 1000:.0f} ms dispatch + "
+            f"{result.control_plane.collect_s * 1000:.0f} ms collect per job); "
+            f"the {shards}-way sharded OP lifts the cluster ceiling to "
+            f"{result.control_plane_ceiling_per_min * shards:.0f} func/min."
+        )
+    else:
+        ceiling_note = (
+            f"\nsingle-SBC control plane ceiling: "
+            f"{result.control_plane_ceiling_per_min:.0f} func/min "
+            f"({result.control_plane.dispatch_s * 1000:.0f} ms dispatch + "
+            f"{result.control_plane.collect_s * 1000:.0f} ms collect per job); "
+            "scaling past it needs a sharded OP — rerun with --shards N "
+            "to model one (repro.shard splits both the simulation and "
+            "the OP into N dispatchers)."
+        )
+    return table + ceiling_note + (
         f"\nOP uplink at the busiest point: "
         f"{result.op_link_utilization(busiest) * 100:.1f}% of GigE — "
         "the fabric is not the bottleneck; the control plane's CPU is."

@@ -496,10 +496,14 @@ def merge_traces(
 
     Recorders must carry distinct labels if their trace ids can
     collide (e.g. the two headline clusters both number jobs from 0).
+    Each element may also be a plain iterable of
+    :class:`FinishedTrace` (shard workers ship sealed traces across
+    process boundaries, not live recorders).
     """
     merged: List[FinishedTrace] = []
     for recorder in recorders:
-        merged.extend(recorder.traces())
+        traces = getattr(recorder, "traces", None)
+        merged.extend(traces() if traces is not None else recorder)
     merged.sort(key=lambda trace: (trace.start_s, trace.label, trace.trace_id))
     return merged
 

@@ -127,8 +127,64 @@ class ChaosPlan:
 
     events: Tuple[ChaosEvent, ...]
 
+    #: Board-level kinds whose detection reassigns salvaged jobs (the
+    #: policy decisions a shard coordinator must replay globally).
+    BOARD_KINDS = frozenset(
+        {"worker-crash", "boot-failure", "gpio-stuck"}
+    )
+    #: Kinds touching cluster-shared fabric/services — unsupported in
+    #: sharded runs, where each shard owns only its workers' links.
+    SHARED_KINDS = frozenset({"switch-outage", "backend-fault"})
+
     def count(self, kind: ChaosKind) -> int:
         return sum(1 for event in self.events if event.kind is kind)
+
+    def has_shared_fabric_events(self) -> bool:
+        """Whether any event hits a switch or backend service (those
+        targets are cluster-shared, so such plans cannot be sharded)."""
+        return any(
+            event.kind.value in self.SHARED_KINDS for event in self.events
+        )
+
+    def restrict_to_workers(self, worker_ids) -> "ChaosPlan":
+        """The sub-plan of worker-targeted events landing on ``worker_ids``.
+
+        Used by shard runtimes: each shard executes only the events
+        whose target board/link it simulates.  Event order within the
+        sub-plan matches the full plan, so a shard's fault sequence is
+        exactly the serial engine's sequence filtered to its workers.
+        """
+        owned = frozenset(worker_ids)
+        return ChaosPlan(
+            events=tuple(
+                event
+                for event in self.events
+                if event.kind.value not in self.SHARED_KINDS
+                and int(event.target) in owned
+            )
+        )
+
+    def board_detect_times(self, detection_delay_s: float):
+        """Sorted unique detection times of all board-level events.
+
+        These are the instants where the serial engine drains a dead
+        worker's queue and reassigns jobs through the policy — the
+        rendezvous boundaries a shard coordinator must stop at.  A
+        conservative superset (events later skipped for overlap or
+        last-worker protection reach no salvage) is harmless: the
+        boundary simply exchanges empty reports.
+        """
+        if detection_delay_s < 0:
+            raise ValueError("detection delay cannot be negative")
+        return tuple(
+            sorted(
+                {
+                    event.time_s + detection_delay_s
+                    for event in self.events
+                    if event.kind.value in self.BOARD_KINDS
+                }
+            )
+        )
 
     @classmethod
     def sample(

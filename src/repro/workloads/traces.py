@@ -250,6 +250,27 @@ class ColumnarTrace:
             duration_s=self.duration_s,
         )
 
+    def stripe(self, index: int, count: int) -> "ColumnarTrace":
+        """The ``index``-th of ``count`` round-robin stripes.
+
+        Takes events ``index, index + count, index + 2*count, ...`` —
+        still time-sorted, same duration, and the stripes partition the
+        trace exactly (every event lands in one stripe).  This is how a
+        partitioned deployment splits traffic across independent
+        orchestrators: round-robin keeps each stripe's arrival process
+        statistically identical to a 1/``count``-thinned original.
+        """
+        if count < 1:
+            raise ValueError("stripe count must be >= 1")
+        if not 0 <= index < count:
+            raise ValueError("stripe index out of range")
+        return ColumnarTrace(
+            times=self.times[index::count],
+            function_ids=self.function_ids[index::count],
+            functions=self.functions,
+            duration_s=self.duration_s,
+        )
+
 
 Trace = Union[ArrivalTrace, ColumnarTrace]
 

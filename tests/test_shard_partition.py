@@ -1,0 +1,61 @@
+"""Partitioner invariants: coverage, balance, pool atomicity."""
+
+import pytest
+
+from repro.shard.partition import PoolShape, ShardPlan, plan_shards
+
+
+def test_single_pool_splits_into_balanced_contiguous_runs():
+    plan = plan_shards([PoolShape(10)], 4)
+    assert plan.shard_count == 4
+    assert plan.worker_count == 10
+    sizes = [len(ids) for ids in plan.shard_worker_ids]
+    assert max(sizes) - min(sizes) <= 1
+    # Contiguous runs in shard order: 0-2, 3-5, 6-7, 8-9.
+    assert plan.shard_worker_ids == ((0, 1, 2), (3, 4, 5), (6, 7), (8, 9))
+
+
+def test_every_worker_is_owned_exactly_once():
+    plan = plan_shards([PoolShape(7), PoolShape(5, divisible=False)], 3)
+    owned = [plan.shard_of(wid) for wid in range(12)]
+    assert len(owned) == 12
+    flattened = sorted(
+        wid for ids in plan.shard_worker_ids for wid in ids
+    )
+    assert flattened == list(range(12))
+
+
+def test_indivisible_pool_lands_whole_on_one_shard():
+    plan = plan_shards([PoolShape(8), PoolShape(4, divisible=False)], 2)
+    vm_ids = set(range(8, 12))
+    owners = {plan.shard_of(wid) for wid in vm_ids}
+    assert len(owners) == 1
+    # It went to the lightest shard, rebalancing total load.
+    sizes = [len(ids) for ids in plan.shard_worker_ids]
+    assert max(sizes) - min(sizes) <= 4
+
+
+def test_indivisible_only_leaves_other_shards_empty():
+    plan = plan_shards([PoolShape(6, divisible=False)], 2)
+    sizes = sorted(len(ids) for ids in plan.shard_worker_ids)
+    assert sizes == [0, 6]
+
+
+def test_more_shards_than_workers_is_rejected():
+    with pytest.raises(ValueError):
+        plan_shards([PoolShape(3)], 4)
+
+
+def test_double_assignment_is_rejected():
+    with pytest.raises(ValueError):
+        ShardPlan(shard_worker_ids=((0, 1), (1, 2)))
+
+
+def test_gap_in_id_space_is_rejected():
+    with pytest.raises(ValueError):
+        ShardPlan(shard_worker_ids=((0,), (2,)))
+
+
+def test_one_shard_owns_everything():
+    plan = plan_shards([PoolShape(5), PoolShape(3, divisible=False)], 1)
+    assert plan.shard_worker_ids == ((0, 1, 2, 3, 4, 5, 6, 7),)

@@ -1,0 +1,179 @@
+"""Replayer-vs-policy equivalence.
+
+Each :class:`~repro.shard.replay.PolicyReplayer` claims to reproduce a
+serial assignment policy's decisions — including tie-breaks — from
+integer virtual state.  These tests drive the real policy (on stub
+queues, alive candidates in worker-id order, exactly like the
+orchestrator presents them) and the replayer through the same randomized
+schedule of assignments, completions, deaths, and revivals, and require
+the chosen worker ids to match step for step.
+"""
+
+import random
+
+import pytest
+
+from repro.core.platform import ARM, X86
+from repro.core.scheduler import (
+    EnergyAwarePolicy,
+    LeastLoadedPolicy,
+    RandomSamplingPolicy,
+    RoundRobinPolicy,
+)
+from repro.shard.replay import (
+    SHARDABLE_POLICIES,
+    VirtualCluster,
+    make_replayer,
+)
+
+
+class StubQueue:
+    """The slice of WorkerQueue the policies read."""
+
+    def __init__(self, worker_id, platform):
+        self.worker_id = worker_id
+        self.platform = platform
+        self.outstanding = 0
+
+
+class SerialTwin:
+    """The orchestrator's policy-facing state: alive queues in id order."""
+
+    def __init__(self, policy, platforms):
+        self.policy = policy
+        self.queues = [
+            StubQueue(wid, platform)
+            for wid, platform in enumerate(platforms)
+        ]
+        self.dead = set()
+
+    def _candidates(self):
+        return [q for q in self.queues if q.worker_id not in self.dead]
+
+    def select(self):
+        candidates = self._candidates()
+        index = self.policy.select(None, candidates, lambda wid: True)
+        return candidates[index].worker_id
+
+
+def drive(policy, replayer, state, platforms, seed, steps=400):
+    """Run both sides through one randomized schedule; compare picks."""
+    schedule_rng = random.Random(seed)
+    serial = SerialTwin(policy, platforms)
+    outstanding_ids = []
+    for step in range(steps):
+        roll = schedule_rng.random()
+        alive = [
+            wid for wid in range(len(platforms)) if wid not in serial.dead
+        ]
+        if roll < 0.55 or not outstanding_ids:
+            chosen_serial = serial.select()
+            chosen_replay = replayer.select(None)
+            assert chosen_serial == chosen_replay, (
+                f"step {step}: serial picked {chosen_serial}, "
+                f"replayer picked {chosen_replay}"
+            )
+            serial.queues[chosen_serial].outstanding += 1
+            state.loads[chosen_replay] += 1
+            replayer.on_load_change(chosen_replay)
+            outstanding_ids.append(chosen_serial)
+        elif roll < 0.85:
+            wid = outstanding_ids.pop(
+                schedule_rng.randrange(len(outstanding_ids))
+            )
+            serial.queues[wid].outstanding -= 1
+            state.loads[wid] -= 1
+            replayer.on_load_change(wid)
+        elif roll < 0.95 and len(alive) > 1:
+            wid = alive[schedule_rng.randrange(len(alive))]
+            serial.dead.add(wid)
+            # The serial engine salvages a dead worker's queue; mirror
+            # that by zeroing both sides (salvaged jobs re-assign via
+            # the next 'assign' rolls).
+            drained = serial.queues[wid].outstanding
+            serial.queues[wid].outstanding = 0
+            outstanding_ids = [w for w in outstanding_ids if w != wid]
+            state.loads[wid] = 0
+            state.mark_dead(wid)
+            replayer.on_alive_change(wid)
+            del drained
+        elif serial.dead:
+            wid = sorted(serial.dead)[
+                schedule_rng.randrange(len(serial.dead))
+            ]
+            serial.dead.discard(wid)
+            state.mark_alive(wid)
+            replayer.on_alive_change(wid)
+
+
+ARM_ONLY = (ARM,) * 12
+MIXED = (ARM,) * 7 + (X86,) * 5
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_random_sampling_replayer_matches_policy(seed):
+    state = VirtualCluster(ARM_ONLY)
+    drive(
+        RandomSamplingPolicy(random.Random(seed)),
+        make_replayer("random-sampling", state, seed),
+        state,
+        ARM_ONLY,
+        seed=seed + 100,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_round_robin_replayer_matches_policy(seed):
+    state = VirtualCluster(ARM_ONLY)
+    drive(
+        RoundRobinPolicy(),
+        make_replayer("round-robin", state, seed),
+        state,
+        ARM_ONLY,
+        seed=seed + 200,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 5, 11])
+def test_least_loaded_replayer_matches_policy(seed):
+    state = VirtualCluster(ARM_ONLY)
+    drive(
+        LeastLoadedPolicy(),
+        make_replayer("least-loaded", state, seed),
+        state,
+        ARM_ONLY,
+        seed=seed + 300,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 5, 13])
+def test_energy_aware_replayer_matches_policy(seed):
+    state = VirtualCluster(MIXED)
+    drive(
+        EnergyAwarePolicy(),
+        make_replayer("energy-aware", state, seed),
+        state,
+        MIXED,
+        seed=seed + 400,
+    )
+
+
+def test_energy_aware_spill_threshold_is_honoured():
+    state = VirtualCluster(MIXED)
+    replayer = make_replayer("energy-aware", state, 0, spill_threshold=3)
+    policy = EnergyAwarePolicy(spill_threshold=3)
+    serial = SerialTwin(policy, MIXED)
+    for _ in range(60):
+        chosen_serial = serial.select()
+        chosen_replay = replayer.select(None)
+        assert chosen_serial == chosen_replay
+        serial.queues[chosen_serial].outstanding += 1
+        state.loads[chosen_replay] += 1
+        replayer.on_load_change(chosen_replay)
+
+
+def test_unshardable_policy_is_rejected():
+    state = VirtualCluster(ARM_ONLY)
+    with pytest.raises(ValueError):
+        make_replayer("packing", state, 0)
+    assert "packing" not in SHARDABLE_POLICIES
