@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     fault_study,
+    federation_study,
     fig1_boot,
     fig3_runtime,
     fig4_vmsweep,
@@ -97,6 +98,17 @@ ARTIFACTS: Dict[str, tuple] = {
             )
         ),
     ),
+    "federation-study": (
+        "multi-region federation: failover, WAN, per-geo latency (extension)",
+        lambda n, jobs, cache, trace, shards: federation_study.render(
+            federation_study.run(
+                duration_s=max(30.0, 4.0 * n),
+                jobs=jobs,
+                cache=cache,
+                trace_path=trace,
+            )
+        ),
+    ),
     "hybrid-study": (
         "SBC:VM mix sweep on the heterogeneous cluster (extension)",
         lambda n, jobs, cache, trace, shards: hybrid_study.render(
@@ -146,7 +158,9 @@ ARTIFACTS: Dict[str, tuple] = {
 }
 
 #: Artifacts that honour ``--trace`` (the rest would silently ignore it).
-TRACEABLE = frozenset({"headline", "fault-study", "hybrid-study", "megatrace"})
+TRACEABLE = frozenset(
+    {"headline", "fault-study", "federation-study", "hybrid-study", "megatrace"}
+)
 
 #: Artifacts that honour ``--shards`` (multi-process sharded simulation;
 #: see :mod:`repro.shard`).

@@ -42,6 +42,7 @@ class ConventionalCluster(ClusterHarness):
         include_switch_power: bool = False,
         telemetry_exact: bool = True,
         trace: Optional[TraceConfig] = None,
+        env=None,
     ):
         self.pool = MicroVmPool(
             vm_count=vm_count,
@@ -59,6 +60,7 @@ class ConventionalCluster(ClusterHarness):
             telemetry_exact=telemetry_exact,
             trace=trace,
             include_switch_power=include_switch_power,
+            env=env,
         )
 
     # -- pool attribute surface (pre-harness API) ----------------------------------------

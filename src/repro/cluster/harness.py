@@ -68,6 +68,7 @@ class ClusterHarness:
         control_plane=None,
         backend=None,
         local_ids: Optional[Sequence[int]] = None,
+        env: Optional[Environment] = None,
     ):
         if not pools:
             raise ValueError("need at least one worker pool")
@@ -84,7 +85,11 @@ class ClusterHarness:
         #: (see :mod:`repro.core.platform`: microfaas/conventional/hybrid).
         self.platform = platform
         self.seed = seed
-        self.env = Environment()
+        # Federated compositions (see :mod:`repro.federation`) pass a
+        # shared environment so many region clusters advance on one
+        # event loop; a fresh environment at construction time keeps a
+        # region's event sequence identical to a standalone build.
+        self.env = env if env is not None else Environment()
         self.streams = RandomStreams(seed)
         # Tracing (opt-in): the recorder samples from its own spawned
         # stream family, so enabling it draws nothing from any stream

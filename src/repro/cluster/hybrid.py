@@ -71,6 +71,7 @@ class HybridCluster(ClusterHarness):
         telemetry_exact: bool = True,
         trace: Optional[TraceConfig] = None,
         local_ids=None,
+        env=None,
     ):
         if sbc_count < 0 or vm_count < 0:
             raise ValueError("worker counts must be non-negative")
@@ -112,6 +113,7 @@ class HybridCluster(ClusterHarness):
             control_plane=control_plane,
             backend=backend,
             local_ids=local_ids,
+            env=env,
         )
 
     # -- pool attribute surface ----------------------------------------------------------

@@ -46,6 +46,7 @@ class MicroFaaSCluster(ClusterHarness):
         telemetry_exact: bool = True,
         trace: Optional[TraceConfig] = None,
         local_ids=None,
+        env=None,
     ):
         self.pool = SbcPool(
             worker_count=worker_count,
@@ -66,6 +67,7 @@ class MicroFaaSCluster(ClusterHarness):
             control_plane=control_plane,
             backend=backend,
             local_ids=local_ids,
+            env=env,
         )
 
     # -- pool attribute surface (pre-harness API) ----------------------------------------

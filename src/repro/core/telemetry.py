@@ -754,11 +754,18 @@ class TelemetryCollector:
         return self._latency_sketch.fraction_at_or_below(threshold_s)
 
 
+#: Public alias: the running count/sum/min/max accumulator is useful
+#: beyond this module's internals (the federation gateway keeps one per
+#: client geo for perceived-latency stats).
+RunningStat = _RunningStat
+
+
 __all__ = [
     "FunctionStats",
     "InvocationRecord",
     "QuantileSketch",
     "ReservoirSample",
+    "RunningStat",
     "SORT_COUNT",
     "TelemetryCollector",
     "percentiles",

@@ -17,6 +17,9 @@ One module per paper artifact:
   under escalating chaos with the full recovery stack (extension).
 - :mod:`repro.experiments.hybrid_study` — the SBC:VM mix sweep on the
   heterogeneous cluster with per-platform telemetry (extension).
+- :mod:`repro.experiments.federation_study` — multi-region federation:
+  users × regions × outage rates, failover MTTR, per-geo latency
+  (extension).
 
 Every module exposes ``run(...)`` returning structured results and
 ``render(...)`` producing the text the benchmark harness prints.
@@ -29,6 +32,7 @@ content-addressed on-disk result cache.
 
 from repro.experiments import (
     fault_study,
+    federation_study,
     fig1_boot,
     fig2_testbed,
     fig3_runtime,
@@ -45,6 +49,7 @@ from repro.experiments import (
 
 __all__ = [
     "fault_study",
+    "federation_study",
     "fig1_boot",
     "fig2_testbed",
     "fig3_runtime",

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import (
     fault_study,
+    federation_study,
     fig1_boot,
     fig3_runtime,
     fig4_vmsweep,
@@ -160,6 +161,47 @@ def export_fault_study(directory: str, invocations_per_function: int = 2) -> str
     )
 
 
+def export_federation_study(
+    directory: str,
+    user_counts: Sequence[int] = (100_000, 1_000_000),
+    duration_s: float = 60.0,
+) -> str:
+    """The federation sweep: one row per (point, region) plus an ALL
+    aggregate row per point."""
+    result = federation_study.run(
+        user_counts=user_counts, duration_s=duration_s
+    )
+    rows = []
+    for p in result.points:
+        for region in p.regions:
+            rows.append(
+                (p.users, p.region_count, p.outage_rate_scale, region.name,
+                 region.workers, region.jobs_in, region.jobs_delivered, "",
+                 "", "", region.outages,
+                 region.mean_recovery_s
+                 if region.mean_recovery_s is not None else "",
+                 region.cross_region_jobs, region.cross_region_bytes,
+                 region.energy_joules, region.joules_per_function)
+            )
+        rows.append(
+            (p.users, p.region_count, p.outage_rate_scale, "ALL",
+             p.workers_per_region * p.region_count, p.jobs_submitted,
+             p.jobs_delivered, p.jobs_lost, p.goodput_per_min,
+             p.worst_p99_s, p.outages,
+             p.mean_recovery_s if p.mean_recovery_s is not None else "",
+             p.cross_region_jobs, p.cross_region_bytes,
+             p.energy_joules, p.joules_per_function)
+        )
+    return _write(
+        os.path.join(directory, "federation_study.csv"),
+        ["users", "region_count", "outage_rate_scale", "region", "workers",
+         "jobs_in", "jobs_delivered", "jobs_lost", "goodput_per_min",
+         "worst_p99_s", "outages", "mean_recovery_s", "cross_region_jobs",
+         "cross_region_bytes", "energy_joules", "joules_per_function"],
+        rows,
+    )
+
+
 def export_hybrid_study(
     directory: str, invocations_per_function: int = 2
 ) -> str:
@@ -264,6 +306,7 @@ def export_all(
         export_table2(directory),
         export_headline(directory, invocations_per_function),
         export_fault_study(directory, max(2, invocations_per_function // 6)),
+        export_federation_study(directory),
         export_hybrid_study(directory, max(2, invocations_per_function // 6)),
         export_scale_study(directory),
         export_trace(directory, invocations_per_function),
@@ -273,6 +316,7 @@ def export_all(
 __all__ = [
     "export_all",
     "export_fault_study",
+    "export_federation_study",
     "export_fig1",
     "export_fig3",
     "export_fig4",

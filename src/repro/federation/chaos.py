@@ -1,0 +1,138 @@
+"""Region-scoped chaos: executing federation faults from a ChaosPlan.
+
+:class:`~repro.reliability.chaos.ChaosPlan.sample_regions` produces
+region-scoped :class:`~repro.reliability.chaos.ChaosEvent` schedules
+(blackouts, WAN partitions, ingress brownouts) with the same
+renewal-sampling determinism as worker/fabric plans.  The single-cluster
+:class:`~repro.reliability.chaos.ChaosEngine` counts those kinds as
+unsupported; this module's :class:`RegionChaosInjector` is their
+executor, driving a :class:`~repro.federation.gateway.FederatedCluster`:
+
+- **region blackout** — the region's WAN uplink dies: the gateway sees
+  it unreachable (heartbeats miss, outage declared, traffic re-routed)
+  while the region's cluster keeps simulating and buffers completions
+  for deferred delivery.  Mirroring the worker engine's never-kill-the-
+  last-worker guard, a blackout that would leave zero reachable regions
+  is skipped (and counted).
+- **WAN partition** — one inter-region link drops for the window;
+  cross-region fetches entering during it wait it out
+  (:meth:`~repro.net.link.Link.fault_delay_s` semantics, as on the
+  intra-cluster fabric).
+- **ingress brownout** — the region's ingress link degrades by the
+  event's magnitude and ingress sends suffer deterministic loss at the
+  profile's ``brownout_loss``, exercising the gateway's
+  retry-with-backoff and escape-to-another-region paths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.federation.gateway import FederatedCluster
+from repro.federation.region import Region
+from repro.reliability.chaos import ChaosEvent, ChaosKind, RegionChaosProfile
+
+
+class RegionChaosInjector:
+    """Executes region-scoped chaos events against a federation."""
+
+    def __init__(
+        self,
+        fed: FederatedCluster,
+        events: List[ChaosEvent],
+        profile: Optional[RegionChaosProfile] = None,
+    ):
+        self.fed = fed
+        self.events = sorted(
+            events, key=lambda e: (e.time_s, e.kind.value, str(e.target))
+        )
+        self.profile = profile if profile is not None else RegionChaosProfile()
+        self.injected = 0
+        #: Blackouts skipped to keep at least one region reachable, plus
+        #: events naming unknown regions/links.
+        self.skipped = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule the injector process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.fed.env.process(self._run(), name="region-chaos")
+
+    def _region(self, name: str) -> Optional[Region]:
+        for region in self.fed.regions:
+            if region.name == name:
+                return region
+        return None
+
+    def _run(self):
+        env = self.fed.env
+        for event in self.events:
+            delay = event.time_s - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            self._inject(event)
+
+    def _inject(self, event: ChaosEvent) -> None:
+        env = self.fed.env
+        if event.kind is ChaosKind.REGION_BLACKOUT:
+            region = self._region(event.target)
+            if region is None:
+                self.skipped += 1
+                return
+            reachable = [r for r in self.fed.regions if r.reachable]
+            if len(reachable) <= 1 and region.reachable:
+                # Never black out the last reachable region: a fully
+                # dark federation has no failover story to measure.
+                self.skipped += 1
+                return
+            self.injected += 1
+            env.process(
+                self._blackout(region, event.duration_s),
+                name=f"blackout-{region.name}",
+            )
+        elif event.kind is ChaosKind.WAN_PARTITION:
+            try:
+                link = self.fed.wan.pair_link(*event.target.split("--", 1))
+            except (KeyError, TypeError, ValueError):
+                self.skipped += 1
+                return
+            self.injected += 1
+            link.drop_until(env.now + event.duration_s)
+        elif event.kind is ChaosKind.INGRESS_BROWNOUT:
+            region = self._region(event.target)
+            if region is None:
+                self.skipped += 1
+                return
+            self.injected += 1
+            env.process(
+                self._brownout(region, event.duration_s, event.magnitude),
+                name=f"brownout-{region.name}",
+            )
+        else:
+            self.skipped += 1
+
+    def _blackout(self, region: Region, duration_s: float):
+        region.reachable = False
+        yield self.fed.env.timeout(duration_s)
+        region.reachable = True
+        # Delivery of buffered results and outage clearing happen on the
+        # gateway's next heartbeat — recovery detection latency is part
+        # of the measured MTTR, exactly like detection latency was.
+
+    def _brownout(self, region: Region, duration_s: float, extra_latency_s: float):
+        env = self.fed.env
+        until = env.now + duration_s
+        region.brownout_until = max(region.brownout_until, until)
+        region.brownout_loss = self.profile.brownout_loss
+        link = self.fed.wan.ingress_link(region.name)
+        link.degrade(max(link.extra_latency_s, extra_latency_s))
+        yield env.timeout(duration_s)
+        if env.now >= region.brownout_until:
+            # Only restore if no later brownout extended the window.
+            region.brownout_loss = 0.0
+            link.restore()
+
+
+__all__ = ["RegionChaosInjector"]

@@ -1,0 +1,259 @@
+"""Inter-region WAN fabric.
+
+:mod:`repro.net` models the intra-cluster LAN: endpoints, access links,
+and a switch skeleton.  A federation (:mod:`repro.federation`) composes
+many such clusters into named *regions*, and the paths between them are
+a different animal — tens of milliseconds of propagation delay, shared
+long-haul bandwidth, and jitter that dwarfs serialization.  This module
+models that tier on the same primitives:
+
+- every region gets one *ingress* :class:`~repro.net.link.Link`
+  (the front door its gateway traffic enters through), and
+- every connected region pair gets one *pair* link (the long-haul path
+  cross-region traffic rides).
+
+Reusing :class:`~repro.net.link.Link` means the chaos hooks carry over
+unchanged: a WAN partition is ``pair_link.drop_until(...)`` exactly like
+an access-link outage, and an ingress brownout is ``link.degrade(...)``.
+Latency math lives here (links model occupancy/fault state; WAN
+propagation is a property of the route, not the NIC):
+
+- ``ingress_latency_s(geo, region, now)`` — one-way client → region
+  time: the configured base latency for that (geo, region) pair, plus
+  deterministic lognormal jitter from a named RNG stream, plus any
+  degradation on the region's ingress link.
+- ``pair_delay_s(a, b, nbytes, now)`` — one-way region → region time
+  for a payload: base latency + serialization at the pair bandwidth +
+  jitter + fault state (a partition "waits out the outage", the same
+  discrete-event simplification :mod:`repro.net.transfer` uses).
+
+With ``jitter=0`` nowhere draws a random number, so a zero-jitter
+fabric never perturbs any RNG stream — the property the federation's
+bit-identity pin relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.specs import GIGABIT_ETHERNET
+from repro.net.link import Endpoint, Link
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class WanLinkSpec:
+    """One WAN path's characteristics.
+
+    ``latency_s`` is the one-way propagation delay, ``bandwidth_bps``
+    the application-level throughput of the path, and ``jitter`` the
+    sigma of a lognormal factor applied to the latency per message
+    (0 disables jitter and all RNG draws).
+    """
+
+    latency_s: float
+    bandwidth_bps: float = 1e9
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency cannot be negative")
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter cannot be negative")
+
+
+def pair_key(region_a: str, region_b: str) -> str:
+    """Canonical (sorted) name of a region pair, e.g. ``eu--us``."""
+    if region_a == region_b:
+        raise ValueError(f"a region pair needs two regions, got {region_a!r}")
+    first, second = sorted((region_a, region_b))
+    return f"{first}--{second}"
+
+
+class WanFabric:
+    """Ingress and inter-region links of a federation.
+
+    Regions are registered first; ingress latencies are configured per
+    (client geo, region) and pair links per region pair.  ``links``
+    maps link names (``ingress-<region>``, ``wan-<a>--<b>``) to the
+    underlying :class:`~repro.net.link.Link` objects — the surface the
+    region-scoped chaos faults mutate.
+    """
+
+    def __init__(self, streams: Optional[RandomStreams] = None):
+        self.streams = streams
+        self.regions: List[str] = []
+        #: Link name -> Link (chaos targets resolve against this).
+        self.links: Dict[str, Link] = {}
+        self._ingress_base: Dict[Tuple[str, str], WanLinkSpec] = {}
+        self._pairs: Dict[str, WanLinkSpec] = {}
+
+    # -- construction --------------------------------------------------------------------
+
+    def add_region(self, name: str) -> None:
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already registered")
+        self.regions.append(name)
+        self.links[f"ingress-{name}"] = Link(
+            Endpoint(f"ingress-{name}", GIGABIT_ETHERNET, "x86-bare"),
+            GIGABIT_ETHERNET.bandwidth_bps,
+        )
+
+    def set_ingress(self, geo: str, region: str, spec: WanLinkSpec) -> None:
+        """Configure the client geo → region ingress path."""
+        self._require_region(region)
+        self._ingress_base[(geo, region)] = spec
+
+    def connect(self, region_a: str, region_b: str, spec: WanLinkSpec) -> None:
+        """Configure the long-haul path between two regions."""
+        self._require_region(region_a)
+        self._require_region(region_b)
+        key = pair_key(region_a, region_b)
+        self._pairs[key] = spec
+        if f"wan-{key}" not in self.links:
+            self.links[f"wan-{key}"] = Link(
+                Endpoint(f"wan-{key}", GIGABIT_ETHERNET, "x86-bare"),
+                GIGABIT_ETHERNET.bandwidth_bps,
+            )
+
+    def _require_region(self, name: str) -> None:
+        if name not in self.regions:
+            raise KeyError(f"unknown region {name!r}")
+
+    # -- link lookup ---------------------------------------------------------------------
+
+    def ingress_link(self, region: str) -> Link:
+        self._require_region(region)
+        return self.links[f"ingress-{region}"]
+
+    def pair_link(self, region_a: str, region_b: str) -> Link:
+        key = pair_key(region_a, region_b)
+        try:
+            return self.links[f"wan-{key}"]
+        except KeyError:
+            raise KeyError(f"regions {key} are not connected") from None
+
+    def connected(self, region_a: str, region_b: str) -> bool:
+        return pair_key(region_a, region_b) in self._pairs
+
+    # -- latency model -------------------------------------------------------------------
+
+    def _jitter_factor(self, stream: str, sigma: float) -> float:
+        if sigma == 0.0 or self.streams is None:
+            return 1.0
+        return self.streams.lognormal_factor(stream, sigma)
+
+    def ingress_spec(self, geo: str, region: str) -> WanLinkSpec:
+        try:
+            return self._ingress_base[(geo, region)]
+        except KeyError:
+            raise KeyError(
+                f"no ingress path from geo {geo!r} to region {region!r}"
+            ) from None
+
+    def ingress_latency_s(self, geo: str, region: str, now: float) -> float:
+        """One-way client → region time for one message at ``now``.
+
+        Includes the configured base latency, per-message jitter, and
+        any brownout degradation on the region's ingress link.  A
+        dropped ingress link does *not* stall messages here — the
+        gateway re-routes around declared outages instead of queueing
+        into them — so only ``extra_latency_s`` is consulted.
+        """
+        spec = self.ingress_spec(geo, region)
+        latency = spec.latency_s * self._jitter_factor(
+            f"wan-ingress-{region}", spec.jitter
+        )
+        return latency + self.ingress_link(region).extra_latency_s
+
+    def pair_delay_s(
+        self, region_a: str, region_b: str, nbytes: int, now: float
+    ) -> float:
+        """One-way region → region time for ``nbytes`` entering at ``now``.
+
+        Base latency + serialization at the pair bandwidth + jitter,
+        plus the link's fault delay: a partitioned pair buffers the
+        transfer until the partition heals (wait-out-the-outage, as in
+        :class:`~repro.net.transfer.TransferModel`).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        key = pair_key(region_a, region_b)
+        try:
+            spec = self._pairs[key]
+        except KeyError:
+            raise KeyError(f"regions {key} are not connected") from None
+        latency = spec.latency_s * self._jitter_factor(
+            f"wan-pair-{key}", spec.jitter
+        )
+        serialization = nbytes * 8.0 / spec.bandwidth_bps
+        return latency + serialization + self.links[f"wan-{key}"].fault_delay_s(now)
+
+    # -- factories -----------------------------------------------------------------------
+
+    @classmethod
+    def single(cls, region: str, geo: Optional[str] = None) -> "WanFabric":
+        """A degenerate one-region fabric with a zero-latency ingress.
+
+        This is the bit-identity configuration: no latency, no jitter,
+        no RNG draws — a federation over it simulates exactly the bare
+        cluster.
+        """
+        fabric = cls()
+        fabric.add_region(region)
+        fabric.set_ingress(geo if geo is not None else region, region, WanLinkSpec(0.0))
+        return fabric
+
+    @classmethod
+    def mesh(
+        cls,
+        regions: Tuple[str, ...],
+        ingress_latency_s: float = 0.008,
+        hop_latency_s: float = 0.030,
+        bandwidth_bps: float = 2.5e8,
+        jitter: float = 0.0,
+        streams: Optional[RandomStreams] = None,
+    ) -> "WanFabric":
+        """A full mesh over a region ring.
+
+        Each region is its own client geo (local clients see
+        ``ingress_latency_s``); a remote geo pays one extra
+        ``hop_latency_s`` per step of ring distance, which is also the
+        pair-link latency.  This is deliberately simple — enough
+        geographic structure for latency-aware routing to have a right
+        answer, without a coordinate model.
+        """
+        if len(regions) < 1:
+            raise ValueError("need at least one region")
+        fabric = cls(streams=streams)
+        for name in regions:
+            fabric.add_region(name)
+        count = len(regions)
+        for i, region in enumerate(regions):
+            for j, geo in enumerate(regions):
+                ring_distance = min(abs(i - j), count - abs(i - j))
+                fabric.set_ingress(
+                    geo,
+                    region,
+                    WanLinkSpec(
+                        ingress_latency_s + hop_latency_s * ring_distance,
+                        bandwidth_bps,
+                        jitter,
+                    ),
+                )
+            for j in range(i + 1, count):
+                ring_distance = min(j - i, count - (j - i))
+                fabric.connect(
+                    region,
+                    regions[j],
+                    WanLinkSpec(
+                        hop_latency_s * ring_distance, bandwidth_bps, jitter
+                    ),
+                )
+        return fabric
+
+
+__all__ = ["WanFabric", "WanLinkSpec", "pair_key"]

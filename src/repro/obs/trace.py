@@ -63,6 +63,11 @@ HEDGE = "hedge"
 RESUBMIT = "resubmit"
 DISCARDED = "discarded"
 CHAOS_EVENT = "chaos_event"
+#: Federation-level annotations (see :mod:`repro.federation`): a fed
+#: job re-routed to another region after an outage/brownout, and the
+#: gateway's outage declaration itself.
+REROUTE = "reroute"
+REGION_OUTAGE = "region_outage"
 
 #: The phases that tile an attempt's *active* window (claim → result
 #: delivered); everything inside the attempt not covered by one of
@@ -525,6 +530,8 @@ __all__ = [
     "POWER_ON",
     "QUEUE_WAIT",
     "REBOOT",
+    "REGION_OUTAGE",
+    "REROUTE",
     "RESUBMIT",
     "RESULT_TRANSFER",
     "RETRY",

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import trace as obs
 from repro.services.backend import SERVICE_OF_OP
@@ -52,6 +52,58 @@ class ChaosKind(enum.Enum):
     LINK_DEGRADE = "link-degrade"
     SWITCH_OUTAGE = "switch-outage"
     BACKEND_FAULT = "backend-fault"
+    #: Region-scoped faults (see :mod:`repro.federation.chaos`): a
+    #: whole region unreachable, a WAN pair partitioned, or a region's
+    #: ingress browning out with elevated latency and loss.  The
+    #: cluster-level :class:`ChaosEngine` cannot execute these — they
+    #: need the federation's gateway/WAN state.
+    REGION_BLACKOUT = "region-blackout"
+    WAN_PARTITION = "wan-partition"
+    INGRESS_BROWNOUT = "ingress-brownout"
+
+
+def resolve_endpoint(
+    links: Mapping[str, object], *candidates: str
+) -> Optional[str]:
+    """Find a fault target's link name in a topology's link table.
+
+    Tries each candidate name verbatim, then falls back to a
+    region-prefixed match (federated topologies namespace endpoint
+    names as ``<region>/<endpoint>``).  Shared by the cluster engine's
+    worker-link targeting and the federation's WAN fault targeting, so
+    both resolve names the same way.
+    """
+    for name in candidates:
+        if name in links:
+            return name
+    suffixes = tuple("/" + name for name in candidates)
+    for name in links:
+        if name.endswith(suffixes):
+            return name
+    return None
+
+
+def resolve_worker_endpoint(cluster, worker_id: int) -> Optional[str]:
+    """Topology endpoint name of a worker's access link.
+
+    Prefers the cluster's own ``worker_endpoint`` registry
+    (harness-built clusters know each worker's endpoint exactly); for
+    duck-typed clusters without one, probes the topology for the
+    conventional per-platform names (``sbc-<id>`` / ``vm-<id>``),
+    including region-prefixed variants.  Returns ``None`` when the
+    worker has no resolvable link (the fault is skipped).
+    """
+    getter = getattr(cluster, "worker_endpoint", None)
+    if getter is not None:
+        try:
+            return getter(worker_id)
+        except KeyError:
+            return None
+    topology = getattr(cluster, "topology", None)
+    links = getattr(topology, "links", None)
+    if links is None:
+        return None
+    return resolve_endpoint(links, f"sbc-{worker_id}", f"vm-{worker_id}")
 
 
 @dataclass(frozen=True)
@@ -122,6 +174,41 @@ class ChaosProfile:
 
 
 @dataclass(frozen=True)
+class RegionChaosProfile:
+    """Per-kind region-fault rates (events per simulated hour).
+
+    The federation analogue of :class:`ChaosProfile`: one ``scale``
+    knob over blackout/partition/brownout rates.  Defaults are
+    calibrated for accelerated federation studies on minute-scale
+    runs — at ``scale=1.0`` a 3-region federation sees roughly one
+    region-level incident per run.
+    """
+
+    scale: float = 1.0
+    blackout_per_hour: float = 20.0
+    blackout_s: float = 8.0
+    partition_per_hour: float = 15.0
+    partition_s: float = 5.0
+    brownout_per_hour: float = 25.0
+    brownout_s: float = 6.0
+    brownout_extra_latency_s: float = 0.12
+    brownout_loss: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise ValueError("scale cannot be negative")
+        for name in (
+            "blackout_per_hour",
+            "partition_per_hour",
+            "brownout_per_hour",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+        if not 0.0 <= self.brownout_loss < 1.0:
+            raise ValueError("brownout loss must be in [0, 1)")
+
+
+@dataclass(frozen=True)
 class ChaosPlan:
     """A deterministic schedule of chaos events, sorted by time."""
 
@@ -135,6 +222,12 @@ class ChaosPlan:
     #: Kinds touching cluster-shared fabric/services — unsupported in
     #: sharded runs, where each shard owns only its workers' links.
     SHARED_KINDS = frozenset({"switch-outage", "backend-fault"})
+    #: Region-scoped kinds, executed by the federation injector
+    #: (:mod:`repro.federation.chaos`) — not by the cluster engine, and
+    #: never worker-targeted.
+    REGION_KINDS = frozenset(
+        {"region-blackout", "wan-partition", "ingress-brownout"}
+    )
 
     def count(self, kind: ChaosKind) -> int:
         return sum(1 for event in self.events if event.kind is kind)
@@ -143,7 +236,9 @@ class ChaosPlan:
         """Whether any event hits a switch or backend service (those
         targets are cluster-shared, so such plans cannot be sharded)."""
         return any(
-            event.kind.value in self.SHARED_KINDS for event in self.events
+            event.kind.value in self.SHARED_KINDS
+            or event.kind.value in self.REGION_KINDS
+            for event in self.events
         )
 
     def restrict_to_workers(self, worker_ids) -> "ChaosPlan":
@@ -160,6 +255,7 @@ class ChaosPlan:
                 event
                 for event in self.events
                 if event.kind.value not in self.SHARED_KINDS
+                and event.kind.value not in self.REGION_KINDS
                 and int(event.target) in owned
             )
         )
@@ -209,23 +305,10 @@ class ChaosPlan:
         events: List[ChaosEvent] = []
 
         def renewal(kind: ChaosKind, target, per_hour: float, duration_s: float, magnitude: float = 0.0):
-            rate = per_hour * profile.scale / 3600.0
-            if rate <= 0:
-                return
-            clock_s = 0.0
-            index = 0
-            while True:
-                gap = streams.expovariate(
-                    f"chaos-{kind.value}-{target}-{index}", rate
-                )
-                clock_s += gap
-                if clock_s >= horizon_s:
-                    return
-                events.append(
-                    ChaosEvent(kind, clock_s, target, duration_s, magnitude)
-                )
-                clock_s += duration_s  # quiet while the fault is active
-                index += 1
+            _sample_renewal(
+                events, streams, horizon_s, profile.scale,
+                kind, target, per_hour, duration_s, magnitude,
+            )
 
         for worker_id in range(worker_count):
             renewal(
@@ -281,6 +364,89 @@ class ChaosPlan:
             )
         events.sort(key=lambda e: (e.time_s, e.kind.value, str(e.target)))
         return cls(events=tuple(events))
+
+    @classmethod
+    def sample_regions(
+        cls,
+        profile: RegionChaosProfile,
+        region_names: Sequence[str],
+        horizon_s: float,
+        streams: Optional[RandomStreams] = None,
+    ) -> "ChaosPlan":
+        """Draw a region-fault plan: one renewal process per (kind, target).
+
+        Region-scoped analogue of :meth:`sample`, on the same stream
+        naming scheme (``chaos-<kind>-<target>-<i>``): blackout and
+        brownout renewals per region, partition renewals per connected
+        region pair (targets are canonical ``a--b`` pair keys).  A
+        one-region federation draws no partition events.
+        """
+        if not region_names:
+            raise ValueError("need at least one region")
+        if len(set(region_names)) != len(region_names):
+            raise ValueError("region names must be unique")
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        streams = streams if streams is not None else RandomStreams(0)
+        events: List[ChaosEvent] = []
+        for name in region_names:
+            _sample_renewal(
+                events, streams, horizon_s, profile.scale,
+                ChaosKind.REGION_BLACKOUT, name,
+                profile.blackout_per_hour, profile.blackout_s,
+            )
+            _sample_renewal(
+                events, streams, horizon_s, profile.scale,
+                ChaosKind.INGRESS_BROWNOUT, name,
+                profile.brownout_per_hour, profile.brownout_s,
+                magnitude=profile.brownout_extra_latency_s,
+            )
+        for i, first in enumerate(region_names):
+            for second in region_names[i + 1:]:
+                _sample_renewal(
+                    events, streams, horizon_s, profile.scale,
+                    ChaosKind.WAN_PARTITION, f"{min(first, second)}--{max(first, second)}",
+                    profile.partition_per_hour, profile.partition_s,
+                )
+        events.sort(key=lambda e: (e.time_s, e.kind.value, str(e.target)))
+        return cls(events=tuple(events))
+
+
+def _sample_renewal(
+    events: List[ChaosEvent],
+    streams: RandomStreams,
+    horizon_s: float,
+    scale: float,
+    kind: ChaosKind,
+    target,
+    per_hour: float,
+    duration_s: float,
+    magnitude: float = 0.0,
+) -> None:
+    """Append one (kind, target) renewal process's events to ``events``.
+
+    Every inter-arrival comes from a dedicated named stream
+    (``chaos-<kind>-<target>-<i>``), so a plan is identical for a given
+    seed no matter what else the simulation draws — and adding new
+    kinds or targets never shifts the draws of existing ones.
+    """
+    rate = per_hour * scale / 3600.0
+    if rate <= 0:
+        return
+    clock_s = 0.0
+    index = 0
+    while True:
+        gap = streams.expovariate(
+            f"chaos-{kind.value}-{target}-{index}", rate
+        )
+        clock_s += gap
+        if clock_s >= horizon_s:
+            return
+        events.append(
+            ChaosEvent(kind, clock_s, target, duration_s, magnitude)
+        )
+        clock_s += duration_s  # quiet while the fault is active
+        index += 1
 
 
 class ChaosEngine:
@@ -353,6 +519,11 @@ class ChaosEngine:
 
     def _dispatch(self, event: ChaosEvent):
         yield self.cluster.env.timeout(event.time_s)
+        if event.kind.value in ChaosPlan.REGION_KINDS:
+            # Region-scoped faults need gateway/WAN state a single
+            # cluster does not have (see repro.federation.chaos).
+            self.skipped_unsupported += 1
+            return
         handler = {
             ChaosKind.WORKER_CRASH: self._board_fault,
             ChaosKind.BOOT_FAILURE: self._board_fault,
@@ -376,14 +547,14 @@ class ChaosEngine:
         return boards[worker_id] if 0 <= worker_id < len(boards) else None
 
     def _worker_endpoint(self, worker_id: int) -> Optional[str]:
-        """Topology endpoint of a worker's access link."""
-        getter = getattr(self.cluster, "worker_endpoint", None)
-        if getter is not None:
-            try:
-                return getter(worker_id)
-            except KeyError:
-                return None
-        return f"sbc-{worker_id}"
+        """Topology endpoint of a worker's access link.
+
+        Delegates to :func:`resolve_worker_endpoint` — duck-typed
+        clusters without a ``worker_endpoint`` registry get their
+        topology probed for ``sbc-<id>`` / ``vm-<id>`` (including
+        region-prefixed) names instead of a blind SBC guess.
+        """
+        return resolve_worker_endpoint(self.cluster, worker_id)
 
     def _alive_count(self) -> int:
         # A board with a fault in flight is down (or about to be) even
@@ -590,4 +761,7 @@ __all__ = [
     "ChaosKind",
     "ChaosPlan",
     "ChaosProfile",
+    "RegionChaosProfile",
+    "resolve_endpoint",
+    "resolve_worker_endpoint",
 ]

@@ -97,7 +97,12 @@ def test_plan_covers_every_fault_kind_at_high_rate():
         ChaosProfile(scale=8.0), 8, 600.0, streams=RandomStreams(3)
     )
     kinds = {event.kind for event in plan.events}
-    assert kinds == set(ChaosKind)
+    # Every cluster-level kind appears; region-scoped kinds are sampled
+    # by ChaosPlan.sample_regions, never by the cluster sampler.
+    cluster_kinds = {
+        k for k in ChaosKind if k.value not in ChaosPlan.REGION_KINDS
+    }
+    assert kinds == cluster_kinds
 
 
 def test_boot_failure_magnitude_is_attempts_needed():
@@ -388,3 +393,68 @@ def test_service_fault_injector_restore_and_uninstall():
     store.execute(["SET", "k", "v"])  # no refusal after restore
     injector.uninstall("redis")
     assert store.fault_gate is None
+
+
+# ---------------------------------------------------------------------------
+# Link-fault endpoint resolution (shared helper regression)
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_endpoint_verbatim_and_region_prefixed():
+    from repro.reliability.chaos import resolve_endpoint
+
+    links = {"sbc-0": object(), "vm-3": object(), "r1/vm-7": object()}
+    assert resolve_endpoint(links, "sbc-0") == "sbc-0"
+    # VM workers resolve by their own name, not a blind SBC guess.
+    assert resolve_endpoint(links, "sbc-3", "vm-3") == "vm-3"
+    # Federated topologies namespace endpoints as <region>/<endpoint>.
+    assert resolve_endpoint(links, "sbc-7", "vm-7") == "r1/vm-7"
+    assert resolve_endpoint(links, "sbc-9", "vm-9") is None
+    # A verbatim hit wins over any prefixed fallback.
+    links["r0/sbc-0"] = object()
+    assert resolve_endpoint(links, "sbc-0") == "sbc-0"
+
+
+def test_resolve_worker_endpoint_probes_duck_typed_clusters():
+    from types import SimpleNamespace
+
+    from repro.reliability.chaos import resolve_worker_endpoint
+
+    topology = SimpleNamespace(links={"sbc-0": object(), "vm-1": object()})
+    duck = SimpleNamespace(topology=topology)
+    assert resolve_worker_endpoint(duck, 0) == "sbc-0"
+    assert resolve_worker_endpoint(duck, 1) == "vm-1"
+    assert resolve_worker_endpoint(duck, 2) is None
+    assert resolve_worker_endpoint(SimpleNamespace(), 0) is None
+
+
+def test_resolve_worker_endpoint_prefers_harness_registry():
+    cluster = make_cluster(worker_count=2)
+    from repro.reliability.chaos import resolve_worker_endpoint
+
+    assert resolve_worker_endpoint(cluster, 0) == cluster.worker_endpoint(0)
+    assert resolve_worker_endpoint(cluster, 99) is None
+
+
+def test_link_fault_hits_vm_workers_in_a_hybrid_cluster():
+    """Regression: link faults on VM-backed workers used to miss (the
+    engine guessed ``sbc-<id>`` and silently no-opped)."""
+    from repro.cluster.hybrid import HybridCluster
+
+    cluster = HybridCluster(sbc_count=2, vm_count=2, seed=5)
+    engine = ChaosEngine(cluster)
+    vm_worker = next(
+        w for w in range(4) if cluster.worker_endpoint(w).startswith("vm-")
+    )
+    engine.apply(
+        ChaosPlan(
+            events=(
+                ChaosEvent(ChaosKind.LINK_DEGRADE, 0.5, vm_worker, 5.0, 0.2),
+            )
+        )
+    )
+    result = cluster.run_saturated(invocations_per_function=1)
+    assert engine.injected == 1
+    link = cluster.topology.links[cluster.worker_endpoint(vm_worker)]
+    assert link.extra_latency_s == 0.0  # restored after the window
+    assert result.jobs_completed == 17

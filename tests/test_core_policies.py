@@ -147,3 +147,68 @@ def test_unknown_worker_is_available():
     tracker = make_tracker()
     assert tracker.is_available(99, now=0.0)
     assert tracker.state_of(99) is BreakerState.CLOSED
+
+
+# ---------------------------------------------------------------------------
+# HALF_OPEN transition edges at threshold
+# ---------------------------------------------------------------------------
+
+
+def test_half_open_success_requires_full_threshold_to_reopen():
+    """A successful probe fully closes the breaker: the failure streak
+    is cleared, so re-opening takes `threshold` fresh failures, not one.
+    """
+    tracker = make_tracker(threshold=3, quarantine=10.0)
+    for _ in range(3):
+        tracker.record_failure(0, now=0.0)
+    assert tracker.is_available(0, now=10.0)  # HALF_OPEN probe
+    tracker.record_success(0, now=11.0)
+    assert tracker.state_of(0) is BreakerState.CLOSED
+    for _ in range(2):
+        tracker.record_failure(0, now=12.0)
+    assert tracker.state_of(0) is BreakerState.CLOSED
+    assert tracker.is_available(0, now=12.0)
+    tracker.record_failure(0, now=13.0)
+    assert tracker.state_of(0) is BreakerState.OPEN
+
+
+def test_half_open_single_failure_reopens_below_threshold():
+    """In HALF_OPEN one failure re-opens immediately — the threshold
+    only applies to CLOSED-state streaks."""
+    tracker = make_tracker(threshold=3, quarantine=10.0)
+    for _ in range(3):
+        tracker.record_failure(0, now=0.0)
+    assert tracker.is_available(0, now=10.0)
+    assert tracker.state_of(0) is BreakerState.HALF_OPEN
+    tracker.record_failure(0, now=11.0)
+    assert tracker.state_of(0) is BreakerState.OPEN
+    health = tracker.snapshot()[0]
+    assert health.times_opened == 2
+
+
+def test_reopen_restarts_the_quarantine_clock():
+    tracker = make_tracker(threshold=1, quarantine=10.0)
+    tracker.record_failure(0, now=0.0)  # OPEN until 10
+    assert tracker.is_available(0, now=10.0)  # HALF_OPEN
+    tracker.record_failure(0, now=12.0)  # re-OPEN until 22
+    assert not tracker.is_available(0, now=21.9)
+    assert tracker.is_available(0, now=22.0)
+    assert tracker.state_of(0) is BreakerState.HALF_OPEN
+
+
+def test_half_open_stays_probing_across_queries():
+    """HALF_OPEN is stable under repeated availability queries: the
+    probe gate does not flap back to OPEN or CLOSED on its own."""
+    tracker = make_tracker(threshold=1, quarantine=5.0)
+    tracker.record_failure(0, now=0.0)
+    for t in (5.0, 6.0, 7.0):
+        assert tracker.is_available(0, now=t)
+        assert tracker.state_of(0) is BreakerState.HALF_OPEN
+
+
+def test_exactly_at_threshold_opens_not_before():
+    tracker = make_tracker(threshold=2)
+    tracker.record_failure(0, now=0.0)
+    assert tracker.state_of(0) is BreakerState.CLOSED
+    tracker.record_failure(0, now=0.0)
+    assert tracker.state_of(0) is BreakerState.OPEN

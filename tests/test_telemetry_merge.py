@@ -180,3 +180,77 @@ def test_exact_merge_keeps_every_record():
     merged.merge(fill(b))
     assert len(merged.records) == 3
     assert merged.exact
+
+
+# ---------------------------------------------------------------------------
+# Disjoint function sets: merging shards that saw different functions
+# ---------------------------------------------------------------------------
+
+
+def build_named_records(function, durations, job_base=0):
+    """Records all belonging to one function."""
+    records = []
+    for i, (wait, working, overhead) in enumerate(durations):
+        queued = float(job_base + i)
+        started = queued + wait
+        records.append(
+            InvocationRecord(
+                job_id=job_base + i,
+                function=function,
+                worker_id=i % 5,
+                platform="arm",
+                t_queued=queued,
+                t_started=started,
+                t_completed=started + working + overhead,
+                boot_s=0.1,
+                working_s=working,
+                overhead_s=overhead,
+            )
+        )
+    return records
+
+
+DISJOINT_A = build_named_records("AES128", [(0.1, 1.0, 0.1), (0.2, 2.0, 0.2)])
+DISJOINT_B = build_named_records(
+    "MatMul", [(0.3, 4.0, 0.4), (0.0, 5.0, 0.5), (0.1, 6.0, 0.6)],
+    job_base=10,
+)
+
+
+def test_exact_merge_of_disjoint_function_sets():
+    """Shards that saw non-overlapping functions merge into the union,
+    and each function's stats are exactly the contributing shard's."""
+    left, right = fill(DISJOINT_A), fill(DISJOINT_B)
+    expected_a = left.function_stats("AES128")
+    expected_b = right.function_stats("MatMul")
+    left.merge(right)
+    assert left.functions_seen == ["AES128", "MatMul"]
+    assert left.count == len(DISJOINT_A) + len(DISJOINT_B)
+    # Untouched by the merge: the other side contributed nothing to
+    # these accumulators, so equality is exact, not approximate.
+    assert left.function_stats("AES128") == expected_a
+    assert left.function_stats("MatMul") == expected_b
+
+
+def test_streaming_merge_of_disjoint_function_sets():
+    left = fill(DISJOINT_A, exact=False)
+    right = fill(DISJOINT_B, exact=False)
+    expected_a = left.function_stats("AES128")
+    expected_b = right.function_stats("MatMul")
+    left.merge(right)
+    assert left.functions_seen == ["AES128", "MatMul"]
+    assert left.function_stats("AES128") == expected_a
+    assert left.function_stats("MatMul") == expected_b
+
+
+def test_streaming_absorbs_disjoint_exact_shards():
+    """The federation shape: a streaming aggregate over exact regional
+    collectors whose function mixes need not overlap."""
+    aggregate = TelemetryCollector(exact=False)
+    aggregate.merge(fill(DISJOINT_A))
+    aggregate.merge(fill(DISJOINT_B))
+    assert aggregate.functions_seen == ["AES128", "MatMul"]
+    assert aggregate.count == len(DISJOINT_A) + len(DISJOINT_B)
+    reference = fill(DISJOINT_A + DISJOINT_B, exact=False)
+    for name in ("AES128", "MatMul"):
+        assert aggregate.function_stats(name) == reference.function_stats(name)
