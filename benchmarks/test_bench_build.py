@@ -1,0 +1,141 @@
+"""Benchmark: cold cluster construction — blueprint vs discover-as-you-go.
+
+Sharded runs used to pay the construction bill N times over: every
+shard process re-derived the whole fabric (probe each switch for free
+ports, grow, attach endpoint, invalidate caches — 100,000 times) just
+to own a 1/N slice of the hardware.  The :class:`ClusterBlueprint`
+replaces that discovery with a precomputed span table, bulk endpoint
+attachment, and stub queues for remote workers, so a shard's cold build
+cost collapses to "materialize my slice".
+
+Three sizes, each measured two ways:
+
+* **serial** — one full cluster, planned vs legacy.  Both pay the
+  full worker-materialization bill, which dominates, so the serial
+  assertion is only a no-regression guard: planning must not make a
+  plain build slower.
+* **per-shard** — shard 0 of an N-shard partition, planned vs legacy.
+  This is the number that multiplies by N in a sharded run and where
+  the >= 3x acceptance bar sits at the 100k frontier.
+"""
+
+import gc
+import time
+
+from benchmarks.conftest import emit
+from repro.cluster import MicroFaaSCluster
+from repro.shard.partition import PoolShape, plan_shards
+from repro.shard.runtime import ClusterSpec
+
+#: (worker_count, shard count for the per-shard leg).  Shard counts
+#: follow the scale ladder the shard benchmarks use: 4 at 5k, up to the
+#: 16-way split a 100k frontier point actually runs with.
+SIZES = ((5_000, 4), (25_000, 8), (100_000, 16))
+
+
+def _build_serial(count, blueprint):
+    # Collect the previous cluster's garbage outside the timed window —
+    # a 100k-worker heap takes long enough to tear down to swamp the
+    # very build we're measuring.
+    gc.collect()
+    start = time.perf_counter()
+    cluster = MicroFaaSCluster(worker_count=count, blueprint=blueprint)
+    wall = time.perf_counter() - start
+    assert len(cluster.workers) == count
+    return wall
+
+
+def _build_shard(count, local_ids, blueprint):
+    gc.collect()
+    start = time.perf_counter()
+    cluster = MicroFaaSCluster(
+        worker_count=count, local_ids=local_ids, blueprint=blueprint
+    )
+    wall = time.perf_counter() - start
+    assert len(cluster.orchestrator.queues) == count
+    return wall
+
+
+def _blueprint_for(count):
+    start = time.perf_counter()
+    blueprint = ClusterSpec(kind="microfaas", worker_count=count).blueprint()
+    return blueprint, time.perf_counter() - start
+
+
+def _serial_case(count):
+    blueprint, plan_wall = _blueprint_for(count)
+    legacy_wall = _build_serial(count, None)
+    planned_wall = plan_wall + _build_serial(count, blueprint)
+    return legacy_wall, planned_wall
+
+
+def _shard_case(count, shards):
+    plan = plan_shards([PoolShape(worker_count=count)], shards)
+    local = plan.shard_worker_ids[0]
+    blueprint, plan_wall = _blueprint_for(count)
+    legacy_wall = _build_shard(count, local, None)
+    planned_wall = plan_wall + _build_shard(count, local, blueprint)
+    return legacy_wall, planned_wall
+
+
+def _emit_case(label, legacy_wall, planned_wall):
+    emit(
+        f"{label}:\n"
+        f"  legacy    {legacy_wall:7.2f} s\n"
+        f"  blueprint {planned_wall:7.2f} s   "
+        f"({legacy_wall / planned_wall:.2f}x)"
+    )
+
+
+def test_bench_build_serial_5k(benchmark):
+    legacy, planned = benchmark.pedantic(
+        _serial_case, args=(5_000,), rounds=1, iterations=1
+    )
+    _emit_case("serial build, 5,000 workers", legacy, planned)
+    assert planned <= legacy * 1.25
+
+
+def test_bench_build_serial_25k(benchmark):
+    legacy, planned = benchmark.pedantic(
+        _serial_case, args=(25_000,), rounds=1, iterations=1
+    )
+    _emit_case("serial build, 25,000 workers", legacy, planned)
+    assert planned <= legacy * 1.25
+
+
+def test_bench_build_serial_100k(benchmark):
+    legacy, planned = benchmark.pedantic(
+        _serial_case, args=(100_000,), rounds=1, iterations=1
+    )
+    _emit_case("serial build, 100,000 workers", legacy, planned)
+    assert planned <= legacy * 1.25
+
+
+def test_bench_build_per_shard_5k(benchmark):
+    legacy, planned = benchmark.pedantic(
+        _shard_case, args=(5_000, 4), rounds=1, iterations=1
+    )
+    _emit_case("per-shard build, 5,000 workers / 4 shards", legacy, planned)
+    # The blueprint path must beat rebuilding the fabric per shard.
+    assert planned < legacy
+
+
+def test_bench_build_per_shard_25k(benchmark):
+    legacy, planned = benchmark.pedantic(
+        _shard_case, args=(25_000, 8), rounds=1, iterations=1
+    )
+    _emit_case("per-shard build, 25,000 workers / 8 shards", legacy, planned)
+    assert planned < legacy
+    assert legacy / planned >= 2.0
+
+
+def test_bench_build_per_shard_100k(benchmark):
+    legacy, planned = benchmark.pedantic(
+        _shard_case, args=(100_000, 16), rounds=1, iterations=1
+    )
+    _emit_case("per-shard build, 100,000 workers / 16 shards", legacy, planned)
+    # The acceptance bar: a 100k-worker shard cold-builds >= 3x faster
+    # from the blueprint than by re-deriving the fabric.  (Legacy pays
+    # ~100k port probes + endpoint attaches + cache flushes to own
+    # 6,250 workers; planned pays the span table plus its slice.)
+    assert legacy / planned >= 3.0

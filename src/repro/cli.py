@@ -151,8 +151,13 @@ ARTIFACTS: Dict[str, tuple] = {
     ),
     "megatrace": (
         "fast-path trace replay, 10,000 x --invocations arrivals (extension)",
-        lambda n, jobs, cache, trace, shards: megatrace.render(
-            megatrace.run(invocations=n * 10_000, trace_path=trace, shards=shards)
+        lambda n, jobs, cache, trace, shards, streaming: megatrace.render(
+            megatrace.run(
+                invocations=n * 10_000,
+                trace_path=trace,
+                shards=shards,
+                streaming=streaming,
+            )
         ),
     ),
 }
@@ -165,6 +170,10 @@ TRACEABLE = frozenset(
 #: Artifacts that honour ``--shards`` (multi-process sharded simulation;
 #: see :mod:`repro.shard`).
 SHARDABLE = frozenset({"scale-frontier", "megatrace", "hybrid-study"})
+
+#: Artifacts that honour ``--streaming`` (the bounded-RSS replay fast
+#: path: chunked trace generation + autocompacting power traces).
+STREAMABLE = frozenset({"megatrace"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -211,6 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(scale-frontier, megatrace and hybrid-study only)",
     )
     parser.add_argument(
+        "--streaming",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="bounded-RSS replay fast path: chunked arrival generation + "
+        "autocompacting power traces (megatrace only; auto = on past "
+        f"{megatrace.STREAMING_THRESHOLD:,} invocations)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run each artifact under cProfile and write "
@@ -229,8 +246,15 @@ def _run_artifact(name: str, args, jobs: Optional[int]) -> int:
     runner = ARTIFACTS[name][1]
     trace = args.trace if name in TRACEABLE else None
     shards = args.shards if name in SHARDABLE else 1
+    # Streamable artifacts take one extra argument; the rest keep the
+    # five-argument runner signature.
+    extra = ()
+    if name in STREAMABLE:
+        extra = ({"auto": None, "on": True, "off": False}[args.streaming],)
     if not args.profile:
-        print(runner(args.invocations, jobs, not args.no_cache, trace, shards))
+        print(
+            runner(args.invocations, jobs, not args.no_cache, trace, shards, *extra)
+        )
         print()
         if trace is not None:
             print(f"trace written to {trace}", file=sys.stderr)
@@ -238,7 +262,9 @@ def _run_artifact(name: str, args, jobs: Optional[int]) -> int:
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        text = runner(args.invocations, jobs, not args.no_cache, trace, shards)
+        text = runner(
+            args.invocations, jobs, not args.no_cache, trace, shards, *extra
+        )
     finally:
         profiler.disable()
     print(text)

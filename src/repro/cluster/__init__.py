@@ -18,6 +18,12 @@ points and produce a :class:`ClusterResult` with throughput, energy, and
 telemetry — the quantities every Sec. V experiment is computed from.
 """
 
+from repro.cluster.blueprint import (
+    ClusterBlueprint,
+    PoolDescriptor,
+    blueprint_for_pools,
+    compute_blueprint,
+)
 from repro.cluster.conventional import ConventionalCluster
 from repro.cluster.harness import ClusterHarness
 from repro.cluster.hybrid import HybridCluster
@@ -30,16 +36,20 @@ from repro.cluster.worker import SbcWorker
 from repro.cluster.vmworker import VmWorker
 
 __all__ = [
+    "ClusterBlueprint",
     "ClusterHarness",
     "ClusterResult",
     "ConventionalCluster",
     "HybridCluster",
     "MicroFaaSCluster",
     "MicroVmPool",
+    "PoolDescriptor",
     "SbcPool",
     "SbcWorker",
     "VmWorker",
     "WorkerPool",
+    "blueprint_for_pools",
+    "compute_blueprint",
     "match_vm_count",
     "replay_trace",
 ]

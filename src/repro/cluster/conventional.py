@@ -43,6 +43,7 @@ class ConventionalCluster(ClusterHarness):
         telemetry_exact: bool = True,
         trace: Optional[TraceConfig] = None,
         env=None,
+        blueprint=None,
     ):
         self.pool = MicroVmPool(
             vm_count=vm_count,
@@ -61,6 +62,7 @@ class ConventionalCluster(ClusterHarness):
             trace=trace,
             include_switch_power=include_switch_power,
             env=env,
+            blueprint=blueprint,
         )
 
     # -- pool attribute surface (pre-harness API) ----------------------------------------

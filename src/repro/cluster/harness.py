@@ -69,10 +69,19 @@ class ClusterHarness:
         backend=None,
         local_ids: Optional[Sequence[int]] = None,
         env: Optional[Environment] = None,
+        blueprint=None,
     ):
         if not pools:
             raise ValueError("need at least one worker pool")
         self.pools: List[WorkerPool] = list(pools)
+        #: Adopted construction skeleton (see
+        #: :mod:`repro.cluster.blueprint`).  Binding validates the
+        #: blueprint against each pool's shape and switches the pools
+        #: onto their planned build paths; ``None`` keeps the legacy
+        #: discover-as-you-go build.
+        self.blueprint = blueprint
+        if blueprint is not None:
+            blueprint.bind(self.pools)
         #: Sharded execution (see :mod:`repro.shard`): when set, only
         #: these global worker ids get real hardware and worker
         #: processes — every other id still gets its queue, endpoint,
@@ -192,6 +201,32 @@ class ClusterHarness:
         if sbc is not None:
             self._sbc_by_worker[worker_id] = sbc
 
+    def register_remote_workers(
+        self,
+        pool: WorkerPool,
+        first_id: int,
+        count: int,
+        endpoint_prefix: str,
+    ) -> None:
+        """Record a contiguous run of remote (unsimulated) workers.
+
+        Equivalent to ``count`` :meth:`register_worker` calls with
+        ``worker=None`` and endpoints ``f"{endpoint_prefix}{id}"`` —
+        the bulk path blueprint-built shards use for whole remote
+        spans.
+        """
+        if first_id != len(self.workers):
+            raise ValueError(
+                f"worker ids must be registered in order: got {first_id}, "
+                f"expected {len(self.workers)}"
+            )
+        self.workers.extend([None] * count)
+        pool_by_worker = self._pool_by_worker
+        endpoint_by_worker = self._endpoint_by_worker
+        for worker_id in range(first_id, first_id + count):
+            pool_by_worker[worker_id] = pool
+            endpoint_by_worker[worker_id] = f"{endpoint_prefix}{worker_id}"
+
     # -- worker lookup -------------------------------------------------------------------
 
     def pool_for(self, worker_id: int) -> WorkerPool:
@@ -265,6 +300,31 @@ class ClusterHarness:
 
     def powered_worker_count(self) -> int:
         return sum(pool.powered_worker_count() for pool in self.pools)
+
+    def bound_power_traces(self, max_points: int = 65536) -> int:
+        """Enable autocompaction on every metered power trace.
+
+        Caps each board/server/switch trace at ``max_points`` retained
+        change points; older points fold into an exact running energy
+        prefix (see :meth:`repro.hardware.power.PowerTrace.enable_autocompact`).
+        Full-range energy accounting — which is all
+        :meth:`result_snapshot` ever asks for — stays bit-identical, but
+        sub-range energy queries on a compacted trace raise, so this is
+        opt-in for bounded-memory runs (the 10⁸-invocation megatrace).
+        Returns the number of traces now bounded.
+        """
+        traces = []
+        for pool in self.pools:
+            for sbc in getattr(pool, "sbcs", ()):
+                traces.append(sbc.trace)
+            server = getattr(pool, "server", None)
+            if server is not None:
+                traces.append(server.trace)
+        for switch in self.switches:
+            traces.append(switch.trace)
+        for trace in traces:
+            trace.enable_autocompact(max_points)
+        return len(traces)
 
     def finished_traces(self):
         """Sealed traces (draining in-flight stragglers first)."""

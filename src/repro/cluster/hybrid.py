@@ -72,6 +72,7 @@ class HybridCluster(ClusterHarness):
         trace: Optional[TraceConfig] = None,
         local_ids=None,
         env=None,
+        blueprint=None,
     ):
         if sbc_count < 0 or vm_count < 0:
             raise ValueError("worker counts must be non-negative")
@@ -114,6 +115,7 @@ class HybridCluster(ClusterHarness):
             backend=backend,
             local_ids=local_ids,
             env=env,
+            blueprint=blueprint,
         )
 
     # -- pool attribute surface ----------------------------------------------------------

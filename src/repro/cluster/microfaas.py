@@ -47,6 +47,7 @@ class MicroFaaSCluster(ClusterHarness):
         trace: Optional[TraceConfig] = None,
         local_ids=None,
         env=None,
+        blueprint=None,
     ):
         self.pool = SbcPool(
             worker_count=worker_count,
@@ -68,6 +69,7 @@ class MicroFaaSCluster(ClusterHarness):
             backend=backend,
             local_ids=local_ids,
             env=env,
+            blueprint=blueprint,
         )
 
     # -- pool attribute surface (pre-harness API) ----------------------------------------

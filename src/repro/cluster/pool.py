@@ -30,6 +30,11 @@ from __future__ import annotations
 import abc
 from typing import List, Optional
 
+from repro.cluster.blueprint import (
+    PoolDescriptor,
+    SbcFabricPlan,
+    VmFabricPlan,
+)
 from repro.cluster.vmworker import VmWorker
 from repro.cluster.worker import SbcWorker
 from repro.core.lifecycle import RunToCompletionPolicy
@@ -65,6 +70,15 @@ class WorkerPool(abc.ABC):
         #: Global orchestrator worker ids owned by this pool, in
         #: registration order.
         self.worker_ids: List[int] = []
+        #: Construction plan adopted from a
+        #: :class:`~repro.cluster.blueprint.ClusterBlueprint` (set by
+        #: ``ClusterBlueprint.bind`` before the harness builds; None
+        #: for the legacy discover-as-you-go build).
+        self.plan = None
+
+    @abc.abstractmethod
+    def plan_descriptor(self) -> PoolDescriptor:
+        """This pool's shape, as blueprint arithmetic needs it."""
 
     @property
     @abc.abstractmethod
@@ -134,6 +148,13 @@ class SbcPool(WorkerPool):
     def backend_nic(self) -> NicSpec:
         return FAST_ETHERNET
 
+    def plan_descriptor(self) -> PoolDescriptor:
+        return PoolDescriptor(
+            kind="sbc",
+            worker_count=self.worker_count,
+            switch_ports=TESTBED_SWITCH.ports,
+        )
+
     def _grow_fabric(self, harness) -> Switch:
         """Add one more ToR switch, trunked to the previous one."""
         switch = Switch(
@@ -158,6 +179,9 @@ class SbcPool(WorkerPool):
         self._grow_fabric(harness)
 
     def build_workers(self, harness) -> None:
+        if self.plan is not None:
+            self._build_workers_planned(harness)
+            return
         for _ in range(self.worker_count):
             node_id = harness.orchestrator.worker_count
             endpoint_name = f"sbc-{node_id}"
@@ -177,32 +201,103 @@ class SbcPool(WorkerPool):
                 self.worker_ids.append(node_id)
                 harness.register_worker(self, node_id, None, endpoint_name)
                 continue
-            sbc = SingleBoardComputer(
-                lambda: harness.env.now, spec=self.sbc_spec, node_id=node_id
+            self._spawn_worker(harness, node_id, endpoint_name, queue)
+
+    def _build_workers_planned(self, harness) -> None:
+        """Blueprint build: spans drive attachment instead of growth
+        checks, remote ids get stub queues and no endpoint at all.
+
+        Switch creation still happens one switch at a time, at span
+        boundaries, through the legacy ``_grow_fabric`` — so the
+        harness switch list, trunk order, and graph insertion order are
+        identical to the discover-as-you-go build.  Every derived name
+        is cross-checked against the plan: a blueprint computed for a
+        different shape fails loudly instead of mis-wiring the fabric.
+        """
+        plan: SbcFabricPlan = self.plan
+        orchestrator = harness.orchestrator
+        if plan.first_worker_id != orchestrator.worker_count:
+            raise ValueError(
+                f"blueprint drift: pool expects first worker id "
+                f"{plan.first_worker_id}, orchestrator is at "
+                f"{orchestrator.worker_count}"
             )
-            harness.gpio.connect(
-                node_id, sbc.power_on, sbc.power_off, lambda s=sbc: s.is_powered
+        if self.switches[-1].name != plan.chain[0]:
+            raise ValueError(
+                f"blueprint drift: fabric starts at "
+                f"{self.switches[-1].name!r}, plan says {plan.chain[0]!r}"
             )
-            worker = SbcWorker(
-                harness.env,
-                sbc,
-                queue,
-                harness.orchestrator,
-                harness.transfers,
-                orchestrator_endpoint="op",
-                endpoint=endpoint_name,
-                policy=self.worker_policy,
-                streams=harness.streams,
-                jitter_sigma=self.jitter_sigma,
-                profiles=self.profiles,
-                control_plane=harness.control_plane,
-                backend=harness.backend,
+        topology = harness.topology
+        nic = self.sbc_spec.nic
+        owned_set = harness.local_worker_ids  # None: serial, all owned
+        for switch_name, first_id, count in plan.spans:
+            if self.switches[-1].name != switch_name:
+                grown = self._grow_fabric(harness)
+                if grown.name != switch_name:
+                    raise ValueError(
+                        f"blueprint drift: grew {grown.name!r}, plan "
+                        f"says {switch_name!r}"
+                    )
+            span_ids = range(first_id, first_id + count)
+            local_ids = (
+                span_ids
+                if owned_set is None
+                else [i for i in span_ids if i in owned_set]
             )
-            self.sbcs.append(sbc)
-            self.worker_ids.append(node_id)
-            harness.register_worker(
-                self, node_id, worker, endpoint_name, sbc=sbc
+            if not local_ids:
+                # Contiguous shard partitions make most spans wholly
+                # remote: bulk stub registration, no endpoints at all.
+                orchestrator.add_worker_stubs(count, platform=ARM)
+                self.worker_ids.extend(span_ids)
+                harness.register_remote_workers(
+                    self, first_id, count, endpoint_prefix="sbc-"
+                )
+                continue
+            topology.attach_endpoints(
+                [
+                    Endpoint(f"sbc-{node_id}", nic, ARM_BARE)
+                    for node_id in local_ids
+                ],
+                switch_name,
             )
+            for node_id in span_ids:
+                endpoint_name = f"sbc-{node_id}"
+                owned = owned_set is None or node_id in owned_set
+                queue = orchestrator.add_worker(platform=ARM, stub=not owned)
+                if not owned:
+                    self.worker_ids.append(node_id)
+                    harness.register_worker(
+                        self, node_id, None, endpoint_name
+                    )
+                    continue
+                self._spawn_worker(harness, node_id, endpoint_name, queue)
+
+    def _spawn_worker(self, harness, node_id, endpoint_name, queue) -> None:
+        """Create one board plus its worker process and register it."""
+        sbc = SingleBoardComputer(
+            lambda: harness.env.now, spec=self.sbc_spec, node_id=node_id
+        )
+        harness.gpio.connect(
+            node_id, sbc.power_on, sbc.power_off, lambda s=sbc: s.is_powered
+        )
+        worker = SbcWorker(
+            harness.env,
+            sbc,
+            queue,
+            harness.orchestrator,
+            harness.transfers,
+            orchestrator_endpoint="op",
+            endpoint=endpoint_name,
+            policy=self.worker_policy,
+            streams=harness.streams,
+            jitter_sigma=self.jitter_sigma,
+            profiles=self.profiles,
+            control_plane=harness.control_plane,
+            backend=harness.backend,
+        )
+        self.sbcs.append(sbc)
+        self.worker_ids.append(node_id)
+        harness.register_worker(self, node_id, worker, endpoint_name, sbc=sbc)
 
     def respawn_worker(self, harness, worker_id: int) -> SbcWorker:
         sbc = harness.sbc_for(worker_id)
@@ -280,6 +375,9 @@ class MicroVmPool(WorkerPool):
     def backend_nic(self) -> NicSpec:
         return GIGABIT_ETHERNET
 
+    def plan_descriptor(self) -> PoolDescriptor:
+        return PoolDescriptor(kind="vm", worker_count=self.vm_count)
+
     def build_fabric(self, harness) -> None:
         self.server = RackServer(lambda: harness.env.now, self.server_spec)
         self.hypervisor = Hypervisor(
@@ -318,6 +416,9 @@ class MicroVmPool(WorkerPool):
         harness.switches.append(self.bridge)
 
     def build_workers(self, harness) -> None:
+        if self.plan is not None:
+            self._build_workers_planned(harness)
+            return
         default_policy = RunToCompletionPolicy(
             reboot_between_jobs=True, power_off_when_idle=False
         )
@@ -335,22 +436,80 @@ class MicroVmPool(WorkerPool):
                 self.worker_ids.append(vm_id)
                 harness.register_worker(self, vm_id, None, endpoint_name)
                 continue
-            vm = MicroVm(harness.env, self.hypervisor, vm_id=vm_id)
-            worker = VmWorker(
-                harness.env,
-                vm,
-                queue,
-                harness.orchestrator,
-                harness.transfers,
-                orchestrator_endpoint="op",
-                endpoint=endpoint_name,
-                policy=self.worker_policy or default_policy,
-                streams=harness.streams,
-                jitter_sigma=self.jitter_sigma,
+            self._spawn_worker(
+                harness, vm_id, endpoint_name, queue, default_policy
             )
-            self.vms.append(vm)
-            self.worker_ids.append(vm_id)
-            harness.register_worker(self, vm_id, worker, endpoint_name)
+
+    def _build_workers_planned(self, harness) -> None:
+        """Blueprint build: bulk-attach the local guests' endpoints to
+        the bridge, register stub queues for remote ids (no endpoint —
+        a VM pool is atomic to one shard, so a remote VM's traffic can
+        never be simulated here)."""
+        plan: VmFabricPlan = self.plan
+        orchestrator = harness.orchestrator
+        if plan.first_worker_id != orchestrator.worker_count:
+            raise ValueError(
+                f"blueprint drift: pool expects first worker id "
+                f"{plan.first_worker_id}, orchestrator is at "
+                f"{orchestrator.worker_count}"
+            )
+        vm_ids = range(
+            plan.first_worker_id, plan.first_worker_id + self.vm_count
+        )
+        local_ids = [
+            vm_id for vm_id in vm_ids if harness.owns_worker(vm_id)
+        ]
+        if not local_ids:
+            orchestrator.add_worker_stubs(self.vm_count, platform=X86)
+            self.worker_ids.extend(vm_ids)
+            harness.register_remote_workers(
+                self, plan.first_worker_id, self.vm_count,
+                endpoint_prefix="vm-",
+            )
+            return
+        if local_ids:
+            harness.topology.attach_endpoints(
+                [
+                    Endpoint(f"vm-{vm_id}", GIGABIT_ETHERNET, X86_VIRTIO)
+                    for vm_id in local_ids
+                ],
+                self.bridge.name,
+            )
+        default_policy = RunToCompletionPolicy(
+            reboot_between_jobs=True, power_off_when_idle=False
+        )
+        for vm_id in vm_ids:
+            endpoint_name = f"vm-{vm_id}"
+            owned = harness.owns_worker(vm_id)
+            queue = orchestrator.add_worker(platform=X86, stub=not owned)
+            if not owned:
+                self.worker_ids.append(vm_id)
+                harness.register_worker(self, vm_id, None, endpoint_name)
+                continue
+            self._spawn_worker(
+                harness, vm_id, endpoint_name, queue, default_policy
+            )
+
+    def _spawn_worker(
+        self, harness, vm_id, endpoint_name, queue, default_policy
+    ) -> None:
+        """Boot one guest plus its worker process and register it."""
+        vm = MicroVm(harness.env, self.hypervisor, vm_id=vm_id)
+        worker = VmWorker(
+            harness.env,
+            vm,
+            queue,
+            harness.orchestrator,
+            harness.transfers,
+            orchestrator_endpoint="op",
+            endpoint=endpoint_name,
+            policy=self.worker_policy or default_policy,
+            streams=harness.streams,
+            jitter_sigma=self.jitter_sigma,
+        )
+        self.vms.append(vm)
+        self.worker_ids.append(vm_id)
+        harness.register_worker(self, vm_id, worker, endpoint_name)
 
     def watts(self) -> float:
         return self.server.watts

@@ -28,7 +28,9 @@ def replay_trace(cluster, trace: Trace) -> ClusterResult:
     and the last completion — idle stretches count against energy, which
     is exactly where energy proportionality earns its keep.
     """
-    if len(trace) == 0:
+    # Streaming traces (e.g. ChunkedPoissonTrace) are unsized — emptiness
+    # there surfaces from the iterator instead.
+    if hasattr(type(trace), "__len__") and len(trace) == 0:
         raise ValueError("empty trace")
     env = cluster.env
     orchestrator = cluster.orchestrator
@@ -45,6 +47,8 @@ def replay_trace(cluster, trace: Trace) -> ClusterResult:
                 batch = []
             batch_time = time_s
             batch.append(function)
+        if batch_time is None:
+            raise ValueError("empty trace")
         delay = batch_time - env.now
         if delay > 0:
             yield env.timeout(delay)

@@ -28,7 +28,7 @@ from repro.core.gpio import GpioBank
 from repro.core.job import Job, JobStatus
 from repro.core.platform import ARM
 from repro.core.policies import RecoveryPolicy, WorkerHealthTracker
-from repro.core.queue import WorkerQueue
+from repro.core.queue import RemoteQueueStub, WorkerQueue
 from repro.core.scheduler import AssignmentPolicy, RandomSamplingPolicy
 from repro.core.telemetry import InvocationRecord, TelemetryCollector
 from repro.obs import trace as obs
@@ -110,20 +110,47 @@ class Orchestrator:
 
     # -- workers ---------------------------------------------------------------
 
-    def add_worker(self, platform: str = ARM) -> WorkerQueue:
+    def add_worker(self, platform: str = ARM, stub: bool = False) -> WorkerQueue:
         """Create the queue for a new worker, returning it.
 
         ``platform`` is the worker's tag (see
         :mod:`repro.cluster.platform`); heterogeneous clusters register
         workers of several platforms and platform-aware policies read
         the tag off each candidate queue.
+
+        ``stub=True`` registers a :class:`RemoteQueueStub` instead of a
+        live queue — blueprint-built shards claim the global id without
+        paying for a store, wake hook, or enqueue path the shard can
+        never use (see :mod:`repro.cluster.blueprint`).
         """
+        if stub:
+            queue = RemoteQueueStub(
+                worker_id=len(self.queues), platform=platform
+            )
+            self.queues.append(queue)
+            return queue
         queue = WorkerQueue(
             self.env, worker_id=len(self.queues), platform=platform
         )
         queue.on_enqueue(lambda job, wid=queue.worker_id: self._wake(wid, job))
         self.queues.append(queue)
         return queue
+
+    def add_worker_stubs(self, count: int, platform: str = ARM) -> None:
+        """Register ``count`` consecutive remote-worker stub queues.
+
+        Equivalent to ``count`` calls of ``add_worker(stub=True)``;
+        blueprint-built shards claim whole remote spans through this
+        bulk path.
+        """
+        queues = self.queues
+        base = len(queues)
+        queues.extend(
+            [
+                RemoteQueueStub(worker_id=base + offset, platform=platform)
+                for offset in range(count)
+            ]
+        )
 
     @property
     def worker_count(self) -> int:
@@ -392,8 +419,18 @@ class Orchestrator:
         return self.submit(self.make_job(function))
 
     def submit_batch(self, functions: Iterable[str]) -> List[Job]:
-        """Submit one job per function name, in order."""
-        return [self.submit_function(name) for name in functions]
+        """Submit one job per function name, in order.
+
+        Submission events (worker wake-ups, dispatch timers) are collected
+        in a kernel bulk window and heap-merged once at the end — same
+        firing order as N individual submits, without N heap pushes.
+        """
+        env = self.env
+        env.begin_bulk()
+        try:
+            return [self.submit_function(name) for name in functions]
+        finally:
+            env.end_bulk()
 
     # -- arrivals -------------------------------------------------------------------
 

@@ -88,4 +88,50 @@ class WorkerQueue:
         return f"<WorkerQueue #{self.worker_id} depth={self.depth}>"
 
 
-__all__ = ["WorkerQueue"]
+class RemoteQueueStub:
+    """Queue-shaped placeholder for a worker another shard simulates.
+
+    Blueprint-built shards (see :mod:`repro.cluster.blueprint`) keep
+    every global worker id in ``orchestrator.queues`` so ids stay
+    aligned with the serial build, but a remote worker never receives
+    work locally — all policy decisions route through the coordinator
+    before any queue is touched.  The stub carries only the identity
+    and the always-zero load counters policies would read; any attempt
+    to actually enqueue or dequeue on it is a sharding bug and raises.
+    """
+
+    __slots__ = ("worker_id", "platform")
+
+    # Load counters are class attributes: always zero, and read-only
+    # through instances (writes raise AttributeError via __slots__).
+    depth = 0
+    outstanding = 0
+    jobs_enqueued = 0
+    jobs_dequeued = 0
+    peak_depth = 0
+
+    def __init__(self, worker_id: int, platform: str = ARM):
+        self.worker_id = worker_id
+        self.platform = platform
+
+    def push(self, job) -> None:
+        raise RuntimeError(
+            f"worker {self.worker_id} is remote to this shard; "
+            "jobs must not be enqueued on its stub queue"
+        )
+
+    def pop(self):
+        raise RuntimeError(
+            f"worker {self.worker_id} is remote to this shard"
+        )
+
+    def drain(self):
+        raise RuntimeError(
+            f"worker {self.worker_id} is remote to this shard"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RemoteQueueStub #{self.worker_id}>"
+
+
+__all__ = ["RemoteQueueStub", "WorkerQueue"]

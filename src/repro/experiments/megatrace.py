@@ -31,13 +31,28 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import derive_seed, run_map
 from repro.obs.export import write_trace_file
 from repro.obs.trace import TraceConfig, merge_traces
+from repro.shard.runtime import ClusterSpec
 from repro.sim.rng import RandomStreams
-from repro.workloads.traces import ColumnarTrace, poisson_trace
+from repro.workloads.traces import (
+    ChunkedPoissonTrace,
+    ColumnarTrace,
+    poisson_trace,
+)
 
 #: Sustained per-worker service rate of a BeagleBone through the full
 #: boot→execute→report cycle (the testbed does ~200 func/min across 10
 #: boards, Sec. V) — used to size the arrival rate against capacity.
 WORKER_JOBS_PER_S = 1.0 / 3.0
+
+#: Above this many invocations, :func:`run` switches to the streaming
+#: trace + bounded power traces automatically: the eager columnar trace
+#: alone would cost ~16 bytes/arrival, and unbounded per-board power
+#: traces another ~64 bytes/invocation.
+STREAMING_THRESHOLD = 10_000_000
+
+#: Retained change points per power trace in streaming mode (~1 MiB per
+#: board at 16 bytes/point; older points fold into an energy prefix).
+POWER_TRACE_MAX_POINTS = 65_536
 
 
 def peak_rss_mib() -> float:
@@ -81,12 +96,22 @@ class MegatraceResult:
 
 @dataclass(frozen=True)
 class _StripeTask:
-    """One partition of a sharded megatrace replay (picklable)."""
+    """One partition of a sharded megatrace replay (picklable).
 
-    stripe: ColumnarTrace
+    ``stripe`` is either an eager :class:`ColumnarTrace` slice or a
+    :class:`ChunkedPoissonTrace` stripe (a few parameters instead of
+    arrays — what makes 10⁸-arrival partitioned replays picklable at
+    all).
+    """
+
+    stripe: object
     worker_count: int
     seed: int
     trace_config: Optional[TraceConfig]
+    streaming: bool = False
+    #: Precomputed construction plan (a few hundred bytes of names and
+    #: ints) so each partition process skips topology discovery.
+    blueprint: Optional[object] = None
 
 
 def _replay_stripe(task: _StripeTask) -> dict:
@@ -97,8 +122,11 @@ def _replay_stripe(task: _StripeTask) -> dict:
         policy=LeastLoadedPolicy(),
         telemetry_exact=False,
         trace=task.trace_config,
+        blueprint=task.blueprint,
     )
     cluster.orchestrator.evict_finished = True
+    if task.streaming:
+        cluster.bound_power_traces(POWER_TRACE_MAX_POINTS)
     result = replay_trace(cluster, task.stripe)
     telemetry = cluster.orchestrator.telemetry
     out = {
@@ -119,7 +147,7 @@ def _replay_stripe(task: _StripeTask) -> dict:
 
 
 def _run_partitioned(
-    trace: ColumnarTrace,
+    trace,
     worker_count: int,
     rate: float,
     seed: int,
@@ -127,6 +155,7 @@ def _run_partitioned(
     trace_path: Optional[str],
     trace_config: Optional[TraceConfig],
     start: float,
+    streaming: bool = False,
 ) -> MegatraceResult:
     """Stripe the trace over ``shards`` independent clusters.
 
@@ -142,12 +171,20 @@ def _run_partitioned(
     partition order.
     """
     base, extra = divmod(worker_count, shards)
+    # One blueprint per distinct partition size (there are at most two:
+    # base and base+1), computed once and shipped to every process.
+    blueprints = {
+        count: ClusterSpec(kind="microfaas", worker_count=count).blueprint()
+        for count in ({base, base + 1} if extra else {base})
+    }
     tasks = [
         _StripeTask(
             stripe=trace.stripe(index, shards),
             worker_count=base + (1 if index < extra else 0),
             seed=derive_seed(seed, "megatrace-shard", index),
             trace_config=trace_config,
+            streaming=streaming,
+            blueprint=blueprints[base + (1 if index < extra else 0)],
         )
         for index in range(shards)
     ]
@@ -199,6 +236,7 @@ def run(
     trace_sample_rate: float = 0.001,
     trace_max: int = 2048,
     shards: int = 1,
+    streaming: Optional[bool] = None,
 ) -> MegatraceResult:
     """Replay ``invocations`` Poisson arrivals at ``utilization`` of the
     cluster's sustained capacity.
@@ -216,6 +254,14 @@ def run(
     ``shards > 1`` switches to the partitioned deployment: the trace is
     round-robin-striped over that many independent cluster slices which
     replay as parallel processes (see :func:`_run_partitioned`).
+
+    ``streaming`` selects the bounded-RSS fast path for very long
+    replays: the arrival trace is generated lazily in chunks
+    (:class:`~repro.workloads.traces.ChunkedPoissonTrace`, bit-identical
+    to the eager trace) and every power trace autocompacts into an
+    exact running energy prefix — memory stays O(in-flight + workers)
+    even at 10⁸ invocations.  ``None`` (the default) turns it on
+    automatically past :data:`STREAMING_THRESHOLD`.
     """
     if invocations < 1:
         raise ValueError("invocations must be >= 1")
@@ -238,10 +284,17 @@ def run(
         if trace_path is not None
         else None
     )
+    if streaming is None:
+        streaming = invocations >= STREAMING_THRESHOLD
     start = time.perf_counter()
-    trace = poisson_trace(
-        rate, duration, streams=RandomStreams(seed), columnar=True
-    )
+    if streaming:
+        trace = ChunkedPoissonTrace(
+            rate_per_s=rate, duration_s=duration, seed=seed
+        )
+    else:
+        trace = poisson_trace(
+            rate, duration, streams=RandomStreams(seed), columnar=True
+        )
     if shards > 1:
         return _run_partitioned(
             trace,
@@ -252,6 +305,7 @@ def run(
             trace_path,
             trace_config,
             start,
+            streaming,
         )
     cluster = MicroFaaSCluster(
         worker_count=worker_count,
@@ -259,8 +313,13 @@ def run(
         policy=LeastLoadedPolicy(),
         telemetry_exact=False,
         trace=trace_config,
+        blueprint=ClusterSpec(
+            kind="microfaas", worker_count=worker_count
+        ).blueprint(),
     )
     cluster.orchestrator.evict_finished = True
+    if streaming:
+        cluster.bound_power_traces(POWER_TRACE_MAX_POINTS)
     result = replay_trace(cluster, trace)
     wall = time.perf_counter() - start
     telemetry = cluster.orchestrator.telemetry

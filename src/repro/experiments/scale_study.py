@@ -145,12 +145,18 @@ def _run_scale_point(task: ScaleTask) -> ScalePoint:
         return _run_sharded_point(task)
     per_function = max(1, (task.jobs_per_worker * task.worker_count) // 17)
     exact = not task.streaming_telemetry
+    # Both clusters share one construction plan: the fabric arithmetic
+    # runs once instead of twice per point.
+    blueprint = ClusterSpec(
+        kind="microfaas", worker_count=task.worker_count
+    ).blueprint()
     constrained = MicroFaaSCluster(
         worker_count=task.worker_count,
         seed=task.seed,
         policy=LeastLoadedPolicy(),
         control_plane=task.control_plane,
         telemetry_exact=exact,
+        blueprint=blueprint,
     )
     result = constrained.run_saturated(invocations_per_function=per_function)
     free = MicroFaaSCluster(
@@ -158,6 +164,7 @@ def _run_scale_point(task: ScaleTask) -> ScalePoint:
         seed=task.seed,
         policy=LeastLoadedPolicy(),
         telemetry_exact=exact,
+        blueprint=blueprint,
     )
     baseline = free.run_saturated(invocations_per_function=per_function)
     return ScalePoint(

@@ -44,9 +44,45 @@ class PowerTrace:
         # change points — 8 bytes each here vs ~32 for boxed floats.
         self._times: array = array("d", [float(initial_time)])
         self._watts: array = array("d", [float(initial_watts)])
+        # Autocompaction (off by default): when enabled, the trace folds
+        # its oldest change points into a running energy prefix so RSS
+        # stays bounded on 10⁸-event runs.  The fold replays the exact
+        # left-to-right segment additions of :meth:`energy_joules`, so a
+        # full-range query over a compacted trace returns bit-identical
+        # floats; queries that start or end inside the folded region are
+        # no longer answerable and raise.
+        self._compact_limit: Optional[int] = None
+        self._folded = False
+        self._folded_joules = 0.0
+        self._origin_time = float(initial_time)
 
     def __len__(self) -> int:
         return len(self._times)
+
+    def enable_autocompact(self, max_points: int = 65536) -> None:
+        """Bound the trace to ``max_points`` retained change points.
+
+        Once the trace grows past the limit, all but the most recent
+        point fold into a running energy prefix.  After the first fold,
+        only queries spanning the full trace (``start`` at or before the
+        trace origin, ``end`` at or after the newest retained point's
+        predecessor) are supported.
+        """
+        if max_points < 2:
+            raise ValueError(f"need max_points >= 2, got {max_points}")
+        self._compact_limit = max_points
+
+    def _fold(self) -> None:
+        times = self._times
+        watts = self._watts
+        last = len(times) - 1
+        total = self._folded_joules
+        for index in range(last):
+            total += watts[index] * (times[index + 1] - times[index])
+        self._folded_joules = total
+        self._times = array("d", [times[last]])
+        self._watts = array("d", [watts[last]])
+        self._folded = True
 
     @property
     def change_points(self) -> list[tuple[float, float]]:
@@ -75,10 +111,20 @@ class PowerTrace:
             return  # no change; keep the trace compact
         self._times.append(time)
         self._watts.append(watts)
+        if (
+            self._compact_limit is not None
+            and len(self._times) > self._compact_limit
+        ):
+            self._fold()
 
     def power_at(self, time: float) -> float:
         """Instantaneous power at ``time`` (0 before the trace starts)."""
         if time < self._times[0]:
+            if self._folded and time >= self._origin_time:
+                raise ValueError(
+                    "power_at() inside the compacted region of an "
+                    "autocompacted trace"
+                )
             return 0.0
         index = bisect.bisect_right(self._times, time) - 1
         return self._watts[index]
@@ -89,6 +135,30 @@ class PowerTrace:
             raise ValueError(f"end {end} before start {start}")
         if end == start:
             return 0.0
+        if self._folded:
+            # Only full-span queries survive compaction: the folded
+            # prefix seeds the accumulator and integration resumes at
+            # the retained boundary, replaying the exact additions the
+            # uncompacted trace would have performed.
+            if start > self._origin_time or end < self._times[0]:
+                raise ValueError(
+                    "autocompacted trace supports only full-range "
+                    f"energy queries (folded through t={self._times[0]})"
+                )
+            total = self._folded_joules
+            index = 0
+            t = self._times[0]
+            while t < end:
+                seg_end = (
+                    self._times[index + 1]
+                    if index + 1 < len(self._times)
+                    else end
+                )
+                seg_end = min(seg_end, end)
+                total += self._watts[index] * (seg_end - t)
+                t = seg_end
+                index += 1
+            return total
         total = 0.0
         lo = max(start, self._times[0])
         if lo >= end:
@@ -134,6 +204,15 @@ def combine_traces(
     return combined
 
 
+#: Enum members and a zeroed per-state accumulator template, computed
+#: once: a 100k-worker cluster constructs one state machine per board,
+#: and per-instance enum iteration plus five member hashes each was a
+#: measurable slice of cold-build time.  ``.copy()`` of the template
+#: reuses stored hashes, so instances pay no enum hashing at all.
+_ALL_STATES = tuple(PowerState)
+_ZERO_TIME_IN_STATE = {state: 0.0 for state in _ALL_STATES}
+
+
 class PowerStateMachine:
     """Maps device states to wattages and records the resulting trace.
 
@@ -153,17 +232,20 @@ class PowerStateMachine:
         state_watts: Mapping[PowerState, float],
         initial_state: PowerState = PowerState.OFF,
     ):
-        missing = [s for s in PowerState if s not in state_watts]
-        if missing:
+        watts = dict(state_watts)
+        if not _ZERO_TIME_IN_STATE.keys() <= watts.keys():
+            missing = [s for s in _ALL_STATES if s not in watts]
             raise ValueError(f"missing wattages for states: {missing}")
         self._clock = clock
-        self._state_watts = dict(state_watts)
+        self._state_watts = watts
         self._state = initial_state
         self.trace = PowerTrace(
-            initial_time=clock(), initial_watts=self._state_watts[initial_state]
+            initial_time=clock(), initial_watts=watts[initial_state]
         )
         self._state_entered_at = clock()
-        self._time_in_state: dict[PowerState, float] = {s: 0.0 for s in PowerState}
+        self._time_in_state: dict[PowerState, float] = (
+            _ZERO_TIME_IN_STATE.copy()
+        )
 
     @property
     def state(self) -> PowerState:

@@ -70,6 +70,45 @@ class NetworkTopology:
         self._invalidate_paths()
         return link
 
+    def attach_endpoints(
+        self, endpoints: List[Endpoint], switch_name: str
+    ) -> List[Link]:
+        """Attach many endpoints to one switch in a single operation.
+
+        Equivalent to calling :meth:`attach_endpoint` once per endpoint
+        in order — same port accounting, same graph node and edge
+        insertion order — but with the dup checks hoisted, the graph
+        populated through networkx's bulk adders, and one cache flush
+        instead of one per endpoint.  Blueprint-driven builds attach a
+        whole switch span at a time through this path.
+        """
+        endpoints = list(endpoints)
+        switch = self.switches[switch_name]
+        links: List[Link] = []
+        for endpoint in endpoints:
+            if endpoint.name in self.endpoints:
+                raise ValueError(
+                    f"duplicate endpoint name {endpoint.name!r}"
+                )
+            link = switch.attach(endpoint)
+            self.endpoints[endpoint.name] = endpoint
+            self.links[endpoint.name] = link
+            self._endpoint_switch[endpoint.name] = switch_name
+            links.append(link)
+        self.graph.add_nodes_from(
+            (endpoint.name, {"kind": "endpoint"}) for endpoint in endpoints
+        )
+        self.graph.add_edges_from(
+            (
+                endpoint.name,
+                switch_name,
+                {"bandwidth_bps": link.effective_bandwidth_bps},
+            )
+            for endpoint, link in zip(endpoints, links)
+        )
+        self._invalidate_paths()
+        return links
+
     def connect_switches(
         self,
         a: str,

@@ -118,12 +118,18 @@ class ShardedCluster:
             )
         self._chaos_boundaries = list(boundaries)
         self._chaos_cursor = 0
+        # One blueprint for the whole fleet: each shard adopts the
+        # precomputed construction skeleton instead of replaying the
+        # full serial build to rediscover switch growth (see
+        # repro.cluster.blueprint).
+        blueprint = spec.blueprint()
         specs = [
             ShardSpec(
                 shard_index=index,
                 shard_count=self.plan.shard_count,
                 cluster=spec,
                 local_ids=self.plan.shard_worker_ids[index],
+                blueprint=blueprint,
             )
             for index in range(self.plan.shard_count)
         ]

@@ -22,6 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.cluster.blueprint import (
+    ClusterBlueprint,
+    PoolDescriptor,
+    compute_blueprint,
+)
 from repro.cluster.hybrid import HybridCluster
 from repro.cluster.microfaas import MicroFaaSCluster
 from repro.cluster.pool import SbcPool
@@ -149,7 +154,46 @@ class ClusterSpec:
             return EnergyAwarePolicy(spill_threshold=self.spill_threshold)
         return make_policy(name)
 
-    def build(self, local_ids=None, policy: Optional[AssignmentPolicy] = None):
+    def blueprint(self) -> ClusterBlueprint:
+        """Construction skeleton for this spec's cluster shape.
+
+        The descriptors mirror the pools :meth:`build` composes (the
+        facades use the default hardware specs, so the testbed switch
+        model is the only ToR); ``ClusterBlueprint.bind`` re-validates
+        the correspondence against the live pools at build time.
+        """
+        from repro.hardware.specs import TESTBED_SWITCH
+
+        descriptors = []
+        if self.kind == "microfaas":
+            descriptors.append(
+                PoolDescriptor(
+                    kind="sbc",
+                    worker_count=self.worker_count,
+                    switch_ports=TESTBED_SWITCH.ports,
+                )
+            )
+        else:
+            if self.sbc_count:
+                descriptors.append(
+                    PoolDescriptor(
+                        kind="sbc",
+                        worker_count=self.sbc_count,
+                        switch_ports=TESTBED_SWITCH.ports,
+                    )
+                )
+            if self.vm_count:
+                descriptors.append(
+                    PoolDescriptor(kind="vm", worker_count=self.vm_count)
+                )
+        return compute_blueprint(descriptors)
+
+    def build(
+        self,
+        local_ids=None,
+        policy: Optional[AssignmentPolicy] = None,
+        blueprint: Optional[ClusterBlueprint] = None,
+    ):
         """Construct the cluster (serial twin when ``local_ids`` is None).
 
         Without an explicit ``policy``, the serial twin schedules with
@@ -169,6 +213,7 @@ class ClusterSpec:
                 control_plane=self.control_plane,
                 trace=self.trace,
                 local_ids=local_ids,
+                blueprint=blueprint,
             )
         return HybridCluster(
             sbc_count=self.sbc_count,
@@ -180,6 +225,7 @@ class ClusterSpec:
             control_plane=self.control_plane,
             trace=self.trace,
             local_ids=local_ids,
+            blueprint=blueprint,
         )
 
 
@@ -191,6 +237,10 @@ class ShardSpec:
     shard_count: int
     cluster: ClusterSpec
     local_ids: Tuple[int, ...]
+    #: Construction skeleton computed once by the coordinator and
+    #: shipped (387 bytes of names and ints, not a topology) into every
+    #: shard process; None falls back to the legacy full rebuild.
+    blueprint: Optional[ClusterBlueprint] = None
 
 
 def job_state(job: Job) -> tuple:
@@ -231,7 +281,9 @@ class ShardRuntime:
         self.spec = spec
         self.local_ids = frozenset(spec.local_ids)
         self.cluster = spec.cluster.build(
-            local_ids=spec.local_ids, policy=ShardRemotePolicy()
+            local_ids=spec.local_ids,
+            policy=ShardRemotePolicy(),
+            blueprint=spec.blueprint,
         )
         orch = self.cluster.orchestrator
         orch.assign_override = self._capture_salvage
@@ -287,6 +339,14 @@ class ShardRuntime:
     def inject(self, directives: List[tuple]) -> None:
         """Apply coordinator decisions at the current boundary time."""
         orch = self.cluster.orchestrator
+        env = self.cluster.env
+        env.begin_bulk()
+        try:
+            self._inject(orch, directives)
+        finally:
+            env.end_bulk()
+
+    def _inject(self, orch, directives: List[tuple]) -> None:
         for directive in directives:
             verb = directive[0]
             if verb == "new":
@@ -322,13 +382,19 @@ class ShardRuntime:
             if until > env.now:
                 env.run(until=until)
         else:
-            while orch.pending > 0:
-                if env.peek() == float("inf"):
+            # Per-event stepping with the pending check between events:
+            # draining a whole timestamp after pending hits zero could pull
+            # extra completions into this report window and perturb the
+            # cross-shard merge order.  Hoisted locals keep the loop cheap.
+            step = env.step
+            queue = env._queue
+            while orch._submitted > orch._completed:
+                if not queue:
                     raise SimulationError(
                         f"shard {self.spec.shard_index} deadlocked with "
                         f"{orch.pending} pending jobs and no events"
                     )
-                env.step()
+                step()
         report = {
             "shard": self.spec.shard_index,
             "now": env.now,

@@ -1,0 +1,131 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+The repo pins its performance story with committed baselines
+(``BENCH_kernel.json``, ``BENCH_build.json``, ``BENCH_scale.json``) and
+this tool turns a fresh ``--benchmark-json`` run into a regression
+verdict: each benchmark's mean is matched to the baseline by name and
+must stay within a tolerance band.
+
+Benchmarks are matched on their fully-qualified name.  Benchmarks
+present on only one side are reported but never fail the run (suites
+grow; baselines are regenerated deliberately).  Baselines may also
+carry a top-level ``extra_runs`` object (e.g. the 10^8-invocation
+megatrace wall-clock, measured outside pytest-benchmark); those are
+printed for context and never compared — a CI runner's wall-clock is
+not the baseline machine's.
+
+Run::
+
+    python tools/bench_compare.py BENCH_build.json fresh.json
+    python tools/bench_compare.py BENCH_build.json fresh.json --tolerance 0.5
+    python tools/bench_compare.py BENCH_build.json fresh.json --warn-only
+
+Exits 0 when every matched benchmark is inside the band (or with
+``--warn-only``, always); 1 when any regression exceeds it.  The wide
+default band (+100%) reflects that wall-clock on shared CI runners
+swings hard; the trajectory matters, not the third decimal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str) -> dict:
+    """Map fullname -> mean seconds from a pytest-benchmark JSON file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    means = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats", {})
+        if name and "mean" in stats:
+            means[name] = stats["mean"]
+    return means
+
+
+def load_extra_runs(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle).get("extra_runs", {})
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float
+) -> "tuple[list, list, list]":
+    """Split matched benchmarks into (ok, regressions, unmatched).
+
+    A regression is ``current > baseline * (1 + tolerance)``.  Getting
+    faster is never a failure — it is the expected direction.
+    """
+    ok, regressions, unmatched = [], [], []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline or name not in current:
+            unmatched.append((name, "baseline" if name in current else "current"))
+            continue
+        base, now = baseline[name], current[name]
+        ratio = now / base if base > 0 else float("inf")
+        row = (name, base, now, ratio)
+        if now > base * (1.0 + tolerance):
+            regressions.append(row)
+        else:
+            ok.append(row)
+    return ok, regressions, unmatched
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare pytest-benchmark JSON against a baseline"
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("current", help="fresh --benchmark-json output")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.0,
+        help="allowed slowdown as a fraction of the baseline mean "
+        "(default 1.0 = may take up to 2x the baseline)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI trend mode)",
+    )
+    args = parser.parse_args(argv)
+
+    ok, regressions, unmatched = compare(
+        load_benchmarks(args.baseline),
+        load_benchmarks(args.current),
+        args.tolerance,
+    )
+
+    for name, base, now, ratio in ok:
+        print(f"  ok        {name}: {base:.4f}s -> {now:.4f}s ({ratio:.2f}x)")
+    for name, side in unmatched:
+        print(f"  unmatched {name} (missing from {side})")
+    for name, base, now, ratio in regressions:
+        print(
+            f"  REGRESSED {name}: {base:.4f}s -> {now:.4f}s "
+            f"({ratio:.2f}x, band is {1.0 + args.tolerance:.2f}x)"
+        )
+
+    extra = load_extra_runs(args.baseline)
+    if extra:
+        print("  baseline extra runs (informational):")
+        for name, info in sorted(extra.items()):
+            print(f"    {name}: {json.dumps(info, sort_keys=True)}")
+
+    matched = len(ok) + len(regressions)
+    verdict = "within band" if not regressions else "REGRESSIONS FOUND"
+    print(
+        f"{verdict}: {len(ok)}/{matched} matched benchmarks inside "
+        f"{1.0 + args.tolerance:.2f}x band"
+    )
+    if regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
