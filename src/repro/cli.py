@@ -29,6 +29,7 @@ from repro.experiments import (
     hybrid_study,
     megatrace,
     scale_study,
+    sdk_study,
     table1_workloads,
     table2_tco,
 )
@@ -121,6 +122,17 @@ ARTIFACTS: Dict[str, tuple] = {
             )
         ),
     ),
+    "sdk-study": (
+        "client SDK map_reduce sweep: users x fan-out x backend (extension)",
+        lambda n, jobs, cache, trace, shards: sdk_study.render(
+            sdk_study.run(
+                fanouts=tuple(sorted({8, max(8, n)})),
+                jobs=jobs,
+                cache=cache,
+                trace_path=trace,
+            )
+        ),
+    ),
     "hardware": (
         "candidate worker boards compared (extension)",
         lambda n, jobs, cache, trace, shards: hardware_selection.render(
@@ -164,7 +176,8 @@ ARTIFACTS: Dict[str, tuple] = {
 
 #: Artifacts that honour ``--trace`` (the rest would silently ignore it).
 TRACEABLE = frozenset(
-    {"headline", "fault-study", "federation-study", "hybrid-study", "megatrace"}
+    {"headline", "fault-study", "federation-study", "hybrid-study",
+     "megatrace", "sdk-study"}
 )
 
 #: Artifacts that honour ``--shards`` (multi-process sharded simulation;

@@ -1,0 +1,87 @@
+"""Client-side retry policy, layered on top of the recovery stack.
+
+The orchestrator's :class:`~repro.core.policies.RecoveryPolicy`
+already retries *attempts* of one logical job (crash resubmission,
+per-attempt timeouts, hedging) and delivers exactly one result.  The
+client :class:`RetryPolicy` sits a layer above: when a *call*'s
+backend job resolves as a terminal failure (retry budget exhausted,
+deadline abandoned, shed at a gateway) — or exceeds the client's own
+``call_timeout_s`` — the executor launches a *fresh backend job* for
+the same call, after an exponential backoff with deterministic jitter
+(the shared :func:`repro.core.backoff.backoff_delay_s`, salt
+``"client-backoff"``).
+
+Layering contract:
+
+- every backend job of one call carries the same client idempotency
+  key, and the monitor maps all of them to the one future — the first
+  resolution wins and later ones are counted as suppressed
+  duplicates, so client retries never double-count delivered work;
+- jitter is hash-derived from the call id, never drawn from a shared
+  RNG — a client with retries enabled perturbs nothing while no
+  retry fires, and identical runs retry identically;
+- the default policy (``None`` on the executor) schedules no monitor
+  ticks and no retries at all: the SDK adds **zero** events to a
+  clean run, which is what keeps SDK-driven replays bit-identical to
+  the seed's ``submit_batch`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.backoff import backoff_delay_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry knobs (times in simulated seconds)."""
+
+    #: Fresh backend jobs launched after the first, per call.
+    max_retries: int = 2
+    #: Exponential backoff between client retries.
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 8.0
+    #: Jitter as a fraction of the computed backoff (0 disables).
+    backoff_jitter: float = 0.2
+    #: Give up on a backend job this long after its invocation and
+    #: retry it client-side (``None`` disables the timeout scan — the
+    #: monitor then schedules no tick process at all).
+    call_timeout_s: Optional[float] = None
+    #: Monitor scan period for timeout/RUNNING detection.
+    monitor_tick_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff times cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.call_timeout_s is not None and self.call_timeout_s <= 0:
+            raise ValueError("call timeout must be positive")
+        if self.monitor_tick_s <= 0:
+            raise ValueError("monitor tick must be positive")
+
+    def should_retry(self, retries_so_far: int) -> bool:
+        return retries_so_far < self.max_retries
+
+    def backoff_s(self, retry: int, call_id: int) -> float:
+        """Backoff before client retry number ``retry`` (1-based) of
+        ``call_id`` — deterministic, identical across runs."""
+        return backoff_delay_s(
+            retry,
+            base_s=self.backoff_base_s,
+            factor=self.backoff_factor,
+            max_s=self.backoff_max_s,
+            jitter=self.backoff_jitter,
+            key=call_id,
+            salt="client-backoff",
+        )
+
+
+__all__ = ["RetryPolicy"]

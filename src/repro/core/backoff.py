@@ -1,0 +1,65 @@
+"""Shared exponential backoff with deterministic jitter.
+
+Three layers of the stack retry with backoff: the orchestrator's
+:class:`~repro.core.policies.RecoveryPolicy` (timeout retries), the
+federation gateway (brownout ingress retries), and the client SDK's
+:class:`~repro.client.retries.RetryPolicy`.  All three use the same
+shape — exponential growth with a cap, plus jitter in ``[0, jitter]``
+of the base value — and all three must be *deterministic*: jitter is
+hash-derived from a per-job key via
+:func:`~repro.sim.rng.derive_seed`, never drawn from a shared RNG, so
+retry timing is identical across runs, process counts, and shard
+layouts, and enabling any retry layer never perturbs another layer's
+random streams.
+
+This module is the single implementation.  Each caller keeps its own
+salt (``"backoff"``, ``"ingress-backoff"``, ``"client-backoff"``) so
+the three layers jitter independently even when they share a key
+space.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import derive_seed
+
+#: Denominator of the jitter fraction: 20 bits of the derived hash.
+_FRACTION_BITS = 2**20
+
+
+def jitter_fraction(key, salt: str) -> float:
+    """Deterministic uniform-ish fraction in ``[0, 1)`` for a retry.
+
+    Derived from ``(key, salt)`` via SHA-256, so the same retry of the
+    same job always jitters identically.  ``key`` is whatever uniquely
+    names the retrying entity (a job id, a federated-job id, a call
+    id); ``salt`` must encode the layer *and* the attempt number.
+    """
+    return (derive_seed(key, salt) % _FRACTION_BITS) / _FRACTION_BITS
+
+
+def backoff_delay_s(
+    attempt: int,
+    *,
+    base_s: float,
+    factor: float,
+    max_s: float,
+    jitter: float,
+    key,
+    salt: str = "backoff",
+) -> float:
+    """Delay before launching retry number ``attempt`` (1-based).
+
+    ``min(base_s * factor**(attempt-1), max_s)``, then stretched by a
+    deterministic jitter in ``[0, jitter]`` of that value, derived
+    from ``(key, f"{salt}-{attempt}")``.  The same (key, salt,
+    attempt) triple always backs off identically.
+    """
+    if attempt < 1:
+        raise ValueError("attempt numbers start at 1")
+    base = min(base_s * factor ** (attempt - 1), max_s)
+    if jitter == 0 or base == 0:
+        return base
+    return base * (1.0 + jitter * jitter_fraction(key, f"{salt}-{attempt}"))
+
+
+__all__ = ["backoff_delay_s", "jitter_fraction"]

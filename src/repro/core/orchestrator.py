@@ -107,6 +107,10 @@ class Orchestrator:
         self.on_complete: Optional[Callable[[Job, InvocationRecord], None]] = None
         self.on_worker_dead: Optional[Callable[[int], None]] = None
         self.on_worker_alive: Optional[Callable[[int], None]] = None
+        #: Job-completion subscribers (see :meth:`on_job_done`).
+        self._job_done_callbacks: List[
+            Callable[[Job, Optional[InvocationRecord]], None]
+        ] = []
 
     # -- workers ---------------------------------------------------------------
 
@@ -475,6 +479,37 @@ class Orchestrator:
 
     # -- completion ---------------------------------------------------------------
 
+    def on_job_done(
+        self,
+        callback: Callable[[Job, Optional[InvocationRecord]], None],
+    ) -> None:
+        """Subscribe to logical-job resolution (push, not poll).
+
+        ``callback(job, record)`` fires exactly once per logical job,
+        at the simulated instant its first result is delivered —
+        *before* eviction, so the job object is always live inside the
+        callback even on ``evict_finished`` runs:
+
+        - completion: ``record`` is the delivered
+          :class:`~repro.core.telemetry.InvocationRecord`;
+        - terminal failure or an abandoned deadline: ``record`` is
+          ``None`` and ``job.failure`` names the reason.
+
+        Suppressed duplicate attempts (hedges/retries losing the race)
+        never fire.  Unlike :attr:`on_complete` — a single slot owned
+        by the shard/federation runtimes, which also skips the failure
+        paths — any number of subscribers may register here, and
+        registration never perturbs the simulation: callbacks run
+        synchronously inside the delivery event and draw no RNG.
+        """
+        self._job_done_callbacks.append(callback)
+
+    def _notify_job_done(
+        self, job: Job, record: Optional[InvocationRecord]
+    ) -> None:
+        for callback in self._job_done_callbacks:
+            callback(job, record)
+
     def is_delivered(self, job_id: int) -> bool:
         """Whether the logical job's (first) result has been delivered.
 
@@ -554,6 +589,8 @@ class Orchestrator:
         self._completed += 1
         if self.on_complete is not None:
             self.on_complete(job, record)
+        if self._job_done_callbacks:
+            self._notify_job_done(job, record)
         if self.evict_finished and self.recovery is None:
             del self.jobs[job.job_id]
             self._done.discard(job.job_id)
@@ -585,6 +622,8 @@ class Orchestrator:
             canonical.failure = reason
             canonical.status = JobStatus.FAILED
             canonical.t_completed = now
+        if self._job_done_callbacks:
+            self._notify_job_done(job, None)
         self._completed += 1
         self._fire_drain_events()
 
@@ -646,6 +685,8 @@ class Orchestrator:
         if job.trace_id is not None:
             self.tracer.mark_delivered(job.trace_id, now, status="lost")
         self.jobs_lost += 1
+        if self._job_done_callbacks:
+            self._notify_job_done(job, None)
         self._completed += 1
         self._fire_drain_events()
 

@@ -25,7 +25,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.sim.rng import derive_seed
+from repro.core.backoff import backoff_delay_s
 
 
 @dataclass(frozen=True)
@@ -97,17 +97,17 @@ class RecoveryPolicy:
         Exponential with a cap, plus deterministic jitter in
         ``[0, backoff_jitter]`` of the base value derived from the job
         id — the same (job, attempt) always backs off identically.
+        Delegates to the shared :func:`repro.core.backoff.backoff_delay_s`.
         """
-        if attempt < 1:
-            raise ValueError("attempt numbers start at 1")
-        base = min(
-            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
-            self.backoff_max_s,
+        return backoff_delay_s(
+            attempt,
+            base_s=self.backoff_base_s,
+            factor=self.backoff_factor,
+            max_s=self.backoff_max_s,
+            jitter=self.backoff_jitter,
+            key=job_id,
+            salt="backoff",
         )
-        if self.backoff_jitter == 0 or base == 0:
-            return base
-        fraction = (derive_seed(job_id, f"backoff-{attempt}") % 2**20) / 2**20
-        return base * (1.0 + self.backoff_jitter * fraction)
 
 
 class BreakerState(enum.Enum):

@@ -20,6 +20,9 @@ One module per paper artifact:
 - :mod:`repro.experiments.federation_study` — multi-region federation:
   users × regions × outage rates, failover MTTR, per-geo latency
   (extension).
+- :mod:`repro.experiments.sdk_study` — client-driven map_reduce
+  workloads through the :mod:`repro.client` SDK: users × fan-out ×
+  backend kind (extension).
 
 Every module exposes ``run(...)`` returning structured results and
 ``render(...)`` producing the text the benchmark harness prints.
@@ -43,6 +46,7 @@ from repro.experiments import (
     hybrid_study,
     runner,
     scale_study,
+    sdk_study,
     table1_workloads,
     table2_tco,
 )
@@ -60,6 +64,7 @@ __all__ = [
     "hybrid_study",
     "runner",
     "scale_study",
+    "sdk_study",
     "table1_workloads",
     "table2_tco",
 ]

@@ -22,6 +22,7 @@ from repro.experiments import (
     hybrid_study,
     megatrace,
     scale_study,
+    sdk_study,
     table2_tco,
 )
 from repro.workloads import ALL_FUNCTION_NAMES
@@ -252,6 +253,31 @@ def export_scale_study(
     )
 
 
+def export_sdk_study(
+    directory: str,
+    user_counts: Sequence[int] = (1, 4),
+    fanouts: Sequence[int] = (8, 32),
+) -> str:
+    """The client SDK sweep: one row per (users, fanout, backend)."""
+    result = sdk_study.run(user_counts=user_counts, fanouts=fanouts)
+    rows = [
+        (p.kind, p.users, p.fanout, p.calls, p.succeeded, p.errors,
+         p.jobs_completed, p.duration_s, p.throughput_per_min,
+         p.energy_joules, p.joules_per_function, p.client_p50_s,
+         p.client_p99_s, p.reduce_latency_s, p.duplicates_suppressed,
+         p.batches_flushed)
+        for p in result.points
+    ]
+    return _write(
+        os.path.join(directory, "sdk_study.csv"),
+        ["backend", "users", "fanout", "calls", "succeeded", "errors",
+         "jobs_completed", "duration_s", "func_per_min", "energy_joules",
+         "joules_per_function", "client_p50_s", "client_p99_s",
+         "reduce_latency_s", "duplicates_suppressed", "batches_flushed"],
+        rows,
+    )
+
+
 def export_megatrace(directory: str, invocations: int = 1_000_000) -> str:
     """The megatrace replay's operator metrics, one row per run."""
     result = megatrace.run(invocations=invocations)
@@ -309,6 +335,7 @@ def export_all(
         export_federation_study(directory),
         export_hybrid_study(directory, max(2, invocations_per_function // 6)),
         export_scale_study(directory),
+        export_sdk_study(directory),
         export_trace(directory, invocations_per_function),
     ]
 
@@ -325,6 +352,7 @@ __all__ = [
     "export_hybrid_study",
     "export_megatrace",
     "export_scale_study",
+    "export_sdk_study",
     "export_table2",
     "export_trace",
 ]

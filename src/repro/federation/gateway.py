@@ -46,6 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.backoff import backoff_delay_s
 from repro.core.policies import RecoveryPolicy, WorkerHealthTracker
 from repro.core.telemetry import QuantileSketch, RunningStat, TelemetryCollector
 from repro.federation.region import Region, RegionSpec, build_region_cluster
@@ -218,6 +219,8 @@ class FederatedCluster:
         self._geo_stats: Dict[str, Tuple[RunningStat, QuantileSketch]] = {}
         self._heartbeats_started = False
         self._supervision_started = False
+        #: Federated-job resolution subscribers (see :meth:`on_job_done`).
+        self._job_done_callbacks: List = []
 
     # -- region/geo helpers --------------------------------------------------------------
 
@@ -344,17 +347,16 @@ class FederatedCluster:
     def _retry_ingress(self, fed: FedJob, region: Region):
         """Back off after a brownout drop, then retry (or escape)."""
         config = self.config
-        attempt = fed.ingress_attempts
-        base = min(
-            config.ingress_backoff_s
-            * config.ingress_backoff_factor ** (attempt - 1),
-            8.0,
-        )
-        fraction = (
-            derive_seed(fed.fed_id, f"ingress-backoff-{attempt}") % 2**20
-        ) / 2**20
         yield self.env.timeout(
-            base * (1.0 + config.ingress_backoff_jitter * fraction)
+            backoff_delay_s(
+                fed.ingress_attempts,
+                base_s=config.ingress_backoff_s,
+                factor=config.ingress_backoff_factor,
+                max_s=8.0,
+                jitter=config.ingress_backoff_jitter,
+                key=fed.fed_id,
+                salt="ingress-backoff",
+            )
         )
         if fed.resolved:
             return
@@ -450,9 +452,24 @@ class FederatedCluster:
         self.delivered += 1
         self._resolve(fed)
 
+    def on_job_done(self, callback) -> None:
+        """Subscribe to federated-job resolution (push, not poll).
+
+        ``callback(fed)`` fires exactly once per federated job, at the
+        simulated instant it resolves — delivery (``fed.delivered``)
+        or shedding (``fed.shed``).  Suppressed duplicate regional
+        results never fire.  The federation analogue of
+        :meth:`repro.core.orchestrator.Orchestrator.on_job_done`; any
+        number of subscribers may register, and registration draws no
+        RNG so it never perturbs the simulation.
+        """
+        self._job_done_callbacks.append(callback)
+
     def _resolve(self, fed: FedJob) -> None:
         self._undelivered.pop(fed.fed_id, None)
         self._outstanding -= 1
+        for callback in self._job_done_callbacks:
+            callback(fed)
         if self._outstanding == 0:
             for event in self._drain_events:
                 if not event.triggered:

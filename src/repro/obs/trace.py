@@ -68,6 +68,12 @@ CHAOS_EVENT = "chaos_event"
 #: gateway's outage declaration itself.
 REROUTE = "reroute"
 REGION_OUTAGE = "region_outage"
+#: Client-SDK annotations (see :mod:`repro.client`): the executor
+#: accepted a call, a wait() started covering the job, and a
+#: client-side retry launched a fresh backend job.
+CLIENT_SUBMIT = "client_submit"
+CLIENT_WAIT = "client_wait"
+CLIENT_RETRY = "client_retry"
 
 #: The phases that tile an attempt's *active* window (claim → result
 #: delivered); everything inside the attempt not covered by one of
@@ -520,6 +526,9 @@ __all__ = [
     "BOOT",
     "BOOT_STAGE_PREFIX",
     "CHAOS_EVENT",
+    "CLIENT_RETRY",
+    "CLIENT_SUBMIT",
+    "CLIENT_WAIT",
     "DISCARDED",
     "EXECUTE",
     "FinishedTrace",
