@@ -1,0 +1,110 @@
+"""The energy control plane: bill joules online, then act on them.
+
+Four stops:
+
+1. **Online attribution** — an `EnergyLedger` bills every invocation as
+   it finishes and reconciles against the metered total to <= 1e-9 J.
+2. **Power caps** — clamp each board under a wattage; the DVFS ladder
+   trades p99 latency for J/function (power falls faster than speed).
+3. **Tenant budgets** — a noisy neighbor burns its joules-per-window
+   allowance and gets delayed to the next window; the others sail on.
+4. **The warm pool's balance sheet** — forecast-sized warming, with the
+   joules spent idling warm vs the boot joules the warm hits avoided.
+
+Run:  python examples/energy.py
+"""
+
+from repro.cluster import MicroFaaSCluster, replay_trace
+from repro.core.policies import BudgetPolicy
+from repro.core.warmpool import WarmPool
+from repro.sim.rng import RandomStreams
+from repro.workloads.traces import diurnal_trace, poisson_trace
+
+
+def make_trace(seed: int = 7):
+    return diurnal_trace(
+        0.3, 1.5, period_s=120.0, duration_s=120.0,
+        streams=RandomStreams(seed),
+    )
+
+
+def online_attribution() -> None:
+    print("=== 1. Online per-invocation attribution ===")
+    cluster = MicroFaaSCluster(worker_count=8, seed=7)
+    ledger = cluster.enable_energy_ledger()
+    result = replay_trace(cluster, make_trace())
+    report = ledger.reconcile(end=result.duration_s)
+    print(f"{result.jobs_completed} jobs, {result.energy_joules:.0f} J metered")
+    top = sorted(
+        ledger.function_joules.items(), key=lambda kv: -kv[1]
+    )[:5]
+    for function, joules in top:
+        print(f"  {function:12s} {joules:8.1f} J")
+    idle = ledger.overhead_joules.get("idle", 0.0)
+    print(f"  {'(idle)':12s} {idle:8.1f} J")
+    print(
+        f"ledger residual {report.residual_joules:+.2e} J "
+        f"(conserves: {report.ok()})\n"
+    )
+
+
+def power_cap_frontier() -> None:
+    print("=== 2. Power caps on the DVFS ladder ===")
+    print("cap    | J total | J/func | p99 s")
+    for cap in (None, 1.5, 1.0):
+        cluster = MicroFaaSCluster(worker_count=8, seed=7)
+        if cap is not None:
+            cluster.set_power_cap(cap)
+        result = replay_trace(cluster, make_trace())
+        label = f"{cap:.1f} W" if cap is not None else "none "
+        print(
+            f"{label:6s} | {result.energy_joules:7.0f} "
+            f"| {result.joules_per_function:6.2f} "
+            f"| {result.telemetry.percentile_latency_s(99.0):5.2f}"
+        )
+    print(
+        "Tighter caps save joules and pay tail latency — the frontier\n"
+        "`python -m repro energy-study` sweeps.\n"
+    )
+
+
+def tenant_budgets() -> None:
+    print("=== 3. Tenant energy budgets ===")
+    cluster = MicroFaaSCluster(worker_count=8, seed=7)
+    controller = cluster.enable_tenant_budgets(
+        BudgetPolicy(window_s=30.0, default_budget_j=40.0, action="delay")
+    )
+    # Round-robin jobs over three tenants without a tenant column.
+    cluster.orchestrator.tenant_namer = (
+        lambda job_id, function: f"tenant-{job_id % 3}"
+    )
+    result = replay_trace(cluster, make_trace())
+    ledger = cluster.orchestrator.ledger
+    for tenant in sorted(ledger.tenant_joules):
+        print(f"  {tenant}: {ledger.tenant_joules[tenant]:6.1f} J attributed")
+    print(
+        f"{controller.jobs_delayed} submissions delayed to their next "
+        f"window; all {result.jobs_completed} jobs still delivered.\n"
+    )
+
+
+def warm_pool_balance_sheet() -> None:
+    print("=== 4. The warm pool's balance sheet ===")
+    cluster = MicroFaaSCluster(worker_count=8, seed=9)
+    pool = WarmPool(cluster, size=0)
+    cluster.env.process(pool.autoscale(interval_s=5.0), name="autoscaler")
+    replay_trace(cluster, poisson_trace(1.5, 90.0, streams=RandomStreams(9)))
+    account = pool.warming_account()
+    print(f"peak pool size     : {max(s for _, s in pool.resize_history)}")
+    print(f"proactive pre-boots: {pool.proactive_boots}")
+    print(f"cold boots avoided : {account.cold_boots_avoided}")
+    print(f"joules spent warm  : {account.joules_spent_warming:7.1f} J")
+    print(f"boot joules saved  : {account.joules_saved_booting:7.1f} J")
+    print(f"net                : {account.net_joules:+7.1f} J")
+
+
+if __name__ == "__main__":
+    online_attribution()
+    power_cap_frontier()
+    tenant_budgets()
+    warm_pool_balance_sheet()

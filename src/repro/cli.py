@@ -18,6 +18,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
+    energy_study,
     fault_study,
     federation_study,
     fig1_boot,
@@ -133,6 +134,18 @@ ARTIFACTS: Dict[str, tuple] = {
             )
         ),
     ),
+    "energy-study": (
+        "power-cap frontier + per-tenant energy budgets (extension)",
+        lambda n, jobs, cache, trace, shards: energy_study.render(
+            energy_study.run(
+                duration_s=max(60.0, 8.0 * n),
+                jobs=jobs,
+                cache=cache,
+                trace_path=trace,
+                shards=shards,
+            )
+        ),
+    ),
     "hardware": (
         "candidate worker boards compared (extension)",
         lambda n, jobs, cache, trace, shards: hardware_selection.render(
@@ -177,12 +190,14 @@ ARTIFACTS: Dict[str, tuple] = {
 #: Artifacts that honour ``--trace`` (the rest would silently ignore it).
 TRACEABLE = frozenset(
     {"headline", "fault-study", "federation-study", "hybrid-study",
-     "megatrace", "sdk-study"}
+     "megatrace", "sdk-study", "energy-study"}
 )
 
 #: Artifacts that honour ``--shards`` (multi-process sharded simulation;
 #: see :mod:`repro.shard`).
-SHARDABLE = frozenset({"scale-frontier", "megatrace", "hybrid-study"})
+SHARDABLE = frozenset(
+    {"scale-frontier", "megatrace", "hybrid-study", "energy-study"}
+)
 
 #: Artifacts that honour ``--streaming`` (the bounded-RSS replay fast
 #: path: chunked trace generation + autocompacting power traces).

@@ -168,7 +168,7 @@ class ClusterHarness:
         for pool in self.pools:
             pool.build_workers(self)
 
-        self.meter = PowerMeter(self.env, self.cluster_watts)
+        self.meter = PowerMeter(self.env, self.metered_watts)
 
     def owns_worker(self, worker_id: int) -> bool:
         """Whether this harness simulates ``worker_id`` (always True
@@ -268,14 +268,72 @@ class ClusterHarness:
 
     # -- measurement ---------------------------------------------------------------------
 
-    def cluster_watts(self) -> float:
+    def metered_watts(self) -> float:
         """Instantaneous draw of the metered equipment: every pool's
         hardware, plus the switches if configured (the paper meters the
-        compute, not the fabric)."""
-        watts = sum(pool.watts() for pool in self.pools)
+        compute, not the fabric).
+
+        The one summation every meter reads through — the harness wall
+        meter and the federation's per-region meters alike — so adding
+        metered equipment means overriding this (or a pool's
+        ``metered_watts``), never re-deriving the sum at a wiring site.
+        """
+        watts = sum(pool.metered_watts() for pool in self.pools)
         if self.include_switch_power:
             watts += sum(switch.watts for switch in self.switches)
         return watts
+
+    def cluster_watts(self) -> float:
+        """Alias of :meth:`metered_watts` (pre-hoist name)."""
+        return self.metered_watts()
+
+    def set_power_cap(self, cap) -> None:
+        """Clamp the whole cluster under a power-cap governor.
+
+        ``cap`` is a :class:`~repro.hardware.power.PowerCap`, a bare
+        per-worker wattage, or None to lift the cap.  Each pool resolves
+        it against its platform's DVFS ladder; capped workers draw less
+        in their active states and stretch execute-phase CPU time.
+        """
+        if cap is not None and not hasattr(cap, "resolve"):
+            from repro.hardware.power import PowerCap
+
+            cap = PowerCap(float(cap))
+        for pool in self.pools:
+            pool.set_power_cap(cap)
+
+    def enable_energy_ledger(self):
+        """Attach an online :class:`~repro.energy.controlplane.
+        EnergyLedger` covering every per-board-metered worker and wire
+        it into the orchestrator's billing hooks.  Returns the ledger.
+
+        Opt-in: a run without a ledger is bit-identical to one before
+        the control plane existed (the hooks cost one comparison).
+        """
+        from repro.energy.controlplane import EnergyLedger
+
+        ledger = EnergyLedger(clock=lambda: self.env.now)
+        ledger.register_cluster(self)
+        self.orchestrator.ledger = ledger
+        return ledger
+
+    def enable_tenant_budgets(self, policy, downclock=None):
+        """Gate submissions under a :class:`~repro.core.policies.
+        BudgetPolicy`, metering tenants from the energy ledger (enabled
+        on demand).  Returns the
+        :class:`~repro.core.policies.TenantBudgetController`.
+        """
+        from repro.core.policies import TenantBudgetController
+
+        ledger = self.orchestrator.ledger
+        if ledger is None:
+            ledger = self.enable_energy_ledger()
+        controller = TenantBudgetController(
+            policy, ledger, clock=lambda: self.env.now,
+            downclock=downclock,
+        )
+        self.orchestrator.budgets = controller
+        return controller
 
     def energy_joules(self, start: float, end: float) -> float:
         """Exact trace-integrated energy over a window."""

@@ -51,6 +51,7 @@ from repro.hardware.specs import (
     SwitchSpec,
     TESTBED_SWITCH,
     THINKMATE_RAX,
+    dvfs_curve_for,
 )
 from repro.net.link import Endpoint
 from repro.net.switch import Switch
@@ -110,6 +111,27 @@ class WorkerPool(abc.ABC):
     @abc.abstractmethod
     def powered_worker_count(self) -> int:
         """Workers currently able to take work without a power-on."""
+
+    def metered_watts(self) -> float:
+        """What a wall meter on this pool reads right now.
+
+        The single shared summation point: the harness cluster meter and
+        the federation's per-region meters both read through this, so a
+        pool that meters extra equipment overrides one method and every
+        meter wiring agrees.
+        """
+        return self.watts()
+
+    def set_power_cap(self, cap) -> None:
+        """Clamp this pool's hardware under a power-cap governor.
+
+        ``cap`` is a :class:`~repro.hardware.power.PowerCap` (or None to
+        lift the cap).  Pools resolve the cap against their platform's
+        DVFS ladder and apply the chosen step to every device.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support power capping"
+        )
 
     def respawn_worker(self, harness, worker_id: int):
         """Start a replacement worker process on a repaired node."""
@@ -341,6 +363,18 @@ class SbcPool(WorkerPool):
     def powered_worker_count(self) -> int:
         return sum(1 for sbc in self.sbcs if sbc.is_powered)
 
+    def set_power_cap(self, cap) -> None:
+        if cap is None:
+            for sbc in self.sbcs:
+                sbc.clear_dvfs()
+            return
+        curve = dvfs_curve_for(self.sbc_spec)
+        step = cap.resolve(
+            curve, self.sbc_spec.power.cpu_busy, len(self.sbcs)
+        )
+        for sbc in self.sbcs:
+            sbc.apply_dvfs(step)
+
 
 class MicroVmPool(WorkerPool):
     """M microVMs on one rack server: wall-metered host, a hypervisor
@@ -521,6 +555,16 @@ class MicroVmPool(WorkerPool):
         # The host stays hot; every booted guest can take work without
         # a power transition.
         return len(self.vms)
+
+    def set_power_cap(self, cap) -> None:
+        if cap is None:
+            self.server.clear_dvfs()
+            return
+        # One wall-metered host: a cluster-scoped cap applies whole.
+        step = cap.resolve(
+            dvfs_curve_for(self.server_spec), self.server_spec.loaded_watts
+        )
+        self.server.apply_dvfs(step)
 
 
 __all__ = ["MicroVmPool", "SbcPool", "WorkerPool"]

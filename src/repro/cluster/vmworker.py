@@ -143,6 +143,10 @@ class VmWorker:
         work_s = profile.work_x86_s * self._jitter()
         cpu_s = work_s * profile.cpu_fraction_x86
         io_s = work_s - cpu_s
+        dvfs = getattr(self.vm.hypervisor.server, "dvfs_step", None)
+        if dvfs is not None:
+            # Down-clocked host: the vCPU phase stretches, I/O doesn't.
+            cpu_s /= dvfs.perf_scale
         working_start = self.env.now
         yield from self.vm.execute(cpu_s=cpu_s, io_s=io_s)
         working_s = self.env.now - working_start

@@ -84,6 +84,10 @@ class SbcWorker:
         #: after each job and idles powered-on instead of powering off,
         #: so the next tenant starts with zero boot latency.
         self.keep_warm = False
+        #: Warm hits: jobs that found this board pre-booted and clean
+        #: and so skipped the clean-state reboot they would otherwise
+        #: pay.  The warm pool's savings account reads this.
+        self.boots_avoided = 0
         #: Job currently executing (fault recovery reads this).
         self.current_job: Optional[Job] = None
         self._pending_pop = None
@@ -192,6 +196,9 @@ class SbcWorker:
                 boot_s = self.env.now - start
                 if job.trace_id is not None:
                     self._trace_boot(job, start, obs.BOOT, "clean-reboot")
+            elif self.policy.reboot_between_jobs:
+                # Warm hit: pre-booted and still clean, reboot skipped.
+                self.boots_avoided += 1
             record = yield from self._execute(job, boot_s)
             self.orchestrator.complete(job, record)
             self.current_job = None
@@ -253,6 +260,10 @@ class SbcWorker:
         # the services' problem, not the worker's.
         nominal_s = profile.work_arm_s * self._jitter()
         cpu_s = nominal_s * profile.cpu_fraction_arm * self._speed_factor
+        dvfs = self.sbc.dvfs_step
+        if dvfs is not None:
+            # Down-clocked board: CPU phase stretches, I/O doesn't.
+            cpu_s /= dvfs.perf_scale
         io_s = nominal_s * (1 - profile.cpu_fraction_arm)
         working_start = self.env.now
         if cpu_s > 0:

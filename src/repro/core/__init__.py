@@ -25,12 +25,16 @@ from repro.core.lifecycle import RunToCompletionPolicy
 from repro.core.orchestrator import Orchestrator
 from repro.core.policies import (
     BreakerState,
+    BudgetPolicy,
     RecoveryPolicy,
+    TenantBudgetController,
     WorkerHealthTracker,
 )
 from repro.core.queue import WorkerQueue
 from repro.core.scheduler import (
     AssignmentPolicy,
+    CarbonAwarePolicy,
+    EnergyAwarePolicy,
     LeastLoadedPolicy,
     PackingPolicy,
     RandomSamplingPolicy,
@@ -43,6 +47,9 @@ from repro.core.warmpool import WarmPool
 __all__ = [
     "AssignmentPolicy",
     "BreakerState",
+    "BudgetPolicy",
+    "CarbonAwarePolicy",
+    "EnergyAwarePolicy",
     "GpioBank",
     "InvocationRecord",
     "Job",
@@ -55,6 +62,7 @@ __all__ = [
     "RoundRobinPolicy",
     "RunToCompletionPolicy",
     "TelemetryCollector",
+    "TenantBudgetController",
     "WorkerHealthTracker",
     "WorkerQueue",
     "make_policy",

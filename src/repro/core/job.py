@@ -61,6 +61,11 @@ class Job:
     #: share one key, so the OP can suppress duplicate results.  Stamped
     #: at submission; clones (hedges, timeout retries) inherit it.
     idempotency_key: Optional[str] = None
+    #: Owning tenant for energy budgeting (see
+    #: :class:`repro.core.policies.BudgetPolicy`); None means untenanted
+    #: — the ledger and budget layers skip the job entirely.  Clones
+    #: inherit it, so every attempt bills the same account.
+    tenant: Optional[str] = None
     #: Tracing (see :mod:`repro.obs`): the trace this invocation belongs
     #: to, set at submission iff an enabled recorder sampled it — None
     #: is the "not traced" fast path every hot-path guard checks.
@@ -124,6 +129,7 @@ class Job:
             output_bytes=self.output_bytes,
             payload=self.payload,
             idempotency_key=self.idempotency_key,
+            tenant=self.tenant,
         )
         clone.t_submit = self.t_submit
         clone.trace_id = self.trace_id

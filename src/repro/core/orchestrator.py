@@ -78,6 +78,18 @@ class Orchestrator:
         self.queues: List[WorkerQueue] = []
         self.jobs: Dict[int, Job] = {}
         self.dead_workers: set = set()
+        #: Energy control plane (opt-in; see
+        #: :mod:`repro.energy.controlplane` and
+        #: :class:`~repro.core.policies.TenantBudgetController`).  With
+        #: both left None every hook below is one comparison and the
+        #: run is bit-identical to the pre-control-plane platform.
+        self.ledger = None
+        self.budgets = None
+        self.jobs_shed = 0
+        #: Optional ``(job_id, function) -> tenant`` hook consulted by
+        #: :meth:`make_job` so trace replays (which never construct jobs
+        #: themselves) can run tenanted without a per-call tenant column.
+        self.tenant_namer = None
         self.resubmissions = 0
         #: Recovery counters (only move when a policy is installed).
         self.duplicates_suppressed = 0
@@ -254,6 +266,8 @@ class Orchestrator:
             output_bytes=profile.output_bytes,
         )
         self._next_job_id += 1
+        if self.tenant_namer is not None:
+            job.tenant = self.tenant_namer(job.job_id, function)
         return job
 
     def _assign(self, job: Job, exclude: Optional[int] = None) -> None:
@@ -305,6 +319,18 @@ class Orchestrator:
             if not self._supervisor_running:
                 self._supervisor_running = True
                 self.env.process(self._supervise())
+        if self.budgets is not None and job.tenant is not None:
+            verdict, delay = self.budgets.admit(job, self.env.now)
+            if verdict == "shed":
+                self._shed(job)
+                return job
+            if verdict == "delay":
+                if self.recovery is not None:
+                    # Count the hold against the attempt clock so the
+                    # supervisor doesn't fire a retry for the wait.
+                    self._attempt_started[job.job_id] = self.env.now + delay
+                self.env.process(self._launch_later(job, delay, exclude=None))
+                return job
         self._assign(job)
         return job
 
@@ -379,6 +405,9 @@ class Orchestrator:
                 job.trace_id, obs.RESUBMIT, self.env.now,
                 worker_id=job.worker_id,
             )
+        if self.ledger is not None:
+            # Before reset_for_retry clears the window's endpoints.
+            self.ledger.bill_crashed_attempt(job, self.env.now)
         job.reset_for_retry()
         self.resubmissions += 1
         self._assign(job)
@@ -408,6 +437,8 @@ class Orchestrator:
                 job.trace_id, obs.RESUBMIT, self.env.now,
                 worker_id=job.worker_id,
             )
+        if self.ledger is not None:
+            self.ledger.bill_crashed_attempt(job, self.env.now)
         job.reset_for_retry()
         self.resubmissions += 1
         if self.recovery is not None:
@@ -569,10 +600,15 @@ class Orchestrator:
                 self.health.record_success(job.worker_id, now)
         if self.recovery is not None and job.job_id in self._done:
             self.duplicates_suppressed += 1
+            if self.ledger is not None:
+                # The race was lost: this attempt's joules are waste.
+                self.ledger.bill_attempt(job, now, delivered=False)
             if not job.is_finished:
                 job.transition(JobStatus.COMPLETED, now)
             return
         self._done.add(job.job_id)
+        if self.ledger is not None:
+            self.ledger.bill_attempt(job, now, delivered=True)
         job.transition(JobStatus.COMPLETED, now)
         canonical = self.jobs[job.job_id]
         if canonical is not job and not canonical.is_finished:
@@ -605,11 +641,15 @@ class Orchestrator:
                 self.health.record_failure(job.worker_id, now)
         if self.recovery is not None and job.job_id in self._done:
             self.duplicates_suppressed += 1
+            if self.ledger is not None:
+                self.ledger.bill_attempt(job, now, delivered=False)
             if not job.is_finished:
                 job.failure = reason
                 job.transition(JobStatus.FAILED, now)
             return
         self._done.add(job.job_id)
+        if self.ledger is not None:
+            self.ledger.bill_attempt(job, now, delivered=False)
         job.failure = reason
         job.transition(JobStatus.FAILED, now)
         if job.trace_id is not None:
@@ -675,6 +715,27 @@ class Orchestrator:
                 and count < policy.max_attempts
             ):
                 self._hedge(job)
+
+    def _shed(self, job: Job) -> None:
+        """Budget shed: reject an over-budget tenant's submission.
+
+        Shaped exactly like :meth:`_give_up` — the job resolves FAILED
+        with a named reason, subscribers fire once, drain accounting
+        stays balanced — but counted separately: shedding is a policy
+        choice, not a loss.
+        """
+        now = self.env.now
+        self._done.add(job.job_id)
+        job.failure = "energy budget exhausted"
+        job.status = JobStatus.FAILED
+        job.t_completed = now
+        if job.trace_id is not None:
+            self.tracer.mark_delivered(job.trace_id, now, status="shed")
+        self.jobs_shed += 1
+        if self._job_done_callbacks:
+            self._notify_job_done(job, None)
+        self._completed += 1
+        self._fire_drain_events()
 
     def _give_up(self, job: Job, now: float) -> None:
         """Deadline exceeded: abandon the job (the only loss path)."""

@@ -12,6 +12,13 @@ the orchestrator uses to survive that:
 - :class:`WorkerHealthTracker` — a per-worker consecutive-failure
   circuit breaker (CLOSED → OPEN → HALF_OPEN) that quarantines flapping
   boards and feeds the scheduler's candidate set.
+- :class:`BudgetPolicy` / :class:`TenantBudgetController` — per-tenant
+  energy budgets over fixed windows, metered live from the
+  :class:`~repro.energy.controlplane.EnergyLedger`.  A tenant that
+  exhausts its window is throttled (delayed to the next window, shed,
+  or the cluster is down-clocked); the layer sits *under* the recovery
+  stack — retries and hedges of an admitted job are never re-gated —
+  and is opt-in like everything else here.
 
 Everything is deterministic: backoff jitter derives from the job id and
 attempt number via SHA-256 (:func:`repro.sim.rng.derive_seed`), never
@@ -22,8 +29,9 @@ process counts.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.backoff import backoff_delay_s
 
@@ -108,6 +116,140 @@ class RecoveryPolicy:
             key=job_id,
             salt="backoff",
         )
+
+
+#: Throttle actions a :class:`BudgetPolicy` may take on an exhausted
+#: tenant window.
+BUDGET_ACTIONS = ("delay", "shed", "downclock")
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Per-tenant energy budgets over fixed accounting windows.
+
+    Joules are metered from the energy ledger (delivered *and* wasted
+    attempts bill the owning tenant).  Once a tenant's use in the
+    current window reaches its budget, new submissions are throttled:
+
+    - ``delay`` — held until the next window boundary, then assigned
+      normally (deterministic: the boundary is a pure function of the
+      clock, never a backoff draw);
+    - ``shed`` — rejected outright (the job fails with a budget reason,
+      the only intentional loss path besides deadlines);
+    - ``downclock`` — admitted, but the controller fires its down-clock
+      hook (typically a cluster power cap) once per exhausted window.
+
+    Gating applies at submission only: retries/hedges of an admitted
+    job are recovery's business and are never re-gated, so this layer
+    composes under :class:`RecoveryPolicy` without touching it.
+    """
+
+    window_s: float = 60.0
+    #: Per-tenant budgets in joules per window.
+    budgets_j: Mapping[str, float] = field(default_factory=dict)
+    #: Budget for tenants not listed in ``budgets_j`` (None = unlimited).
+    default_budget_j: Optional[float] = None
+    action: str = "delay"
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("budget window must be positive")
+        if self.action not in BUDGET_ACTIONS:
+            raise ValueError(
+                f"unknown budget action {self.action!r}; "
+                f"known: {BUDGET_ACTIONS}"
+            )
+        for tenant, budget in self.budgets_j.items():
+            if budget <= 0:
+                raise ValueError(
+                    f"tenant {tenant!r} budget must be positive, "
+                    f"got {budget}"
+                )
+        if self.default_budget_j is not None and self.default_budget_j <= 0:
+            raise ValueError("default budget must be positive")
+
+    def budget_for(self, tenant: str) -> Optional[float]:
+        """The tenant's joules-per-window budget (None = unlimited)."""
+        return self.budgets_j.get(tenant, self.default_budget_j)
+
+
+class TenantBudgetController:
+    """Runtime state of a :class:`BudgetPolicy`: window bookkeeping and
+    the admit/throttle decision, driven by the orchestrator's submit
+    path.
+
+    Deterministic by construction — decisions are pure functions of the
+    clock and the ledger's tenant totals; no RNG is ever consulted.
+    """
+
+    def __init__(
+        self,
+        policy: BudgetPolicy,
+        ledger,
+        clock: Callable[[], float],
+        downclock: Optional[Callable[[str], None]] = None,
+    ):
+        self.policy = policy
+        self.ledger = ledger
+        self._clock = clock
+        self._downclock = downclock
+        self._window_index = -1
+        #: Ledger tenant totals snapshotted at the window roll.
+        self._window_base_j: Dict[str, float] = {}
+        #: Tenants already down-clocked this window (fire once each).
+        self._downclocked: set = set()
+        self.jobs_delayed = 0
+        self.jobs_shed = 0
+        self.downclocks = 0
+
+    def _roll_window(self, now: float) -> None:
+        index = int(now // self.policy.window_s)
+        if index != self._window_index:
+            self._window_index = index
+            self._window_base_j = dict(self.ledger.tenant_joules)
+            self._downclocked.clear()
+
+    def window_use_j(self, tenant: str, now: float) -> float:
+        """The tenant's metered joules in the current window."""
+        self._roll_window(now)
+        return self.ledger.tenant_joules.get(
+            tenant, 0.0
+        ) - self._window_base_j.get(tenant, 0.0)
+
+    def next_window_in_s(self, now: float) -> float:
+        """Seconds until the next window boundary."""
+        window = self.policy.window_s
+        boundary = (math.floor(now / window) + 1) * window
+        return boundary - now
+
+    def admit(self, job, now: float) -> Tuple[str, float]:
+        """Gate one submission.
+
+        Returns ``(verdict, delay_s)`` where verdict is ``"admit"``,
+        ``"delay"`` (assign after ``delay_s``), or ``"shed"``.  The
+        ``downclock`` action admits the job after firing the hook.
+        """
+        tenant = job.tenant
+        if tenant is None:
+            return ("admit", 0.0)
+        budget = self.policy.budget_for(tenant)
+        if budget is None:
+            return ("admit", 0.0)
+        if self.window_use_j(tenant, now) < budget:
+            return ("admit", 0.0)
+        action = self.policy.action
+        if action == "shed":
+            self.jobs_shed += 1
+            return ("shed", 0.0)
+        if action == "downclock":
+            if tenant not in self._downclocked:
+                self._downclocked.add(tenant)
+                self.downclocks += 1
+                if self._downclock is not None:
+                    self._downclock(tenant)
+            return ("admit", 0.0)
+        self.jobs_delayed += 1
+        return ("delay", self.next_window_in_s(now))
 
 
 class BreakerState(enum.Enum):
@@ -230,8 +372,11 @@ class WorkerHealthTracker:
 
 
 __all__ = [
+    "BUDGET_ACTIONS",
     "BreakerState",
+    "BudgetPolicy",
     "RecoveryPolicy",
+    "TenantBudgetController",
     "WorkerHealth",
     "WorkerHealthTracker",
 ]

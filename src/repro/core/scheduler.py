@@ -159,12 +159,80 @@ class EnergyAwarePolicy(AssignmentPolicy):
         return best_pref
 
 
+def carbon_preferred_platform(
+    signals, joules_weights, now: float, default: str = ARM
+) -> str:
+    """The cheapest platform under time-varying carbon/price signals.
+
+    Cost of a platform = its signal value at ``now`` × its
+    joules-per-function weight; iteration is over sorted platform names
+    and a candidate must beat the incumbent by >1e-12, so ties resolve
+    deterministically toward the alphabetically-first platform.  Shared
+    with the shard-side policy replayer, which must reproduce the same
+    preference from the same inputs.
+    """
+    best = None
+    best_cost = None
+    for platform in sorted(signals):
+        cost = signals[platform].cost_at(now) * joules_weights.get(
+            platform, 1.0
+        )
+        if best is None or cost < best_cost - 1e-12:
+            best, best_cost = platform, cost
+    return best if best is not None else default
+
+
+class CarbonAwarePolicy(EnergyAwarePolicy):
+    """Energy-aware routing whose *preferred* platform follows carbon.
+
+    Each platform carries a :class:`~repro.energy.controlplane.
+    CarbonSignal` (gCO2/kWh or $/kWh — any cost-per-joule curve) and a
+    joules-per-function weight; at every assignment the policy prefers
+    the platform with the cheapest cost × joules product *right now*,
+    then delegates to :class:`EnergyAwarePolicy`'s spill logic, so the
+    latency guardrail (spill when the preferred queues back up) is
+    unchanged.  With no signals configured it is exactly energy-aware.
+
+    Signals are pre-sampled and the clock is read, never advanced —
+    the policy stays deterministic and RNG-free.
+    """
+
+    name = "carbon-aware"
+
+    def __init__(
+        self,
+        signals=None,
+        joules_weights=None,
+        spill_threshold: int = 2,
+        preferred: str = ARM,
+    ):
+        super().__init__(spill_threshold=spill_threshold, preferred=preferred)
+        self.signals = dict(signals) if signals else {}
+        self.joules_weights = dict(joules_weights) if joules_weights else {}
+        self.default_preferred = preferred
+        self._clock: Optional[Callable[[], float]] = None
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Give the policy a simulated-time source (the harness env)."""
+        self._clock = clock
+
+    def select(self, job, queues, is_powered) -> int:
+        if self.signals:
+            now = self._clock() if self._clock is not None else 0.0
+            self.preferred = carbon_preferred_platform(
+                self.signals, self.joules_weights, now,
+                self.default_preferred,
+            )
+        return super().select(job, queues, is_powered)
+
+
 _POLICIES = {
     RandomSamplingPolicy.name: RandomSamplingPolicy,
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     PackingPolicy.name: PackingPolicy,
     EnergyAwarePolicy.name: EnergyAwarePolicy,
+    CarbonAwarePolicy.name: CarbonAwarePolicy,
 }
 
 
@@ -179,7 +247,9 @@ def make_policy(name: str, rng: Optional[random.Random] = None) -> AssignmentPol
 
 __all__ = [
     "AssignmentPolicy",
+    "CarbonAwarePolicy",
     "EnergyAwarePolicy",
+    "carbon_preferred_platform",
     "LeastLoadedPolicy",
     "PackingPolicy",
     "RandomSamplingPolicy",

@@ -6,6 +6,9 @@
   ratios, and the peak-efficiency search behind Fig. 4.
 - :mod:`repro.energy.proportionality` — energy-proportionality metrics
   and the power-vs-active-workers series of Fig. 5.
+- :mod:`repro.energy.controlplane` — the online side: the per-invocation
+  :class:`EnergyLedger`, arrival forecasts for predictive warm pools,
+  warming balance sheets, and carbon/price signals.
 """
 
 from repro.energy.accounting import (
@@ -13,6 +16,13 @@ from repro.energy.accounting import (
     joules_to_kwh,
     kwh_to_joules,
     sbc_state_breakdown,
+)
+from repro.energy.controlplane import (
+    ArrivalForecast,
+    CarbonSignal,
+    EnergyLedger,
+    ReconciliationReport,
+    WarmingAccount,
 )
 from repro.energy.efficiency import (
     efficiency_ratio,
@@ -28,8 +38,13 @@ from repro.energy.proportionality import (
 )
 
 __all__ = [
+    "ArrivalForecast",
+    "CarbonSignal",
     "EnergyBreakdown",
+    "EnergyLedger",
     "ProportionalitySeries",
+    "ReconciliationReport",
+    "WarmingAccount",
     "efficiency_ratio",
     "joules_per_function",
     "joules_to_kwh",

@@ -23,6 +23,9 @@ One module per paper artifact:
 - :mod:`repro.experiments.sdk_study` — client-driven map_reduce
   workloads through the :mod:`repro.client` SDK: users × fan-out ×
   backend kind (extension).
+- :mod:`repro.experiments.energy_study` — the power-cap frontier
+  (energy saved vs p99 paid) and per-tenant energy-budget runs on the
+  online attribution ledger (extension).
 
 Every module exposes ``run(...)`` returning structured results and
 ``render(...)`` producing the text the benchmark harness prints.
@@ -34,6 +37,7 @@ content-addressed on-disk result cache.
 """
 
 from repro.experiments import (
+    energy_study,
     fault_study,
     federation_study,
     fig1_boot,
@@ -52,6 +56,7 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "energy_study",
     "fault_study",
     "federation_study",
     "fig1_boot",

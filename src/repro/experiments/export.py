@@ -12,6 +12,7 @@ import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import (
+    energy_study,
     fault_study,
     federation_study,
     fig1_boot,
@@ -299,6 +300,55 @@ def export_megatrace(directory: str, invocations: int = 1_000_000) -> str:
     )
 
 
+def export_energy_study(
+    directory: str, duration_s: float = 240.0
+) -> List[str]:
+    """The energy study: the cap frontier and the per-tenant attribution.
+
+    Two files — ``energy_study.csv`` (one row per point, with the
+    frontier's energy-saved / p99-paid columns on cap points) and
+    ``energy_study_tenants.csv`` (one row per (budget point, tenant)
+    from the online ledger).
+    """
+    result = energy_study.run(duration_s=duration_s)
+    frontier = {e.point.cap_watts: e for e in result.frontier()}
+    rows = []
+    for p in result.points:
+        entry = frontier.get(p.cap_watts) if p.budget_scale is None else None
+        rows.append(
+            (p.cap_watts if p.cap_watts is not None else "",
+             p.budget_scale if p.budget_scale is not None else "",
+             p.jobs_completed, p.duration_s, p.throughput_per_min,
+             p.energy_joules, p.joules_per_function, p.p99_latency_s,
+             entry.energy_saved_j if entry is not None else "",
+             entry.p99_paid_s if entry is not None else "",
+             p.jobs_delayed, p.jobs_shed,
+             p.reconciliation_residual_j
+             if p.reconciliation_residual_j is not None else "",
+             p.idle_overhead_j if p.idle_overhead_j is not None else "",
+             p.wasted_j if p.wasted_j is not None else "")
+        )
+    study_path = _write(
+        os.path.join(directory, "energy_study.csv"),
+        ["cap_watts", "budget_scale", "jobs", "duration_s", "func_per_min",
+         "energy_joules", "joules_per_function", "p99_latency_s",
+         "energy_saved_j", "p99_paid_s", "jobs_delayed", "jobs_shed",
+         "reconciliation_residual_j", "idle_overhead_j", "wasted_j"],
+        rows,
+    )
+    tenant_rows = [
+        (p.cap_watts, p.budget_scale, tenant, joules)
+        for p in result.budget_points()
+        for tenant, joules in p.tenant_joules
+    ]
+    tenants_path = _write(
+        os.path.join(directory, "energy_study_tenants.csv"),
+        ["cap_watts", "budget_scale", "tenant", "attributed_joules"],
+        tenant_rows,
+    )
+    return [study_path, tenants_path]
+
+
 def export_trace(directory: str, invocations_per_function: int = 12) -> str:
     """Perfetto-ready span trees from a traced headline run.
 
@@ -336,12 +386,14 @@ def export_all(
         export_hybrid_study(directory, max(2, invocations_per_function // 6)),
         export_scale_study(directory),
         export_sdk_study(directory),
+        *export_energy_study(directory),
         export_trace(directory, invocations_per_function),
     ]
 
 
 __all__ = [
     "export_all",
+    "export_energy_study",
     "export_fault_study",
     "export_federation_study",
     "export_fig1",

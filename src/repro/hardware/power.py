@@ -271,6 +271,57 @@ class PowerStateMachine:
             total += self._clock() - self._state_entered_at
         return total
 
+    def rescale(self, state_watts: Mapping[PowerState, float]) -> None:
+        """Swap the state→watts table in place (DVFS step change).
+
+        The device stays in its current state; only its draw changes, so
+        the trace gets a change point at the new wattage without any
+        time-in-state bookkeeping.  The mapping is copied — callers may
+        pass a shared template.
+        """
+        watts = dict(state_watts)
+        if not _ZERO_TIME_IN_STATE.keys() <= watts.keys():
+            missing = [s for s in _ALL_STATES if s not in watts]
+            raise ValueError(f"missing wattages for states: {missing}")
+        self._state_watts = watts
+        self.trace.record(self._clock(), watts[self._state])
+
+
+class PowerCap:
+    """A power-cap governor: clamp a device's peak draw to a budget.
+
+    The governor owns no hardware — it resolves a cap in watts against a
+    platform's DVFS ladder (:class:`~repro.hardware.specs.DvfsCurve`)
+    and hands back the step to apply.  ``scope`` distinguishes a
+    per-worker clamp from a whole-cluster budget split evenly across the
+    powered devices.
+    """
+
+    def __init__(self, cap_watts: float, scope: str = "worker"):
+        if cap_watts <= 0:
+            raise ValueError(f"cap must be positive, got {cap_watts}")
+        if scope not in ("worker", "cluster"):
+            raise ValueError(f"unknown scope {scope!r}")
+        self.cap_watts = cap_watts
+        self.scope = scope
+
+    def per_device_watts(self, device_count: int) -> float:
+        """The cap each device sees under this governor."""
+        if device_count < 1:
+            raise ValueError("need at least one device")
+        if self.scope == "cluster":
+            return self.cap_watts / device_count
+        return self.cap_watts
+
+    def resolve(self, curve, peak_watts: float, device_count: int = 1):
+        """Pick the DVFS step for a device with nominal ``peak_watts``."""
+        return curve.step_for_cap(
+            self.per_device_watts(device_count), peak_watts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PowerCap {self.cap_watts:.2f} W/{self.scope}>"
+
 
 class UtilizationPowerModel:
     """Concave utilization→power curve for a rack server.
@@ -316,6 +367,7 @@ class UtilizationPowerModel:
 
 
 __all__ = [
+    "PowerCap",
     "PowerState",
     "PowerStateMachine",
     "PowerTrace",

@@ -40,6 +40,9 @@ class RackServer:
         # handful of distinct values millions of times.  Cleared on any
         # power-state change.
         self._watts_by_busy: dict = {}
+        #: Active DVFS step, or None at nominal frequency.  VM workers
+        #: stretch execute-phase CPU time by ``1 / perf_scale`` when set.
+        self.dvfs_step = None
 
     @property
     def is_powered(self) -> bool:
@@ -79,6 +82,39 @@ class RackServer:
             watts = self.watts
             self._watts_by_busy[busy] = watts
         self.trace.record(self._clock(), watts)
+
+    def apply_dvfs(self, step) -> None:
+        """Clock the host down (or back up) to ``step``.
+
+        Only the dynamic range scales — idle draw is dominated by fans,
+        disks, and DRAM refresh that a frequency governor cannot touch,
+        which is exactly the non-proportionality the paper targets.
+        """
+        self.power_model = UtilizationPowerModel(
+            idle_watts=self.spec.idle_watts,
+            loaded_watts=self.spec.idle_watts
+            + (self.spec.loaded_watts - self.spec.idle_watts)
+            * step.power_scale,
+            exponent=self.spec.power_exponent,
+        )
+        self.dvfs_step = step
+        self._watts_by_busy.clear()
+        if self._powered:
+            self.trace.record(self._clock(), self.watts)
+
+    def clear_dvfs(self) -> None:
+        """Return to nominal frequency."""
+        if self.dvfs_step is None:
+            return
+        self.power_model = UtilizationPowerModel(
+            idle_watts=self.spec.idle_watts,
+            loaded_watts=self.spec.loaded_watts,
+            exponent=self.spec.power_exponent,
+        )
+        self.dvfs_step = None
+        self._watts_by_busy.clear()
+        if self._powered:
+            self.trace.record(self._clock(), self.watts)
 
     def power_off(self) -> None:
         """Cut power to the whole host (rare in conventional clouds)."""

@@ -76,6 +76,9 @@ class SingleBoardComputer:
         #: True when the board has booted and run no code since — the
         #: clean-state guarantee a fresh tenant requires (Sec. III-a).
         self.clean = False
+        #: Active DVFS step, or None at nominal frequency.  Workers
+        #: stretch execute-phase CPU time by ``1 / perf_scale`` when set.
+        self.dvfs_step = None
 
     # -- power control (driven by GPIO / worker process) ----------------------
 
@@ -112,6 +115,31 @@ class SingleBoardComputer:
         """Cut power (energy-proportional idle, Sec. III-b)."""
         self.clean = False
         self.psm.set_state(PowerState.OFF)
+
+    # -- DVFS / power capping --------------------------------------------------
+
+    def apply_dvfs(self, step) -> None:
+        """Clock the board down (or back up) to ``step``.
+
+        Active-state draws scale by the step's ``power_scale``; standby,
+        boot, and idle draws are frequency-independent (the boot chain
+        runs before the governor, standby power is leakage).  The shared
+        per-spec watts template is never mutated — each capped board
+        gets its own scaled copy.
+        """
+        base = _state_watts_for(self.spec.power)
+        scaled = dict(base)
+        scaled[PowerState.CPU_BUSY] = base[PowerState.CPU_BUSY] * step.power_scale
+        scaled[PowerState.IO_WAIT] = base[PowerState.IO_WAIT] * step.power_scale
+        self.psm.rescale(scaled)
+        self.dvfs_step = step
+
+    def clear_dvfs(self) -> None:
+        """Return to nominal frequency."""
+        if self.dvfs_step is None:
+            return
+        self.psm.rescale(_state_watts_for(self.spec.power))
+        self.dvfs_step = None
 
     # -- execution phases ------------------------------------------------------
 

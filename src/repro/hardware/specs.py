@@ -160,6 +160,71 @@ class RackServerSpec:
 
 
 @dataclass(frozen=True)
+class DvfsStep:
+    """One frequency step of a platform's DVFS ladder.
+
+    ``perf_scale`` multiplies CPU throughput (execute-phase CPU seconds
+    stretch by ``1 / perf_scale``); ``power_scale`` multiplies the
+    active-state (dynamic) power draw.  Because dynamic power falls
+    roughly with the square of frequency/voltage, real ladders have
+    ``power_scale < perf_scale``, which is what makes down-clocking a
+    net energy win per function despite the longer service time.
+    """
+
+    frequency_hz: float
+    perf_scale: float
+    power_scale: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if not 0 < self.perf_scale <= 1:
+            raise ValueError(
+                f"perf_scale must be in (0, 1], got {self.perf_scale}"
+            )
+        if not 0 < self.power_scale <= 1:
+            raise ValueError(
+                f"power_scale must be in (0, 1], got {self.power_scale}"
+            )
+
+
+@dataclass(frozen=True)
+class DvfsCurve:
+    """A platform's watts/perf ladder, fastest step first.
+
+    ``step_for_cap`` implements the governor decision: the fastest step
+    whose scaled peak draw fits under a power cap.
+    """
+
+    steps: tuple
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a DVFS curve needs at least one step")
+        freqs = [step.frequency_hz for step in self.steps]
+        if freqs != sorted(freqs, reverse=True):
+            raise ValueError("steps must be ordered fastest first")
+
+    @property
+    def nominal(self) -> DvfsStep:
+        """The full-speed step."""
+        return self.steps[0]
+
+    def step_for_cap(self, cap_watts: float, peak_watts: float) -> DvfsStep:
+        """Fastest step whose scaled peak fits ``cap_watts``.
+
+        Falls back to the slowest step when even that exceeds the cap —
+        a governor can throttle, not halt.
+        """
+        if cap_watts <= 0:
+            raise ValueError(f"cap must be positive, got {cap_watts}")
+        for step in self.steps:
+            if peak_watts * step.power_scale <= cap_watts + 1e-12:
+                return step
+        return self.steps[-1]
+
+
+@dataclass(frozen=True)
 class SwitchSpec:
     """A top-of-rack Ethernet switch spec sheet."""
 
@@ -295,19 +360,86 @@ TESTBED_SWITCH = SwitchSpec(
     unit_cost_usd=150.0,
 )
 
+#: DVFS ladders.  Every ladder uses ``power_scale = perf_scale ** 2``
+#: (the voltage-squared term of CMOS dynamic power), so each step down
+#: trades throughput for a strictly larger cut in active power — the
+#: property that makes the energy-vs-p99 frontier of the power-cap
+#: sweep monotone.
+BBB_DVFS = DvfsCurve(
+    steps=(
+        DvfsStep(frequency_hz=1.0e9, perf_scale=1.0, power_scale=1.0),
+        DvfsStep(frequency_hz=0.8e9, perf_scale=0.8, power_scale=0.64),
+        DvfsStep(frequency_hz=0.6e9, perf_scale=0.6, power_scale=0.36),
+    )
+)
+
+RPI_CM_DVFS = DvfsCurve(
+    steps=(
+        DvfsStep(frequency_hz=1.5e9, perf_scale=1.0, power_scale=1.0),
+        DvfsStep(frequency_hz=1.2e9, perf_scale=0.8, power_scale=0.64),
+        DvfsStep(frequency_hz=0.9e9, perf_scale=0.6, power_scale=0.36),
+    )
+)
+
+RAX_DVFS = DvfsCurve(
+    steps=(
+        DvfsStep(frequency_hz=2.1e9, perf_scale=1.0, power_scale=1.0),
+        DvfsStep(frequency_hz=1.68e9, perf_scale=0.8, power_scale=0.64),
+        DvfsStep(frequency_hz=1.26e9, perf_scale=0.6, power_scale=0.36),
+    )
+)
+
+#: spec name -> ladder.  Keyed by name (specs are frozen and hashable,
+#: but callers sometimes construct tweaked copies that should still
+#: resolve to their platform's ladder).
+DVFS_CURVES = {
+    BEAGLEBONE_BLACK.name: BBB_DVFS,
+    RASPBERRY_PI_CM.name: RPI_CM_DVFS,
+    THINKMATE_RAX.name: RAX_DVFS,
+    DELL_POWEREDGE_R6515.name: RAX_DVFS,
+}
+
+
+def dvfs_curve_for(spec) -> DvfsCurve:
+    """The DVFS ladder for a board or server spec.
+
+    Unknown hardware gets a degenerate single-step ladder at its rated
+    frequency — cappable only down to nominal, never below.
+    """
+    curve = DVFS_CURVES.get(spec.name)
+    if curve is not None:
+        return curve
+    return DvfsCurve(
+        steps=(
+            DvfsStep(
+                frequency_hz=spec.cpu.frequency_hz,
+                perf_scale=1.0,
+                power_scale=1.0,
+            ),
+        )
+    )
+
+
 __all__ = [
+    "BBB_DVFS",
     "BEAGLEBONE_BLACK",
     "CATALYST_2960S",
     "RASPBERRY_PI_CM",
     "CpuSpec",
     "DELL_POWEREDGE_R6515",
+    "DVFS_CURVES",
+    "DvfsCurve",
+    "DvfsStep",
     "FAST_ETHERNET",
     "GIGABIT_ETHERNET",
     "NicSpec",
     "RackServerSpec",
+    "RAX_DVFS",
+    "RPI_CM_DVFS",
     "SbcPowerDraw",
     "SbcSpec",
     "SwitchSpec",
     "TESTBED_SWITCH",
     "THINKMATE_RAX",
+    "dvfs_curve_for",
 ]

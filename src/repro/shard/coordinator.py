@@ -102,6 +102,8 @@ class ShardedCluster:
             spec.seed,
             spill_threshold=spec.spill_threshold,
             preferred=ARM,
+            signals=spec.carbon_signals,
+            joules_weights=spec.carbon_weights,
         )
         self._owner = [
             self.plan.shard_of(wid) for wid in range(len(platforms))
@@ -198,6 +200,9 @@ class ShardedCluster:
                 self.replayer.on_alive_change(wid)
             else:  # salvage
                 job_id, job_snapshot = payload
+                # Salvage decisions happen at the detection instant;
+                # time-varying policies read their signals there.
+                self.replayer.advance_to(t)
                 target = self.replayer.select(None)
                 self.state.loads[target] += 1
                 self.replayer.on_load_change(target)
@@ -295,12 +300,50 @@ class ShardedCluster:
                 # Advance to the arrival mark itself before submitting.
                 self._round(t_batch, self._empty_directives())
                 self.stats.boundaries += 1
+            self.replayer.advance_to(t_batch)
             directives = self._empty_directives()
             for function in batch:
                 self._assign_new(function, directives)
             self.executor.inject(directives)
         self._drain()
         return self._finish()
+
+    def replay_trace(self, trace) -> ClusterResult:
+        """Sharded twin of :func:`repro.cluster.replay.replay_trace`.
+
+        Same-timestamp arrivals form one batch, exactly as the serial
+        replay submits them; every distinct arrival time is a
+        rendezvous boundary.  The measurement window runs to the later
+        of the trace end and the last completion, matching the serial
+        ``duration = max(env.now, trace.duration_s)``.
+        """
+        if hasattr(type(trace), "__len__") and len(trace) == 0:
+            raise ValueError("empty trace")
+        batch_time: Optional[float] = None
+        batch: List[str] = []
+        for time_s, function in trace.iter_pairs():
+            if batch_time is not None and time_s != batch_time:
+                self._submit_batch_at(batch_time, batch)
+                batch = []
+            batch_time = time_s
+            batch.append(function)
+        if batch_time is None:
+            raise ValueError("empty trace")
+        self._submit_batch_at(batch_time, batch)
+        self._drain()
+        return self._finish(end_time=trace.duration_s)
+
+    def _submit_batch_at(self, t_batch: float, batch: List[str]) -> None:
+        """Rendezvous at ``t_batch`` and submit one arrival batch."""
+        if t_batch > 0:
+            self._consume_boundaries_until(t_batch)
+            self._round(t_batch, self._empty_directives())
+            self.stats.boundaries += 1
+        self.replayer.advance_to(t_batch)
+        directives = self._empty_directives()
+        for function in batch:
+            self._assign_new(function, directives)
+        self.executor.inject(directives)
 
     # -- result merging --------------------------------------------------------
 
@@ -352,8 +395,8 @@ class ShardedCluster:
         total = sum(joules for _platform, joules in pool_energy)
         return total, tuple(pool_energy)
 
-    def _finish(self) -> ClusterResult:
-        t_global = self._last_completion
+    def _finish(self, end_time: float = 0.0) -> ClusterResult:
+        t_global = max(self._last_completion, end_time)
         finishes = self.executor.finish(t_global)
         telemetry = self._merge_telemetry(finishes)
         energy, pool_energy = self._merge_energy(finishes)

@@ -47,6 +47,7 @@ SHARDABLE_POLICIES = (
     "round-robin",
     "least-loaded",
     "energy-aware",
+    "carbon-aware",
 )
 
 
@@ -102,6 +103,14 @@ class PolicyReplayer:
 
     def on_alive_change(self, worker_id: int) -> None:
         """``worker_id`` died or was revived."""
+
+    def advance_to(self, now: float) -> None:
+        """The coordinator's decision clock moved to ``now``.
+
+        Time-varying policies (carbon-aware) re-read their signals from
+        this; the integer-state replayers ignore it — a no-op keeps the
+        coordinator's call site unconditional.
+        """
 
 
 class RandomSamplingReplayer(PolicyReplayer):
@@ -232,12 +241,98 @@ class EnergyAwareReplayer(PolicyReplayer):
         self.on_load_change(worker_id)
 
 
+class CarbonAwareReplayer(PolicyReplayer):
+    """Time-varying preferred platform over per-platform lazy heaps.
+
+    Mirrors :class:`~repro.core.scheduler.CarbonAwarePolicy` exactly:
+    the preferred platform at each decision instant comes from the same
+    :func:`~repro.core.scheduler.carbon_preferred_platform` helper over
+    the same pre-sampled signals, then the serial energy-aware spill
+    rule runs with that preference.  The coordinator feeds decision
+    time through :meth:`advance_to`; signals are never *sampled* here,
+    only read, so shard and serial runs see identical curves.
+    """
+
+    def __init__(
+        self,
+        state: VirtualCluster,
+        signals,
+        joules_weights=None,
+        spill_threshold: int = 2,
+        preferred: str = ARM,
+    ):
+        super().__init__(state)
+        self.signals = dict(signals) if signals else {}
+        self.joules_weights = dict(joules_weights) if joules_weights else {}
+        self.spill_threshold = spill_threshold
+        self.default_preferred = preferred
+        self._now = 0.0
+        platforms = sorted(set(state.platforms))
+        self._heaps = {
+            platform: _LazyMinHeap(
+                state,
+                [
+                    wid
+                    for wid in range(state.worker_count)
+                    if state.platforms[wid] == platform
+                ],
+            )
+            for platform in platforms
+        }
+
+    def advance_to(self, now: float) -> None:
+        self._now = now
+
+    def select(self, job) -> int:
+        from repro.core.scheduler import carbon_preferred_platform
+
+        if self.signals:
+            preferred = carbon_preferred_platform(
+                self.signals, self.joules_weights, self._now,
+                self.default_preferred,
+            )
+        else:
+            preferred = self.default_preferred
+        best_pref = None
+        best_other = None
+        for platform, heap in self._heaps.items():
+            top = heap.peek()
+            if top is None:
+                continue
+            if platform == preferred:
+                best_pref = top
+            elif best_other is None or top < best_other:
+                # (load, id) tuple order = the serial scan's first-
+                # minimum tie-break across the non-preferred queues.
+                best_other = top
+        if best_pref is None and best_other is None:
+            raise RuntimeError("no alive workers available")
+        if best_pref is None:
+            return best_other[1]
+        if best_other is None:
+            return best_pref[1]
+        if (
+            best_pref[0] >= self.spill_threshold
+            and best_other[0] < best_pref[0]
+        ):
+            return best_other[1]
+        return best_pref[1]
+
+    def on_load_change(self, worker_id: int) -> None:
+        self._heaps[self.state.platforms[worker_id]].push(worker_id)
+
+    def on_alive_change(self, worker_id: int) -> None:
+        self.on_load_change(worker_id)
+
+
 def make_replayer(
     policy_name: str,
     state: VirtualCluster,
     seed: int,
     spill_threshold: int = 2,
     preferred: str = ARM,
+    signals=None,
+    joules_weights=None,
 ) -> PolicyReplayer:
     """Build the replayer matching a serial policy configuration."""
     if policy_name == "random-sampling":
@@ -250,6 +345,14 @@ def make_replayer(
         return EnergyAwareReplayer(
             state, spill_threshold=spill_threshold, preferred=preferred
         )
+    if policy_name == "carbon-aware":
+        return CarbonAwareReplayer(
+            state,
+            signals=signals,
+            joules_weights=joules_weights,
+            spill_threshold=spill_threshold,
+            preferred=preferred,
+        )
     raise ValueError(
         f"policy {policy_name!r} is not shardable; "
         f"supported: {SHARDABLE_POLICIES}"
@@ -257,6 +360,7 @@ def make_replayer(
 
 
 __all__ = [
+    "CarbonAwareReplayer",
     "EnergyAwareReplayer",
     "LeastLoadedReplayer",
     "PolicyReplayer",

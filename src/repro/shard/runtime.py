@@ -80,6 +80,17 @@ class ClusterSpec:
     chaos_plan: Optional[ChaosPlan] = None
     chaos_detection_delay_s: float = 1.0
     chaos_max_power_cycles: int = 3
+    #: Per-worker power cap in watts (None: uncapped).  Applied to each
+    #: pool at build time on shards and serial twins alike — DVFS state
+    #: is per-board, so capping shards independently is exact.
+    power_cap_watts: Optional[float] = None
+    #: Carbon/price signals for the carbon-aware policy: platform tag ->
+    #: :class:`~repro.energy.controlplane.CarbonSignal`.  Signals are
+    #: pre-sampled (picklable) so shards and the coordinator read
+    #: identical curves.
+    carbon_signals: Optional[dict] = None
+    #: Platform tag -> joules-per-function weight for the carbon cost.
+    carbon_weights: Optional[dict] = None
 
     @property
     def policy_name(self) -> str:
@@ -103,6 +114,8 @@ class ClusterSpec:
                 f"policy {self.policy_name!r} is not shardable; "
                 f"supported: {SHARDABLE_POLICIES}"
             )
+        if self.power_cap_watts is not None and self.power_cap_watts <= 0:
+            raise ValueError("power cap must be positive watts")
         if self.trace is not None and self.trace.sample_rate not in (0.0, 1.0):
             raise ValueError(
                 "sharded tracing needs sample_rate 0.0 or 1.0: fractional "
@@ -152,6 +165,14 @@ class ClusterSpec:
             return make_policy(name, random.Random(self.seed))
         if name == "energy-aware":
             return EnergyAwarePolicy(spill_threshold=self.spill_threshold)
+        if name == "carbon-aware":
+            from repro.core.scheduler import CarbonAwarePolicy
+
+            return CarbonAwarePolicy(
+                signals=self.carbon_signals,
+                joules_weights=self.carbon_weights,
+                spill_threshold=self.spill_threshold,
+            )
         return make_policy(name)
 
     def blueprint(self) -> ClusterBlueprint:
@@ -204,7 +225,7 @@ class ClusterSpec:
         if policy is None:
             policy = self.serial_policy()
         if self.kind == "microfaas":
-            return MicroFaaSCluster(
+            cluster = MicroFaaSCluster(
                 worker_count=self.worker_count,
                 seed=self.seed,
                 policy=policy,
@@ -215,18 +236,24 @@ class ClusterSpec:
                 local_ids=local_ids,
                 blueprint=blueprint,
             )
-        return HybridCluster(
-            sbc_count=self.sbc_count,
-            vm_count=self.vm_count,
-            seed=self.seed,
-            policy=policy,
-            jitter_sigma=self.jitter_sigma,
-            telemetry_exact=self.telemetry_exact,
-            control_plane=self.control_plane,
-            trace=self.trace,
-            local_ids=local_ids,
-            blueprint=blueprint,
-        )
+        else:
+            cluster = HybridCluster(
+                sbc_count=self.sbc_count,
+                vm_count=self.vm_count,
+                seed=self.seed,
+                policy=policy,
+                jitter_sigma=self.jitter_sigma,
+                telemetry_exact=self.telemetry_exact,
+                control_plane=self.control_plane,
+                trace=self.trace,
+                local_ids=local_ids,
+                blueprint=blueprint,
+            )
+        if self.power_cap_watts is not None:
+            cluster.set_power_cap(self.power_cap_watts)
+        if hasattr(policy, "bind_clock"):
+            policy.bind_clock(lambda: cluster.env.now)
+        return cluster
 
 
 @dataclass(frozen=True)

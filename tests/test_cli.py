@@ -11,7 +11,7 @@ def test_every_artifact_has_description_and_runner():
     assert set(ARTIFACTS) == {
         "fig1", "fig3", "fig4", "fig5", "table1", "table2", "headline",
         "scale", "scale-frontier", "megatrace", "hardware", "fault-study",
-        "hybrid-study", "federation-study", "sdk-study",
+        "hybrid-study", "federation-study", "sdk-study", "energy-study",
     }
     for description, runner in ARTIFACTS.values():
         assert description

@@ -321,3 +321,185 @@ def test_upm_validation():
 def test_upm_within_bounds_property(u):
     model = UtilizationPowerModel(60.0, 150.0, 0.547)
     assert 60.0 <= model.watts(u) <= 150.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# DVFS ladders and power caps
+# ---------------------------------------------------------------------------
+
+
+from repro.hardware.power import PowerCap
+from repro.hardware.sbc import SingleBoardComputer
+from repro.hardware.specs import (
+    BEAGLEBONE_BLACK,
+    DvfsCurve,
+    DvfsStep,
+    dvfs_curve_for,
+)
+
+
+LADDER = DvfsCurve(
+    steps=(
+        DvfsStep(1.0e9, 1.0, 1.0),
+        DvfsStep(0.8e9, 0.8, 0.64),
+        DvfsStep(0.6e9, 0.6, 0.36),
+    )
+)
+
+
+def test_dvfs_step_validation():
+    with pytest.raises(ValueError):
+        DvfsStep(0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        DvfsStep(1e9, 1.5, 1.0)
+    with pytest.raises(ValueError):
+        DvfsStep(1e9, 1.0, 0.0)
+
+
+def test_dvfs_curve_requires_fastest_first():
+    with pytest.raises(ValueError):
+        DvfsCurve(steps=())
+    with pytest.raises(ValueError):
+        DvfsCurve(steps=(DvfsStep(0.6e9, 0.6, 0.36), DvfsStep(1e9, 1.0, 1.0)))
+
+
+def test_step_for_cap_picks_fastest_fitting_step():
+    peak = 2.0
+    assert LADDER.step_for_cap(5.0, peak) is LADDER.steps[0]
+    assert LADDER.step_for_cap(1.5, peak) is LADDER.steps[1]
+    assert LADDER.step_for_cap(0.9, peak) is LADDER.steps[2]
+
+
+def test_step_for_cap_exact_boundary_fits():
+    """A cap exactly equal to a step's scaled peak selects that step —
+    the 1e-12 slack keeps float noise from tipping it down a rung."""
+    peak = 2.0
+    assert LADDER.step_for_cap(peak * 0.64, peak) is LADDER.steps[1]
+    assert LADDER.step_for_cap(peak * 0.36, peak) is LADDER.steps[2]
+
+
+def test_step_for_cap_falls_back_to_slowest():
+    # A governor can throttle, not halt: an impossible cap yields the
+    # slowest step rather than refusing.
+    assert LADDER.step_for_cap(0.01, 2.0) is LADDER.steps[-1]
+
+
+def test_step_for_cap_rejects_nonpositive_cap():
+    with pytest.raises(ValueError):
+        LADDER.step_for_cap(0.0, 2.0)
+
+
+def test_power_cap_scopes():
+    worker = PowerCap(1.5)
+    assert worker.per_device_watts(8) == 1.5
+    cluster = PowerCap(12.0, scope="cluster")
+    assert cluster.per_device_watts(8) == 1.5
+    with pytest.raises(ValueError):
+        cluster.per_device_watts(0)
+    with pytest.raises(ValueError):
+        PowerCap(0.0)
+    with pytest.raises(ValueError):
+        PowerCap(1.0, scope="rack")
+
+
+def test_power_cap_resolve_uses_per_device_share():
+    cap = PowerCap(2.0 * 0.64 * 4, scope="cluster")
+    step = cap.resolve(LADDER, peak_watts=2.0, device_count=4)
+    assert step is LADDER.steps[1]
+
+
+def test_psm_rescale_swaps_table_in_place():
+    clock = FakeClock()
+    psm = PowerStateMachine(clock, STATE_WATTS)
+    clock.t = 1.0
+    psm.set_state(PowerState.CPU_BUSY)
+    clock.t = 3.0
+    scaled = dict(STATE_WATTS)
+    scaled[PowerState.CPU_BUSY] = 1.0
+    psm.rescale(scaled)
+    assert psm.state is PowerState.CPU_BUSY  # state survives the swap
+    assert psm.watts == 1.0
+    # 1 s off + 2 s busy at 2.5 W, then the cheaper table.
+    clock.t = 5.0
+    assert psm.trace.energy_joules(0.0, 5.0) == pytest.approx(
+        1 * 0.1 + 2 * 2.5 + 2 * 1.0
+    )
+
+
+def test_psm_rescale_requires_all_states():
+    clock = FakeClock()
+    psm = PowerStateMachine(clock, STATE_WATTS)
+    with pytest.raises(ValueError):
+        psm.rescale({PowerState.OFF: 0.1})
+
+
+def test_psm_rescale_at_state_boundary_instant():
+    """A state change and a rescale at the same instant must leave the
+    scaled draw in force — the trace's same-time overwrite keeps one
+    change point and energy integrates against the final wattage."""
+    clock = FakeClock()
+    psm = PowerStateMachine(clock, STATE_WATTS)
+    clock.t = 2.0
+    psm.set_state(PowerState.CPU_BUSY)  # records (2.0, 2.5)
+    scaled = dict(STATE_WATTS)
+    scaled[PowerState.CPU_BUSY] = 1.5
+    psm.rescale(scaled)  # records (2.0, 1.5): overwrite, not append
+    assert psm.trace.power_at(2.0) == 1.5
+    clock.t = 4.0
+    assert psm.trace.energy_joules(0.0, 4.0) == pytest.approx(
+        2 * 0.1 + 2 * 1.5
+    )
+
+
+def test_sbc_apply_dvfs_scales_only_active_states():
+    clock = FakeClock()
+    sbc = SingleBoardComputer(clock, BEAGLEBONE_BLACK)
+    nominal = BEAGLEBONE_BLACK.power
+    step = dvfs_curve_for(BEAGLEBONE_BLACK).steps[1]
+    sbc.apply_dvfs(step)
+    assert sbc.dvfs_step is step
+
+    def watts_in(state):
+        sbc.psm.set_state(state)
+        return sbc.psm.watts
+
+    assert watts_in(PowerState.CPU_BUSY) == pytest.approx(
+        nominal.cpu_busy * step.power_scale
+    )
+    assert watts_in(PowerState.IO_WAIT) == pytest.approx(
+        nominal.io_wait * step.power_scale
+    )
+    # Boot, idle and standby are frequency-independent.
+    assert watts_in(PowerState.BOOT) == nominal.boot
+    assert watts_in(PowerState.IDLE) == nominal.idle
+    assert watts_in(PowerState.OFF) == nominal.off
+
+
+def test_sbc_apply_dvfs_does_not_mutate_shared_template():
+    clock = FakeClock()
+    capped = SingleBoardComputer(clock, BEAGLEBONE_BLACK, node_id=0)
+    peer = SingleBoardComputer(clock, BEAGLEBONE_BLACK, node_id=1)
+    capped.apply_dvfs(dvfs_curve_for(BEAGLEBONE_BLACK).steps[-1])
+    peer.psm.set_state(PowerState.CPU_BUSY)
+    assert peer.psm.watts == pytest.approx(BEAGLEBONE_BLACK.power.cpu_busy)
+
+
+def test_sbc_clear_dvfs_restores_nominal():
+    clock = FakeClock()
+    sbc = SingleBoardComputer(clock, BEAGLEBONE_BLACK)
+    sbc.apply_dvfs(dvfs_curve_for(BEAGLEBONE_BLACK).steps[-1])
+    sbc.clear_dvfs()
+    assert sbc.dvfs_step is None
+    sbc.psm.set_state(PowerState.CPU_BUSY)
+    assert sbc.psm.watts == pytest.approx(BEAGLEBONE_BLACK.power.cpu_busy)
+    sbc.clear_dvfs()  # idempotent at nominal
+
+
+def test_dvfs_curve_for_unknown_spec_is_single_step():
+    from repro.hardware.specs import SbcSpec
+
+    spec = BEAGLEBONE_BLACK
+    unknown = SbcSpec(**{**spec.__dict__, "name": "mystery-board"})
+    curve = dvfs_curve_for(unknown)
+    assert len(curve.steps) == 1
+    assert curve.nominal.perf_scale == 1.0

@@ -122,7 +122,7 @@ def test_export_megatrace(tmp_path):
 def test_export_all_writes_every_artifact(tmp_path):
     target = os.path.join(str(tmp_path), "artifacts")
     paths = export_all(target, invocations_per_function=4)
-    assert len(paths) == 12
+    assert len(paths) == 14
     for path in paths:
         assert os.path.exists(path)
         if path.endswith(".csv"):
@@ -132,7 +132,8 @@ def test_export_all_writes_every_artifact(tmp_path):
         "fig1_boot.csv", "fig3_runtime.csv", "fig4_vmsweep.csv",
         "fig5_power.csv", "table2_tco.csv", "headline.csv",
         "fault_study.csv", "hybrid_study.csv", "federation_study.csv",
-        "scale_study.csv", "sdk_study.csv", "headline_trace.json",
+        "scale_study.csv", "sdk_study.csv", "energy_study.csv",
+        "energy_study_tenants.csv", "headline_trace.json",
     }
     from repro.obs.export import validate_chrome_trace_file
 

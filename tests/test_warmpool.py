@@ -172,3 +172,96 @@ def test_warm_pool_on_hybrid_never_flags_vm_workers():
     for worker in cluster.workers:
         if getattr(worker, "sbc", None) is None:
             assert not getattr(worker, "keep_warm", False)
+
+
+# -- proactive resizes (dynamic mode) --------------------------------------------------
+
+
+def test_proactive_grow_boots_off_boards():
+    cluster = MicroFaaSCluster(worker_count=2)
+    pool = WarmPool(cluster, size=0)
+    pool.set_size(2, proactive=True)
+    assert pool.proactive_boots == 2
+    cluster.env.run(until=cluster.workers[0].boot_real_s + 0.1)
+    for worker in cluster.workers:
+        assert worker.sbc.state is PowerState.IDLE
+        assert worker.sbc.clean
+
+
+def test_static_resize_is_flag_only():
+    cluster = MicroFaaSCluster(worker_count=2)
+    pool = WarmPool(cluster, size=0)
+    pool.set_size(2)  # static: no proactive power action
+    assert pool.proactive_boots == 0
+    for worker in cluster.workers:
+        assert not worker.sbc.is_powered
+
+
+def test_proactive_resize_never_power_cycles_a_booting_board():
+    """The mid-boot guard: a board in BOOT is left alone by resizes in
+    either direction — power-cycling it would strand its boot timeline."""
+    cluster = MicroFaaSCluster(worker_count=2)
+    pool = WarmPool(cluster, size=0)
+    board = cluster.workers[0].sbc
+    board.power_on()  # mid-boot, outside the pool's control
+    boots_before = board.boot_count
+
+    pool.set_size(2, proactive=True)  # board 0 joins the pool mid-boot
+    assert board.state is PowerState.BOOT
+    assert board.boot_count == boots_before  # not re-booted
+    assert pool.proactive_boots == 1  # only the off board 1 was booted
+
+    pool.set_size(0, proactive=True)  # and leaves it mid-boot
+    assert board.state is PowerState.BOOT  # still not power-cycled
+    assert board.boot_count == boots_before
+
+
+def test_prewarm_tail_powers_off_a_board_shrunk_mid_boot():
+    """A board that leaves the pool while pre-booting finishes its boot
+    (never cut mid-boot), then powers down at the boot boundary."""
+    cluster = MicroFaaSCluster(worker_count=1)
+    pool = WarmPool(cluster, size=0)
+    pool.set_size(1, proactive=True)
+    worker = cluster.workers[0]
+    cluster.env.run(until=0.1)  # let the pre-boot process start
+    assert worker.sbc.state is PowerState.BOOT
+    # Shrink while the pre-boot is in flight: flag flips, board booted on.
+    pool.set_size(0, proactive=True)
+    assert worker.sbc.state is PowerState.BOOT
+    cluster.env.run(until=worker.boot_real_s + 0.1)
+    assert worker.sbc.state is PowerState.OFF
+
+
+# -- the warming energy account --------------------------------------------------------
+
+
+def test_meter_warming_bills_idle_warm_boards_only():
+    cluster = MicroFaaSCluster(worker_count=2)
+    pool = WarmPool(cluster, size=1)
+    warm = cluster.workers[0].sbc
+    warm.power_on()
+    warm.boot_complete()  # idling warm
+    pool.meter_warming(10.0)
+    idle_watts = warm.spec.power.idle
+    account = pool.warming_account()
+    assert account.joules_spent_warming == pytest.approx(idle_watts * 10.0)
+    # Cold board 1 billed nothing; a busy warm board would bill nothing.
+    warm.start_compute()
+    pool.meter_warming(10.0)
+    assert pool.warming_account().joules_spent_warming == pytest.approx(
+        idle_watts * 10.0
+    )
+
+
+def test_warming_account_balances_boots_avoided():
+    cluster = MicroFaaSCluster(worker_count=2)
+    pool = WarmPool(cluster, size=2)
+    worker = cluster.workers[0]
+    worker.boots_avoided = 3
+    account = pool.warming_account()
+    boot_joules = worker.sbc.spec.power.boot * worker.boot_real_s
+    assert account.cold_boots_avoided == 3
+    assert account.joules_saved_booting == pytest.approx(3 * boot_joules)
+    assert account.net_joules == pytest.approx(
+        account.joules_saved_booting - account.joules_spent_warming
+    )
